@@ -1,0 +1,143 @@
+// Command dnnbench regenerates the paper's evaluation artifacts: every
+// whole-network figure, the absolute-time tables, the qualitative
+// family-traits table, the worked PBQP example, the selection maps and
+// the §5.8 trend checks.
+//
+// Usage:
+//
+//	dnnbench -exp all
+//	dnnbench -exp fig6
+//	dnnbench -exp table3
+//	dnnbench -exp trends
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"pbqpdnn/internal/cost"
+	"pbqpdnn/internal/experiments"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("dnnbench: ")
+	exp := flag.String("exp", "all",
+		"experiment: table1, table2, table3, fig2, fig4, fig5, fig6, fig7a, fig7b, solver, sparsity, minibatch, trends, all")
+	flag.Parse()
+
+	runners := map[string]func() error{
+		"table1": func() error {
+			fmt.Print(experiments.FormatTable1(experiments.Table1(cost.IntelHaswell)))
+			return nil
+		},
+		"table2": func() error {
+			rows, err := experiments.Table2()
+			if err != nil {
+				return err
+			}
+			fmt.Print(experiments.FormatTable("Table 2: single inference on Intel Core i5-4570 (model ms)", rows))
+			return nil
+		},
+		"table3": func() error {
+			rows, err := experiments.Table3()
+			if err != nil {
+				return err
+			}
+			fmt.Print(experiments.FormatTable("Table 3: single inference on ARM Cortex-A57 (model ms)", rows))
+			return nil
+		},
+		"fig2": func() error {
+			r := experiments.Figure2()
+			fmt.Println("== Figure 2: worked PBQP example ==")
+			fmt.Printf("node costs only: selection %v, total %.0f\n", r.NodeOnlySelection, r.NodeOnlyCost)
+			fmt.Printf("with edge costs: selection %v, total %.0f\n", r.FullSelection, r.FullCost)
+			return nil
+		},
+		"fig4": func() error {
+			intel, arm, err := experiments.Figure4()
+			if err != nil {
+				return err
+			}
+			fmt.Print(experiments.FormatFigure4(intel, arm))
+			return nil
+		},
+		"fig5":  figure("Figure 5: single-threaded, Intel Haswell", experiments.Figure5),
+		"fig6":  figure("Figure 6: multithreaded, Intel Haswell", experiments.Figure6),
+		"fig7a": figure("Figure 7a: single-threaded, ARM Cortex-A57", experiments.Figure7a),
+		"fig7b": figure("Figure 7b: multithreaded, ARM Cortex-A57", experiments.Figure7b),
+		"solver": func() error {
+			ov, err := experiments.SolverOverheads(cost.IntelHaswell, 4)
+			if err != nil {
+				return err
+			}
+			fmt.Println("== §5.4 solver overheads ==")
+			for n, r := range ov {
+				fmt.Printf("  %-10s solve %.2f ms, optimal=%v\n", n, r.SolveMS, r.Optimal)
+			}
+			return nil
+		},
+		"sparsity": func() error {
+			pts, err := experiments.SparsitySweep()
+			if err != nil {
+				return err
+			}
+			fmt.Print(experiments.FormatSparsitySweep(pts))
+			return nil
+		},
+		"minibatch": func() error {
+			pts, err := experiments.MinibatchSweep()
+			if err != nil {
+				return err
+			}
+			fmt.Print(experiments.FormatMinibatchSweep(pts))
+			return nil
+		},
+		"trends": func() error {
+			ts, err := experiments.CheckTrends()
+			if err != nil {
+				return err
+			}
+			fmt.Println("== §5.6–§5.8 trend checks ==")
+			for _, t := range ts {
+				status := "PASS"
+				if !t.OK {
+					status = "FAIL"
+				}
+				fmt.Printf("  [%s] %-38s %s\n", status, t.Name, t.Note)
+			}
+			return nil
+		},
+	}
+	order := []string{"table1", "fig2", "fig4", "fig5", "fig6", "fig7a", "fig7b",
+		"table2", "table3", "solver", "sparsity", "minibatch", "trends"}
+
+	if *exp == "all" {
+		for _, name := range order {
+			if err := runners[name](); err != nil {
+				log.Fatalf("%s: %v", name, err)
+			}
+			fmt.Println()
+		}
+		return
+	}
+	run, ok := runners[*exp]
+	if !ok {
+		log.Fatalf("unknown experiment %q (have %v, all)", *exp, order)
+	}
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func figure(title string, gen func() ([]*experiments.NetworkResult, error)) func() error {
+	return func() error {
+		nrs, err := gen()
+		if err != nil {
+			return err
+		}
+		fmt.Print(experiments.FormatFigure(title, nrs))
+		return nil
+	}
+}

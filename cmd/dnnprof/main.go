@@ -1,0 +1,70 @@
+// Command dnnprof dumps the per-layer cost tables the optimizer
+// consumes (the paper's §3.1 profiling stage): for each convolution
+// layer of a network, the top primitive candidates with their modeled
+// (or measured) execution times.
+//
+// Usage:
+//
+//	dnnprof -net alexnet -platform intel -threads 4 -top 5
+//	dnnprof -net googlenet -platform arm -measure
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"sort"
+
+	"pbqpdnn/internal/conv"
+	"pbqpdnn/internal/cost"
+	"pbqpdnn/internal/dnn/models"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("dnnprof: ")
+	netName := flag.String("net", "alexnet", "network: "+fmt.Sprint(models.Names()))
+	platform := flag.String("platform", "intel", "platform: intel or arm (model profiler)")
+	threads := flag.Int("threads", 1, "thread count")
+	top := flag.Int("top", 5, "candidates to print per layer")
+	measure := flag.Bool("measure", false, "wall-clock measure the real Go primitives instead of the machine model (slow)")
+	flag.Parse()
+
+	g, err := models.Build(*netName)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var prof cost.Profiler
+	switch {
+	case *measure:
+		prof = cost.NewMeasure(3)
+	case *platform == "arm":
+		prof = cost.NewModel(cost.CortexA57)
+	default:
+		prof = cost.NewModel(cost.IntelHaswell)
+	}
+
+	lib := conv.Library()
+	for _, id := range g.ConvLayers() {
+		l := g.Layers[id]
+		type cand struct {
+			name string
+			ms   float64
+		}
+		var cands []cand
+		for _, p := range lib {
+			if !p.Supports(l.Conv) {
+				continue
+			}
+			cands = append(cands, cand{p.Name, prof.Primitive(p, l.Conv, *threads) * 1e3})
+		}
+		sort.Slice(cands, func(i, j int) bool { return cands[i].ms < cands[j].ms })
+		fmt.Printf("%-26s %s  (%d candidates)\n", l.Name, l.Conv, len(cands))
+		for i, c := range cands {
+			if i >= *top {
+				break
+			}
+			fmt.Printf("    %-28s %10.3f ms\n", c.name, c.ms)
+		}
+	}
+}

@@ -1,0 +1,76 @@
+// Command pbqp-select runs the PBQP optimizer on a network and prints
+// the per-layer primitive selection (the paper's Figure 4 view) and,
+// optionally, the generated call-sequence program.
+//
+// Usage:
+//
+//	pbqp-select -net alexnet -platform both -threads 4
+//	pbqp-select -net googlenet -platform arm -program
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"pbqpdnn/internal/cost"
+	"pbqpdnn/internal/dnn/models"
+	"pbqpdnn/internal/exec"
+	"pbqpdnn/internal/pbqp"
+	"pbqpdnn/internal/selector"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("pbqp-select: ")
+	netName := flag.String("net", "alexnet", "network: "+fmt.Sprint(models.Names()))
+	platform := flag.String("platform", "both", "platform: intel, arm or both")
+	threads := flag.Int("threads", 4, "thread count to optimize for")
+	program := flag.Bool("program", false, "also emit the generated call-sequence program")
+	exact := flag.Bool("exact", false, "use exact branch-and-bound instead of the RN heuristic")
+	flag.Parse()
+
+	var machines []cost.Machine
+	switch *platform {
+	case "intel":
+		machines = []cost.Machine{cost.IntelHaswell}
+	case "arm":
+		machines = []cost.Machine{cost.CortexA57}
+	case "both":
+		machines = []cost.Machine{cost.IntelHaswell, cost.CortexA57}
+	default:
+		log.Fatalf("unknown platform %q", *platform)
+	}
+
+	g, err := models.Build(*netName)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, m := range machines {
+		opts := selector.Options{Prof: cost.NewModel(m), Threads: *threads}
+		if *exact {
+			opts.Mode = pbqp.Exact
+		}
+		plan, err := selector.Select(g, opts)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("== %s on %s (threads=%d) ==\n", *netName, m.Name, *threads)
+		fmt.Printf("predicted: %.2f ms (nodes %.2f + transforms %.2f), optimal=%v, solve=%v\n",
+			plan.TotalCost()*1e3, plan.NodeCost*1e3, plan.EdgeCost*1e3, plan.Optimal, plan.SolveTime)
+		for _, id := range g.ConvLayers() {
+			p := plan.Primitives[id]
+			fmt.Printf("  %-26s %-26s %s→%s\n", g.Layers[id].Name, p.Name, p.In, p.Out)
+		}
+		fmt.Printf("  layout conversions inserted: %d\n\n", len(plan.Conversions))
+		if *program {
+			prog, err := exec.GenerateProgram(plan)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Println(prog)
+		}
+	}
+	_ = os.Stdout
+}

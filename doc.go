@@ -1,0 +1,13 @@
+// Package pbqpdnn reproduces "Optimal DNN Primitive Selection with
+// Partitioned Boolean Quadratic Programming" (Anderson & Gregg, CGO
+// 2018): a library of 70+ convolution primitives over multiple data
+// layouts, a PBQP solver, and a global optimizer that picks a primitive
+// per network layer while accounting for data-layout transformation
+// costs.
+//
+// See README.md for the architecture overview, DESIGN.md for the system
+// inventory and experiment index, and EXPERIMENTS.md for the
+// paper-versus-reproduction record. The benchmark harness in
+// bench_test.go regenerates every table and figure of the paper's
+// evaluation.
+package pbqpdnn

@@ -1,0 +1,69 @@
+// AlexNet walkthrough: reproduce the paper's Figure 4 selection maps
+// and Table 2/3 headline numbers for AlexNet on both modeled platforms,
+// including what each alternative strategy would have cost.
+//
+//	go run ./examples/alexnet
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"pbqpdnn/internal/cost"
+	"pbqpdnn/internal/dnn/models"
+	"pbqpdnn/internal/experiments"
+	"pbqpdnn/internal/selector"
+	"pbqpdnn/internal/tensor"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	// Figure 4: the per-layer selection maps, multithreaded.
+	intel, arm, err := experiments.Figure4()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(experiments.FormatFigure4(intel, arm))
+	fmt.Println()
+
+	// The interesting part of Figure 4, spelled out.
+	count1D := 0
+	for _, r := range arm[1:] {
+		if r.Family == "winograd" && !r.Wino2D {
+			count1D++
+		}
+	}
+	fmt.Printf("ARM picked the low-memory 1D Winograd for %d of 4 K∈{3,5} layers\n", count1D)
+	fmt.Printf("(the paper reports 3 of 4 — the small A57 cache favors the 1D algorithm)\n\n")
+
+	// Strategy comparison on both platforms (the AlexNet columns of
+	// Figures 5–7 and Tables 2–3).
+	for _, m := range []cost.Machine{cost.IntelHaswell, cost.CortexA57} {
+		for _, threads := range []int{1, 4} {
+			nr, err := experiments.WholeNetwork("alexnet", m, threads)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Print(experiments.FormatNetworkResult(nr))
+		}
+	}
+
+	// Show the PBQP-vs-local-optimal gap explicitly (§6: the canonical
+	// layout escape hatch costs real performance).
+	g, err := models.Build("alexnet")
+	if err != nil {
+		log.Fatal(err)
+	}
+	opts := selector.Options{Prof: cost.NewModel(cost.IntelHaswell), Threads: 4}
+	pb, err := selector.Select(g, opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	lo, err := selector.LocalOptimal(g, tensor.CHW, opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nIntel MT: canonical-CHW strategy pays %.2fx over the PBQP optimum\n",
+		lo.TotalCost()/pb.TotalCost())
+}

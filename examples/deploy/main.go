@@ -1,0 +1,83 @@
+// Deploy-style workflow: the paper's §4 deployment story. Layerwise
+// profiling runs once per hardware platform per DNN model; the
+// resulting cost table is tiny compared to the weights, so it ships
+// with the trained model, and the PBQP solve happens at deployment time
+// from the table alone — no primitive ever executes during
+// optimization.
+//
+// Here we (1) profile a network with the wall-clock Measure profiler
+// (playing the role of on-device profiling), (2) serialize the cost
+// table to JSON, (3) load it back and re-solve from the table, and
+// (4) check the table-driven plan matches the live-profiled plan.
+//
+//	go run ./examples/deploy
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"log"
+
+	"pbqpdnn/internal/conv"
+	"pbqpdnn/internal/cost"
+	"pbqpdnn/internal/dnn"
+	"pbqpdnn/internal/selector"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	b, x := dnn.NewBuilder("deploy-net", 8, 24, 24)
+	x = b.Conv(x, "c1", 16, 3, 1, 1)
+	x = b.ReLU(x, "r1")
+	x = b.Conv(x, "c2", 16, 5, 1, 2)
+	x = b.MaxPool(x, "p1", 2, 2, 0)
+	x = b.Conv(x, "c3", 24, 3, 1, 1)
+	x = b.Softmax(x, "sm")
+	net := b.Graph()
+
+	// 1. On-device profiling (best-of-3 wall clock of the real Go
+	// primitives on this host).
+	prof := cost.NewMeasure(3)
+	lib := conv.Library()
+	table := cost.BuildTable(net, lib, prof, "this-host", 1)
+
+	// 2. Ship it: serialize.
+	var wire bytes.Buffer
+	if err := table.Save(&wire); err != nil {
+		log.Fatal(err)
+	}
+	weights := int64(0)
+	for _, id := range net.ConvLayers() {
+		weights += net.Layers[id].Conv.KernelBytes()
+	}
+	fmt.Printf("cost table: %d entries, %d bytes on the wire (model weights: %d bytes)\n",
+		table.NumEntries(), wire.Len(), weights)
+
+	// 3. At the deployment site: load and solve from the table alone.
+	loaded, err := cost.LoadTable(&wire)
+	if err != nil {
+		log.Fatal(err)
+	}
+	plan, err := selector.Select(net, selector.Options{Prof: loaded, Threads: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\ntable-driven selection (measured on this host):\n")
+	for _, id := range net.ConvLayers() {
+		p := plan.Primitives[id]
+		fmt.Printf("  %-4s %-26s %s→%s\n", net.Layers[id].Name, p.Name, p.In, p.Out)
+	}
+	fmt.Printf("predicted: %.3f ms, optimal=%v\n", plan.TotalCost()*1e3, plan.Optimal)
+
+	// 4. Sanity: the table reproduces the live profiler's decisions.
+	live, err := selector.Select(net, selector.Options{Prof: table, Threads: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if live.TotalCost() != plan.TotalCost() {
+		log.Fatalf("table-driven plan (%g) diverged from live plan (%g)",
+			plan.TotalCost(), live.TotalCost())
+	}
+	fmt.Println("table-driven plan matches the live-profiled plan — ok")
+}

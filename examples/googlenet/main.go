@@ -1,0 +1,87 @@
+// GoogleNet walkthrough: the DAG case that motivates the PBQP
+// formulation (paper Figure 3). Inception modules fan one tensor out to
+// four branches and concatenate the results, so a layout decision at
+// the module input constrains every branch. This example shows the
+// optimizer's layout decisions around one inception module, and how the
+// direct family's per-layer wins are erased by legalizing transforms on
+// the embedded platform (§5.8).
+//
+//	go run ./examples/googlenet
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"pbqpdnn/internal/conv"
+	"pbqpdnn/internal/cost"
+	"pbqpdnn/internal/dnn/models"
+	"pbqpdnn/internal/selector"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	g, err := models.Build("googlenet")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("GoogleNet: %d layers, %d convolutions, 9 inception modules\n\n",
+		g.NumLayers(), len(g.ConvLayers()))
+
+	opts := selector.Options{Prof: cost.NewModel(cost.CortexA57), Threads: 4}
+	plan, err := selector.Select(g, opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("PBQP (ARM, 4 threads): %.1f ms predicted, %d layout conversions, optimal=%v, solve=%v\n\n",
+		plan.TotalCost()*1e3, len(plan.Conversions), plan.Optimal, plan.SolveTime)
+
+	// Zoom into inception_4a: what did each branch get, and in which
+	// layout?
+	fmt.Println("inception_4a selections (ARM):")
+	for _, id := range g.ConvLayers() {
+		l := g.Layers[id]
+		if !strings.HasPrefix(l.Name, "inception_4a/") {
+			continue
+		}
+		p := plan.Primitives[id]
+		fmt.Printf("  %-28s %-26s %s→%s\n", l.Name, p.Name, p.In, p.Out)
+	}
+
+	// The §5.8 story: per-layer node gains of the direct family versus
+	// what legalization charges back.
+	direct, err := selector.FamilyBest(g, conv.FamilyDirect, selector.Options{
+		Prof: cost.NewModel(cost.CortexA57), Threads: 1,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	base, err := selector.Baseline(g, selector.Options{Prof: cost.NewModel(cost.CortexA57)})
+	if err != nil {
+		log.Fatal(err)
+	}
+	gain := base.NodeCost - direct.NodeCost
+	fmt.Printf("\ndirect family on ARM (single-threaded):\n")
+	fmt.Printf("  per-layer node gains vs sum2d: %8.1f ms\n", gain*1e3)
+	fmt.Printf("  legalizing transform costs:    %8.1f ms  (%d conversions)\n",
+		direct.EdgeCost*1e3, len(direct.Conversions))
+	if direct.TotalCost() > base.TotalCost() {
+		fmt.Printf("  → net slowdown: %.3fx of baseline — §5.8's GoogleNet observation\n",
+			base.TotalCost()/direct.TotalCost())
+	}
+
+	// Compare against the other strategies.
+	fmt.Println()
+	for name, mk := range map[string]func() (*selector.Plan, error){
+		"pbqp (global optimum)": func() (*selector.Plan, error) { return selector.Select(g, opts) },
+		"no-edge-cost ablation": func() (*selector.Plan, error) { return selector.NoEdgeCost(g, opts) },
+	} {
+		p, err := mk()
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %-22s %8.1f ms, %3d conversions\n", name, p.TotalCost()*1e3, len(p.Conversions))
+	}
+}

@@ -1,0 +1,533 @@
+package conv
+
+import (
+	"fmt"
+
+	"pbqpdnn/internal/tensor"
+)
+
+// The direct-loop family: multi-channel multi-kernel convolution as a
+// six-deep loop nest (paper §4), in many variants with different loop
+// orders, tilings, unrollings and layouts. All direct variants support
+// arbitrary stride — the family's strength in Table 1.
+
+// directMCHW: loop order M×C×H×W×K×K on CHW data, parallel over output
+// maps.
+func directMCHW(in *tensor.Tensor, k *Kernel, s Scenario, threads int) *tensor.Tensor {
+	checkLayout(in, tensor.CHW, "direct-mchw")
+	checkScenario(in, k, s)
+	oh, ow := s.OutH(), s.OutW()
+	out := tensor.New(tensor.CHW, s.M, oh, ow)
+	parallelFor(threads, s.M, func(m int) {
+		for c := 0; c < s.C; c++ {
+			for y := 0; y < oh; y++ {
+				for x := 0; x < ow; x++ {
+					var acc float32
+					hb, wb := y*s.Stride-s.Pad, x*s.Stride-s.Pad
+					for kh := 0; kh < s.K; kh++ {
+						for kw := 0; kw < s.K; kw++ {
+							acc += inputAt(in, c, hb+kh, wb+kw) * k.At(m, c, kh, kw)
+						}
+					}
+					out.Data[(m*oh+y)*ow+x] += acc
+				}
+			}
+		}
+	})
+	return out
+}
+
+// directCMHW: channels outermost — better kernel reuse, worse output
+// locality. Parallel over output rows to keep writes disjoint.
+func directCMHW(in *tensor.Tensor, k *Kernel, s Scenario, threads int) *tensor.Tensor {
+	checkLayout(in, tensor.CHW, "direct-cmhw")
+	checkScenario(in, k, s)
+	oh, ow := s.OutH(), s.OutW()
+	out := tensor.New(tensor.CHW, s.M, oh, ow)
+	parallelFor(threads, oh, func(y int) {
+		for c := 0; c < s.C; c++ {
+			for m := 0; m < s.M; m++ {
+				row := out.Data[(m*oh+y)*ow : (m*oh+y)*ow+ow]
+				hb := y*s.Stride - s.Pad
+				for x := 0; x < ow; x++ {
+					wb := x*s.Stride - s.Pad
+					var acc float32
+					for kh := 0; kh < s.K; kh++ {
+						for kw := 0; kw < s.K; kw++ {
+							acc += inputAt(in, c, hb+kh, wb+kw) * k.At(m, c, kh, kw)
+						}
+					}
+					row[x] += acc
+				}
+			}
+		}
+	})
+	return out
+}
+
+// directHWMC: output-pixel outermost on channels-last data; the whole
+// kernel stack is re-read per pixel but each output pixel finishes in
+// one pass (good store behaviour).
+func directHWMC(in *tensor.Tensor, k *Kernel, s Scenario, threads int) *tensor.Tensor {
+	checkLayout(in, tensor.HWC, "direct-hwmc")
+	checkScenario(in, k, s)
+	oh, ow := s.OutH(), s.OutW()
+	out := tensor.New(tensor.HWC, s.M, oh, ow)
+	parallelFor(threads, oh, func(y int) {
+		for x := 0; x < ow; x++ {
+			base := (y*ow + x) * s.M
+			hb, wb := y*s.Stride-s.Pad, x*s.Stride-s.Pad
+			for m := 0; m < s.M; m++ {
+				var acc float32
+				for c := 0; c < s.C; c++ {
+					for kh := 0; kh < s.K; kh++ {
+						for kw := 0; kw < s.K; kw++ {
+							acc += inputAt(in, c, hb+kh, wb+kw) * k.At(m, c, kh, kw)
+						}
+					}
+				}
+				out.Data[base+m] = acc
+			}
+		}
+	})
+	return out
+}
+
+// directMHWC: m outer, per-pixel channel-inner dot product exploiting
+// HWC contiguity — for each tap, input channels are contiguous.
+func directMHWC(in *tensor.Tensor, k *Kernel, s Scenario, threads int) *tensor.Tensor {
+	checkLayout(in, tensor.HWC, "direct-mhwc")
+	checkScenario(in, k, s)
+	oh, ow := s.OutH(), s.OutW()
+	out := tensor.New(tensor.HWC, s.M, oh, ow)
+	parallelFor(threads, s.M, func(m int) {
+		kbase := m * s.C * s.K * s.K
+		for y := 0; y < oh; y++ {
+			for x := 0; x < ow; x++ {
+				var acc float32
+				hb, wb := y*s.Stride-s.Pad, x*s.Stride-s.Pad
+				for kh := 0; kh < s.K; kh++ {
+					ih := hb + kh
+					if ih < 0 || ih >= s.H {
+						continue
+					}
+					for kw := 0; kw < s.K; kw++ {
+						iw := wb + kw
+						if iw < 0 || iw >= s.W {
+							continue
+						}
+						px := in.Data[(ih*s.W+iw)*s.C : (ih*s.W+iw)*s.C+s.C]
+						for c, v := range px {
+							acc += v * k.Data[kbase+c*s.K*s.K+kh*s.K+kw]
+						}
+					}
+				}
+				out.Data[(y*ow+x)*s.M+m] = acc
+			}
+		}
+	})
+	return out
+}
+
+// directHCW operates on row-interleaved HCW data: for each output row,
+// all channels of the contributing input rows are adjacent.
+func directHCW(in *tensor.Tensor, k *Kernel, s Scenario, threads int) *tensor.Tensor {
+	checkLayout(in, tensor.HCW, "direct-hcw")
+	checkScenario(in, k, s)
+	oh, ow := s.OutH(), s.OutW()
+	out := tensor.New(tensor.HCW, s.M, oh, ow)
+	parallelFor(threads, oh, func(y int) {
+		hb := y*s.Stride - s.Pad
+		for m := 0; m < s.M; m++ {
+			row := out.Data[(y*s.M+m)*ow : (y*s.M+m)*ow+ow]
+			for kh := 0; kh < s.K; kh++ {
+				ih := hb + kh
+				if ih < 0 || ih >= s.H {
+					continue
+				}
+				for c := 0; c < s.C; c++ {
+					src := in.Data[(ih*s.C+c)*s.W : (ih*s.C+c)*s.W+s.W]
+					for kw := 0; kw < s.K; kw++ {
+						kv := k.At(m, c, kh, kw)
+						if kv == 0 {
+							continue
+						}
+						for x := 0; x < ow; x++ {
+							iw := x*s.Stride - s.Pad + kw
+							if iw < 0 || iw >= s.W {
+								continue
+							}
+							row[x] += kv * src[iw]
+						}
+					}
+				}
+			}
+		}
+	})
+	return out
+}
+
+// directCWH walks column-major CWH data; a deliberately cache-hostile
+// order on row-dominant kernels that the profiler should rank low.
+func directCWH(in *tensor.Tensor, k *Kernel, s Scenario, threads int) *tensor.Tensor {
+	checkLayout(in, tensor.CWH, "direct-cwh")
+	checkScenario(in, k, s)
+	oh, ow := s.OutH(), s.OutW()
+	out := tensor.New(tensor.CWH, s.M, oh, ow)
+	parallelFor(threads, s.M, func(m int) {
+		for c := 0; c < s.C; c++ {
+			for x := 0; x < ow; x++ {
+				for y := 0; y < oh; y++ {
+					var acc float32
+					hb, wb := y*s.Stride-s.Pad, x*s.Stride-s.Pad
+					for kw := 0; kw < s.K; kw++ {
+						for kh := 0; kh < s.K; kh++ {
+							acc += inputAt(in, c, hb+kh, wb+kw) * k.At(m, c, kh, kw)
+						}
+					}
+					out.Data[(m*ow+x)*oh+y] += acc
+				}
+			}
+		}
+	})
+	return out
+}
+
+// directWCH: width-outermost on WCH data.
+func directWCH(in *tensor.Tensor, k *Kernel, s Scenario, threads int) *tensor.Tensor {
+	checkLayout(in, tensor.WCH, "direct-wch")
+	checkScenario(in, k, s)
+	oh, ow := s.OutH(), s.OutW()
+	out := tensor.New(tensor.WCH, s.M, oh, ow)
+	parallelFor(threads, ow, func(x int) {
+		wb := x*s.Stride - s.Pad
+		for m := 0; m < s.M; m++ {
+			col := out.Data[(x*s.M+m)*oh : (x*s.M+m)*oh+oh]
+			for c := 0; c < s.C; c++ {
+				for y := 0; y < oh; y++ {
+					hb := y*s.Stride - s.Pad
+					var acc float32
+					for kh := 0; kh < s.K; kh++ {
+						for kw := 0; kw < s.K; kw++ {
+							acc += inputAt(in, c, hb+kh, wb+kw) * k.At(m, c, kh, kw)
+						}
+					}
+					col[y] += acc
+				}
+			}
+		}
+	})
+	return out
+}
+
+// directTiled tiles the output plane into tile×tile blocks (spatial
+// blocking for locality); returns a closure for the requested tile edge.
+func directTiled(tile int) func(*tensor.Tensor, *Kernel, Scenario, int) *tensor.Tensor {
+	return func(in *tensor.Tensor, k *Kernel, s Scenario, threads int) *tensor.Tensor {
+		checkLayout(in, tensor.CHW, "direct-tiled")
+		checkScenario(in, k, s)
+		oh, ow := s.OutH(), s.OutW()
+		out := tensor.New(tensor.CHW, s.M, oh, ow)
+		tilesY := (oh + tile - 1) / tile
+		tilesX := (ow + tile - 1) / tile
+		parallelFor(threads, tilesY*tilesX, func(t int) {
+			y0 := (t / tilesX) * tile
+			x0 := (t % tilesX) * tile
+			y1, x1 := min(y0+tile, oh), min(x0+tile, ow)
+			for m := 0; m < s.M; m++ {
+				for c := 0; c < s.C; c++ {
+					for y := y0; y < y1; y++ {
+						hb := y*s.Stride - s.Pad
+						for x := x0; x < x1; x++ {
+							wb := x*s.Stride - s.Pad
+							var acc float32
+							for kh := 0; kh < s.K; kh++ {
+								for kw := 0; kw < s.K; kw++ {
+									acc += inputAt(in, c, hb+kh, wb+kw) * k.At(m, c, kh, kw)
+								}
+							}
+							out.Data[(m*oh+y)*ow+x] += acc
+						}
+					}
+				}
+			}
+		})
+		return out
+	}
+}
+
+// directUnrollC returns an HWC variant whose channel accumulation is
+// blocked by vf lanes (the scalar analogue of a vf-wide SIMD dot
+// product).
+func directUnrollC(vf int) func(*tensor.Tensor, *Kernel, Scenario, int) *tensor.Tensor {
+	return func(in *tensor.Tensor, k *Kernel, s Scenario, threads int) *tensor.Tensor {
+		checkLayout(in, tensor.HWC, "direct-unrollc")
+		checkScenario(in, k, s)
+		oh, ow := s.OutH(), s.OutW()
+		out := tensor.New(tensor.HWC, s.M, oh, ow)
+		lanes := make([]float32, vf)
+		_ = lanes
+		parallelFor(threads, oh, func(y int) {
+			acc := make([]float32, vf)
+			for x := 0; x < ow; x++ {
+				hb, wb := y*s.Stride-s.Pad, x*s.Stride-s.Pad
+				for m := 0; m < s.M; m++ {
+					for i := range acc {
+						acc[i] = 0
+					}
+					var tail float32
+					for kh := 0; kh < s.K; kh++ {
+						ih := hb + kh
+						if ih < 0 || ih >= s.H {
+							continue
+						}
+						for kw := 0; kw < s.K; kw++ {
+							iw := wb + kw
+							if iw < 0 || iw >= s.W {
+								continue
+							}
+							px := in.Data[(ih*s.W+iw)*s.C : (ih*s.W+iw)*s.C+s.C]
+							kb := ((m*s.C)*s.K+kh)*s.K + kw
+							c := 0
+							for ; c+vf <= s.C; c += vf {
+								for l := 0; l < vf; l++ {
+									acc[l] += px[c+l] * k.Data[kb+(c+l)*s.K*s.K]
+								}
+							}
+							for ; c < s.C; c++ {
+								tail += px[c] * k.Data[kb+c*s.K*s.K]
+							}
+						}
+					}
+					sum := tail
+					for _, v := range acc {
+						sum += v
+					}
+					out.Data[(y*ow+x)*s.M+m] = sum
+				}
+			}
+		})
+		return out
+	}
+}
+
+// directUnrollW returns a CHW variant whose output-width loop is blocked
+// by vf (SIMD along the image row).
+func directUnrollW(vf int) func(*tensor.Tensor, *Kernel, Scenario, int) *tensor.Tensor {
+	return func(in *tensor.Tensor, k *Kernel, s Scenario, threads int) *tensor.Tensor {
+		checkLayout(in, tensor.CHW, "direct-unrollw")
+		checkScenario(in, k, s)
+		oh, ow := s.OutH(), s.OutW()
+		out := tensor.New(tensor.CHW, s.M, oh, ow)
+		parallelFor(threads, s.M, func(m int) {
+			acc := make([]float32, vf)
+			for c := 0; c < s.C; c++ {
+				for y := 0; y < oh; y++ {
+					hb := y*s.Stride - s.Pad
+					row := out.Data[(m*oh+y)*ow : (m*oh+y)*ow+ow]
+					x := 0
+					for ; x+vf <= ow; x += vf {
+						for l := range acc {
+							acc[l] = 0
+						}
+						for kh := 0; kh < s.K; kh++ {
+							ih := hb + kh
+							if ih < 0 || ih >= s.H {
+								continue
+							}
+							for kw := 0; kw < s.K; kw++ {
+								kv := k.At(m, c, kh, kw)
+								for l := 0; l < vf; l++ {
+									iw := (x+l)*s.Stride - s.Pad + kw
+									if iw >= 0 && iw < s.W {
+										acc[l] += kv * in.Data[(c*s.H+ih)*s.W+iw]
+									}
+								}
+							}
+						}
+						for l := 0; l < vf; l++ {
+							row[x+l] += acc[l]
+						}
+					}
+					for ; x < ow; x++ {
+						wb := x*s.Stride - s.Pad
+						var a float32
+						for kh := 0; kh < s.K; kh++ {
+							for kw := 0; kw < s.K; kw++ {
+								a += inputAt(in, c, hb+kh, wb+kw) * k.At(m, c, kh, kw)
+							}
+						}
+						row[x] += a
+					}
+				}
+			}
+		})
+		return out
+	}
+}
+
+// directBlocked returns a variant working natively on channel-blocked
+// CHWb data (vendor-style): the inner loop runs over the b channels of a
+// block, which sit contiguously.
+func directBlocked(layout tensor.Layout) func(*tensor.Tensor, *Kernel, Scenario, int) *tensor.Tensor {
+	b := layout.BlockSize()
+	return func(in *tensor.Tensor, k *Kernel, s Scenario, threads int) *tensor.Tensor {
+		checkLayout(in, layout, "direct-blocked")
+		checkScenario(in, k, s)
+		oh, ow := s.OutH(), s.OutW()
+		out := tensor.New(layout, s.M, oh, ow)
+		blocksC := (s.C + b - 1) / b
+		parallelFor(threads, s.M, func(m int) {
+			for cb := 0; cb < blocksC; cb++ {
+				cMax := min((cb+1)*b, s.C)
+				for y := 0; y < oh; y++ {
+					hb := y*s.Stride - s.Pad
+					for x := 0; x < ow; x++ {
+						wb := x*s.Stride - s.Pad
+						var acc float32
+						for kh := 0; kh < s.K; kh++ {
+							ih := hb + kh
+							if ih < 0 || ih >= s.H {
+								continue
+							}
+							for kw := 0; kw < s.K; kw++ {
+								iw := wb + kw
+								if iw < 0 || iw >= s.W {
+									continue
+								}
+								base := ((cb*s.H+ih)*s.W + iw) * b
+								for c := cb * b; c < cMax; c++ {
+									acc += in.Data[base+c-cb*b] * k.At(m, c, kh, kw)
+								}
+							}
+						}
+						out.Set(m, y, x, out.At(m, y, x)+acc)
+					}
+				}
+			}
+		})
+		return out
+	}
+}
+
+// directStrided is specialized for strided scenarios: the kernel tap
+// bounds are precomputed per output row so the inner loops are
+// branch-free.
+func directStrided(in *tensor.Tensor, k *Kernel, s Scenario, threads int) *tensor.Tensor {
+	checkLayout(in, tensor.CHW, "direct-strided")
+	checkScenario(in, k, s)
+	oh, ow := s.OutH(), s.OutW()
+	out := tensor.New(tensor.CHW, s.M, oh, ow)
+	parallelFor(threads, s.M, func(m int) {
+		for c := 0; c < s.C; c++ {
+			for y := 0; y < oh; y++ {
+				hb := y*s.Stride - s.Pad
+				kh0, kh1 := 0, s.K
+				if hb < 0 {
+					kh0 = -hb
+				}
+				if hb+s.K > s.H {
+					kh1 = s.H - hb
+				}
+				for x := 0; x < ow; x++ {
+					wb := x*s.Stride - s.Pad
+					kw0, kw1 := 0, s.K
+					if wb < 0 {
+						kw0 = -wb
+					}
+					if wb+s.K > s.W {
+						kw1 = s.W - wb
+					}
+					var acc float32
+					for kh := kh0; kh < kh1; kh++ {
+						src := in.Data[(c*s.H+hb+kh)*s.W : (c*s.H+hb+kh+1)*s.W]
+						kr := k.Data[((m*s.C+c)*s.K+kh)*s.K : ((m*s.C+c)*s.K+kh+1)*s.K]
+						for kw := kw0; kw < kw1; kw++ {
+							acc += src[wb+kw] * kr[kw]
+						}
+					}
+					out.Data[(m*oh+y)*ow+x] += acc
+				}
+			}
+		}
+	})
+	return out
+}
+
+// directKKMC puts the kernel taps outermost: each tap contributes a
+// shifted scaled copy of the input plane (a stencil-style schedule).
+func directKKMC(in *tensor.Tensor, k *Kernel, s Scenario, threads int) *tensor.Tensor {
+	checkLayout(in, tensor.CHW, "direct-kkmc")
+	checkScenario(in, k, s)
+	oh, ow := s.OutH(), s.OutW()
+	out := tensor.New(tensor.CHW, s.M, oh, ow)
+	parallelFor(threads, s.M, func(m int) {
+		for kh := 0; kh < s.K; kh++ {
+			for kw := 0; kw < s.K; kw++ {
+				for c := 0; c < s.C; c++ {
+					kv := k.At(m, c, kh, kw)
+					if kv == 0 {
+						continue
+					}
+					for y := 0; y < oh; y++ {
+						ih := y*s.Stride - s.Pad + kh
+						if ih < 0 || ih >= s.H {
+							continue
+						}
+						dst := out.Data[(m*oh+y)*ow : (m*oh+y)*ow+ow]
+						src := in.Data[(c*s.H+ih)*s.W : (c*s.H+ih)*s.W+s.W]
+						for x := 0; x < ow; x++ {
+							iw := x*s.Stride - s.Pad + kw
+							if iw >= 0 && iw < s.W {
+								dst[x] += kv * src[iw]
+							}
+						}
+					}
+				}
+			}
+		}
+	})
+	return out
+}
+
+// directPrimitives assembles the direct-loop family entries.
+func directPrimitives() []*Primitive {
+	noWS := func(Scenario) int64 { return 0 }
+	ps := []*Primitive{
+		{Name: "direct-mchw", Family: FamilyDirect, In: tensor.CHW, Out: tensor.CHW, VF: 1, Strided: true, Workspace: noWS, Run: directMCHW},
+		{Name: "direct-cmhw", Family: FamilyDirect, In: tensor.CHW, Out: tensor.CHW, VF: 1, Strided: true, Workspace: noWS, Run: directCMHW},
+		{Name: "direct-hwmc", Family: FamilyDirect, In: tensor.HWC, Out: tensor.HWC, VF: 1, Strided: true, Workspace: noWS, Run: directHWMC},
+		{Name: "direct-mhwc", Family: FamilyDirect, In: tensor.HWC, Out: tensor.HWC, VF: 1, Strided: true, Workspace: noWS, Run: directMHWC},
+		{Name: "direct-hcw", Family: FamilyDirect, In: tensor.HCW, Out: tensor.HCW, VF: 1, Strided: true, Workspace: noWS, Run: directHCW},
+		{Name: "direct-cwh", Family: FamilyDirect, In: tensor.CWH, Out: tensor.CWH, VF: 1, Strided: true, Workspace: noWS, Run: directCWH},
+		{Name: "direct-wch", Family: FamilyDirect, In: tensor.WCH, Out: tensor.WCH, VF: 1, Strided: true, Workspace: noWS, Run: directWCH},
+		{Name: "direct-strided", Family: FamilyDirect, In: tensor.CHW, Out: tensor.CHW, VF: 1, Strided: true, Workspace: noWS, Run: directStrided},
+		{Name: "direct-kkmc", Family: FamilyDirect, In: tensor.CHW, Out: tensor.CHW, VF: 1, Strided: true, Workspace: noWS, Run: directKKMC},
+	}
+	for _, tile := range []int{8, 16, 32} {
+		ps = append(ps, &Primitive{
+			Name: fmt.Sprintf("direct-tiled-%d", tile), Family: FamilyDirect,
+			In: tensor.CHW, Out: tensor.CHW, VF: 1, Strided: true,
+			Workspace: noWS, Run: directTiled(tile),
+		})
+	}
+	for _, vf := range []int{4, 8} {
+		ps = append(ps, &Primitive{
+			Name: fmt.Sprintf("direct-hwc-vf%d", vf), Family: FamilyDirect,
+			In: tensor.HWC, Out: tensor.HWC, VF: vf, Strided: true, MinC: vf,
+			Workspace: noWS, Run: directUnrollC(vf),
+		})
+		ps = append(ps, &Primitive{
+			Name: fmt.Sprintf("direct-chw-wvf%d", vf), Family: FamilyDirect,
+			In: tensor.CHW, Out: tensor.CHW, VF: vf, Strided: true,
+			Workspace: noWS, Run: directUnrollW(vf),
+		})
+	}
+	ps = append(ps,
+		&Primitive{Name: "direct-chw4", Family: FamilyDirect, In: tensor.CHW4, Out: tensor.CHW4,
+			VF: 4, Strided: true, MinC: 4, Workspace: noWS, Run: directBlocked(tensor.CHW4)},
+		&Primitive{Name: "direct-chw8", Family: FamilyDirect, In: tensor.CHW8, Out: tensor.CHW8,
+			VF: 8, Strided: true, MinC: 8, Workspace: noWS, Run: directBlocked(tensor.CHW8)},
+	)
+	return ps
+}

@@ -1,0 +1,150 @@
+package conv
+
+import (
+	"testing"
+
+	"pbqpdnn/internal/tensor"
+)
+
+// diracKernel returns a kernel whose only non-zero tap is the center of
+// plane (m=c), so a same-padded convolution is the identity on the
+// first min(C,M) channels.
+func diracKernel(m, c, k int) *Kernel {
+	kr := NewKernel(m, c, k)
+	for i := 0; i < m && i < c; i++ {
+		kr.Set(i, i, k/2, k/2, 1)
+	}
+	return kr
+}
+
+// TestDirectIdentityKernel: with a Dirac kernel every direct variant
+// must reproduce its input exactly — catches indexing bugs that random
+// comparisons can average away.
+func TestDirectIdentityKernel(t *testing.T) {
+	s := Scenario{C: 4, H: 9, W: 7, Stride: 1, K: 3, M: 4, Pad: 1}
+	k := diracKernel(4, 4, 3)
+	base := tensor.New(tensor.CHW, 4, 9, 7)
+	base.FillRandom(13)
+	for _, p := range directPrimitives() {
+		if !p.Supports(s) {
+			continue
+		}
+		in := tensor.Convert(base, p.In)
+		out := p.Run(in, k, s, 1)
+		if !tensor.AlmostEqual(out, base, 1e-6) {
+			t.Errorf("%s: Dirac kernel is not identity (diff %g)",
+				p.Name, tensor.MaxAbsDiff(out, base))
+		}
+	}
+}
+
+// TestDirectShiftKernel: a kernel with its tap at the top-left corner
+// shifts the image; verifies padding coordinates of every variant.
+func TestDirectShiftKernel(t *testing.T) {
+	s := Scenario{C: 1, H: 6, W: 6, Stride: 1, K: 3, M: 1, Pad: 1}
+	k := NewKernel(1, 1, 3)
+	k.Set(0, 0, 0, 0, 1) // top-left tap: out(y,x) = in(y-1, x-1)
+	base := tensor.New(tensor.CHW, 1, 6, 6)
+	base.FillRandom(3)
+	want := Reference(base, k, s)
+	// Spot-check the semantics itself once.
+	if want.At(0, 3, 3) != base.At(0, 2, 2) {
+		t.Fatal("reference shift semantics wrong")
+	}
+	if want.At(0, 0, 0) != 0 {
+		t.Fatal("reference padding semantics wrong")
+	}
+	for _, p := range directPrimitives() {
+		if !p.Supports(s) {
+			continue
+		}
+		out := p.Run(tensor.Convert(base, p.In), k, s, 1)
+		if !tensor.AlmostEqual(out, want, 1e-6) {
+			t.Errorf("%s: shifted output wrong", p.Name)
+		}
+	}
+}
+
+// TestDirectStride3 covers an odd stride that the shared scenario grid
+// does not.
+func TestDirectStride3(t *testing.T) {
+	s := Scenario{C: 2, H: 11, W: 11, Stride: 3, K: 3, M: 3, Pad: 1}
+	in := tensor.New(tensor.CHW, 2, 11, 11)
+	in.FillRandom(8)
+	k := NewKernel(3, 2, 3)
+	k.FillRandom(9)
+	want := Reference(in, k, s)
+	if want.H != 4 || want.W != 4 {
+		t.Fatalf("stride-3 output %dx%d, want 4x4", want.H, want.W)
+	}
+	for _, p := range directPrimitives() {
+		if !p.Supports(s) {
+			continue
+		}
+		out := p.Run(tensor.Convert(in, p.In), k, s, 2)
+		if d := tensor.MaxAbsDiff(out, want); d > tolFor(s) {
+			t.Errorf("%s: stride-3 diff %g", p.Name, d)
+		}
+	}
+}
+
+// TestDirectThreadCountInvariance: results must be bit-identical across
+// thread counts for the same variant (each output element is written by
+// exactly one goroutine with a deterministic accumulation order).
+func TestDirectThreadCountInvariance(t *testing.T) {
+	s := Scenario{C: 3, H: 10, W: 10, Stride: 1, K: 3, M: 5, Pad: 1}
+	in := tensor.New(tensor.CHW, 3, 10, 10)
+	in.FillRandom(21)
+	k := NewKernel(5, 3, 3)
+	k.FillRandom(22)
+	for _, p := range directPrimitives() {
+		if !p.Supports(s) {
+			continue
+		}
+		src := tensor.Convert(in, p.In)
+		ref := p.Run(src, k, s, 1)
+		for _, threads := range []int{2, 3, 8} {
+			out := p.Run(src, k, s, threads)
+			if !tensor.AlmostEqual(out, ref, 0) {
+				t.Errorf("%s: threads=%d changed the result", p.Name, threads)
+			}
+		}
+	}
+}
+
+// TestDirectRejectsWrongLayout: every variant must panic rather than
+// silently misread data in the wrong layout.
+func TestDirectRejectsWrongLayout(t *testing.T) {
+	s := Scenario{C: 2, H: 4, W: 4, Stride: 1, K: 1, M: 2}
+	k := NewKernel(2, 2, 1)
+	for _, p := range directPrimitives() {
+		wrong := tensor.CHW
+		if p.In == tensor.CHW {
+			wrong = tensor.HWC
+		}
+		in := tensor.New(wrong, 2, 4, 4)
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: accepted %s input (wants %s)", p.Name, wrong, p.In)
+				}
+			}()
+			p.Run(in, k, s, 1)
+		}()
+	}
+}
+
+func TestParallelForCoversRange(t *testing.T) {
+	for _, threads := range []int{0, 1, 2, 7, 64} {
+		const n = 23
+		hits := make([]int32, n)
+		parallelFor(threads, n, func(i int) { hits[i]++ })
+		for i, h := range hits {
+			if h != 1 {
+				t.Fatalf("threads=%d: index %d visited %d times", threads, i, h)
+			}
+		}
+	}
+	// Zero-size loops are fine.
+	parallelFor(4, 0, func(int) { t.Fatal("must not be called") })
+}

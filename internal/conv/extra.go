@@ -1,0 +1,132 @@
+package conv
+
+import (
+	"pbqpdnn/internal/gemm"
+	"pbqpdnn/internal/tensor"
+)
+
+// Two additional variants rounding out the library: a strip-mined
+// im2col that trades one huge Toeplitz matrix for per-strip panels
+// (bounding the im2 family's "large image" weakness), and a
+// register-blocked direct microkernel computing a 2×2 output patch per
+// inner iteration.
+
+// stripRows is the number of output rows materialized per im2col strip.
+const stripRows = 8
+
+// im2colStrip builds the patch matrix for strips of output rows and
+// GEMMs each strip directly into the output — the workspace is K²·C
+// columns for only stripRows·W_out pixels at a time.
+func im2colStrip(in *tensor.Tensor, k *Kernel, s Scenario, threads int) *tensor.Tensor {
+	checkLayout(in, tensor.CHW, "im2col-strip")
+	checkScenario(in, k, s)
+	oh, ow := s.OutH(), s.OutW()
+	out := tensor.New(tensor.CHW, s.M, oh, ow)
+	rows := s.C * s.K * s.K
+	a := kernelMatrixMCK(k)
+	nStrips := (oh + stripRows - 1) / stripRows
+	parallelFor(threads, nStrips, func(strip int) {
+		y0 := strip * stripRows
+		y1 := min(y0+stripRows, oh)
+		cols := (y1 - y0) * ow
+		patches := make([]float32, rows*cols)
+		for c := 0; c < s.C; c++ {
+			for kh := 0; kh < s.K; kh++ {
+				for kw := 0; kw < s.K; kw++ {
+					r := (c*s.K+kh)*s.K + kw
+					dst := patches[r*cols : r*cols+cols]
+					i := 0
+					for y := y0; y < y1; y++ {
+						ih := y*s.Stride - s.Pad + kh
+						for x := 0; x < ow; x++ {
+							iw := x*s.Stride - s.Pad + kw
+							if ih >= 0 && ih < s.H && iw >= 0 && iw < s.W {
+								dst[i] = in.Data[(c*s.H+ih)*s.W+iw]
+							}
+							i++
+						}
+					}
+				}
+			}
+		}
+		flat := make([]float32, s.M*cols)
+		gemm.IKJ(s.M, cols, rows, a, patches, flat)
+		for m := 0; m < s.M; m++ {
+			copy(out.Data[(m*oh+y0)*ow:(m*oh+y1)*ow], flat[m*cols:(m+1)*cols])
+		}
+	})
+	return out
+}
+
+// im2StripWorkspace is the strip-bounded Toeplitz footprint.
+func im2StripWorkspace(s Scenario) int64 {
+	rows := int64(s.C) * int64(s.K) * int64(s.K)
+	strip := int64(min(stripRows, s.OutH())) * int64(s.OutW())
+	return rows*strip*4 + int64(s.M)*strip*4
+}
+
+// directReg2x2 computes a 2×2 output patch per iteration with four
+// accumulators held in registers — the classic register-blocking
+// schedule. Odd extents fall back to single-pixel tails.
+func directReg2x2(in *tensor.Tensor, k *Kernel, s Scenario, threads int) *tensor.Tensor {
+	checkLayout(in, tensor.CHW, "direct-reg2x2")
+	checkScenario(in, k, s)
+	oh, ow := s.OutH(), s.OutW()
+	out := tensor.New(tensor.CHW, s.M, oh, ow)
+	pixel := func(m, c, y, x int) float32 {
+		hb, wb := y*s.Stride-s.Pad, x*s.Stride-s.Pad
+		var acc float32
+		for kh := 0; kh < s.K; kh++ {
+			for kw := 0; kw < s.K; kw++ {
+				acc += inputAt(in, c, hb+kh, wb+kw) * k.At(m, c, kh, kw)
+			}
+		}
+		return acc
+	}
+	parallelFor(threads, s.M, func(m int) {
+		for c := 0; c < s.C; c++ {
+			y := 0
+			for ; y+2 <= oh; y += 2 {
+				x := 0
+				for ; x+2 <= ow; x += 2 {
+					var a00, a01, a10, a11 float32
+					hb0, hb1 := y*s.Stride-s.Pad, (y+1)*s.Stride-s.Pad
+					wb0, wb1 := x*s.Stride-s.Pad, (x+1)*s.Stride-s.Pad
+					for kh := 0; kh < s.K; kh++ {
+						for kw := 0; kw < s.K; kw++ {
+							kv := k.At(m, c, kh, kw)
+							a00 += kv * inputAt(in, c, hb0+kh, wb0+kw)
+							a01 += kv * inputAt(in, c, hb0+kh, wb1+kw)
+							a10 += kv * inputAt(in, c, hb1+kh, wb0+kw)
+							a11 += kv * inputAt(in, c, hb1+kh, wb1+kw)
+						}
+					}
+					out.Data[(m*oh+y)*ow+x] += a00
+					out.Data[(m*oh+y)*ow+x+1] += a01
+					out.Data[(m*oh+y+1)*ow+x] += a10
+					out.Data[(m*oh+y+1)*ow+x+1] += a11
+				}
+				for ; x < ow; x++ {
+					out.Data[(m*oh+y)*ow+x] += pixel(m, c, y, x)
+					out.Data[(m*oh+y+1)*ow+x] += pixel(m, c, y+1, x)
+				}
+			}
+			for ; y < oh; y++ {
+				for x := 0; x < ow; x++ {
+					out.Data[(m*oh+y)*ow+x] += pixel(m, c, y, x)
+				}
+			}
+		}
+	})
+	return out
+}
+
+// extraPrimitives assembles the additional variants.
+func extraPrimitives() []*Primitive {
+	return []*Primitive{
+		{Name: "im2col-strip", Family: FamilyIm2, In: tensor.CHW, Out: tensor.CHW,
+			VF: 4, Strided: true, Workspace: im2StripWorkspace, Run: im2colStrip},
+		{Name: "direct-reg2x2", Family: FamilyDirect, In: tensor.CHW, Out: tensor.CHW,
+			VF: 1, Strided: true, Workspace: func(Scenario) int64 { return 0 }, Run: directReg2x2},
+	}
+}

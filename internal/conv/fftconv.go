@@ -1,0 +1,136 @@
+package conv
+
+import (
+	"pbqpdnn/internal/fft"
+	"pbqpdnn/internal/tensor"
+)
+
+// The fft family (paper §4): convolution via the convolution theorem,
+// computed as a sum of 1D FFT convolutions — less space than a 2D FFT at
+// the cost of more operations. Correlation is obtained by convolving
+// with the reversed kernel row. Only sometimes competitive (Table 1:
+// weak on small kernels) but occasionally a large win, which is exactly
+// why it belongs in the library.
+
+// reverseRow returns the reversed kernel row (m,c,kh).
+func reverseRow(k *Kernel, m, c, kh int) []float32 {
+	r := make([]float32, k.K)
+	for kw := 0; kw < k.K; kw++ {
+		r[k.K-1-kw] = k.At(m, c, kh, kw)
+	}
+	return r
+}
+
+// paddedRow extracts input row (c, ih) with s.Pad zeros on both sides;
+// rows outside the image are all-zero.
+func paddedRow(in *tensor.Tensor, s Scenario, c, ih int) []float32 {
+	row := make([]float32, s.W+2*s.Pad)
+	if ih < 0 || ih >= s.H {
+		return row
+	}
+	for w := 0; w < s.W; w++ {
+		row[s.Pad+w] = in.At(c, ih, w)
+	}
+	return row
+}
+
+// fft1dNaive recomputes every FFT on demand: one ConvolveReal per
+// (m, y, c, kh) quadruple.
+func fft1dNaive(in *tensor.Tensor, k *Kernel, s Scenario, threads int) *tensor.Tensor {
+	checkLayout(in, tensor.CHW, "fft1d-naive")
+	checkScenario(in, k, s)
+	oh, ow := s.OutH(), s.OutW()
+	out := tensor.New(tensor.CHW, s.M, oh, ow)
+	parallelFor(threads, s.M, func(m int) {
+		for y := 0; y < oh; y++ {
+			dst := out.Data[(m*oh+y)*ow : (m*oh+y)*ow+ow]
+			for c := 0; c < s.C; c++ {
+				for kh := 0; kh < s.K; kh++ {
+					row := paddedRow(in, s, c, y+kh-s.Pad)
+					conv := fft.ConvolveReal(row, reverseRow(k, m, c, kh))
+					for x := 0; x < ow; x++ {
+						dst[x] += conv[s.K-1+x]
+					}
+				}
+			}
+		}
+	})
+	return out
+}
+
+// fftPre holds the shared precomputation of the "-pre" variants: row
+// spectra of the input and kernel-row spectra, so each output row costs
+// one inverse FFT after frequency-domain accumulation.
+func fft1dPre(layout tensor.Layout) func(*tensor.Tensor, *Kernel, Scenario, int) *tensor.Tensor {
+	return func(in *tensor.Tensor, k *Kernel, s Scenario, threads int) *tensor.Tensor {
+		checkLayout(in, layout, "fft1d-pre")
+		checkScenario(in, k, s)
+		oh, ow := s.OutH(), s.OutW()
+		n := fft.NextPow2(s.W + 2*s.Pad + s.K - 1)
+		// Input row spectra: one per (c, h).
+		rowSpec := make([][]complex128, s.C*s.H)
+		parallelFor(threads, s.C, func(c int) {
+			for h := 0; h < s.H; h++ {
+				rowSpec[c*s.H+h] = fft.Forward(paddedRow(in, s, c, h), n)
+			}
+		})
+		// Kernel row spectra: one per (m, c, kh), reversed for correlation.
+		kSpec := make([][]complex128, s.M*s.C*s.K)
+		parallelFor(threads, s.M, func(m int) {
+			for c := 0; c < s.C; c++ {
+				for kh := 0; kh < s.K; kh++ {
+					kSpec[(m*s.C+c)*s.K+kh] = fft.Forward(reverseRow(k, m, c, kh), n)
+				}
+			}
+		})
+		out := tensor.New(layout, s.M, oh, ow)
+		parallelFor(threads, s.M, func(m int) {
+			acc := make([]complex128, n)
+			for y := 0; y < oh; y++ {
+				for i := range acc {
+					acc[i] = 0
+				}
+				for c := 0; c < s.C; c++ {
+					for kh := 0; kh < s.K; kh++ {
+						ih := y + kh - s.Pad
+						if ih < 0 || ih >= s.H {
+							continue
+						}
+						rs := rowSpec[c*s.H+ih]
+						ks := kSpec[(m*s.C+c)*s.K+kh]
+						for i := range acc {
+							acc[i] += rs[i] * ks[i]
+						}
+					}
+				}
+				fft.InPlace(acc, true)
+				for x := 0; x < ow; x++ {
+					out.Set(m, y, x, float32(real(acc[s.K-1+x])))
+				}
+				// Restore acc for reuse: re-zeroed at loop head. The inverse
+				// transform destroyed the accumulation buffer contents.
+			}
+		})
+		return out
+	}
+}
+
+// fftWorkspace models the spectra storage of the precomputing variants.
+func fftWorkspace(s Scenario) int64 {
+	n := int64(fft.NextPow2(s.W + 2*s.Pad + s.K - 1))
+	rows := int64(s.C)*int64(s.H) + int64(s.M)*int64(s.C)*int64(s.K)
+	return rows * n * 16
+}
+
+// fftPrimitives assembles the fft family. All stride-1 only.
+func fftPrimitives() []*Primitive {
+	small := func(s Scenario) int64 {
+		return int64(fft.NextPow2(s.W+2*s.Pad+s.K-1)) * 16 * 3
+	}
+	return []*Primitive{
+		{Name: "fft1d-naive", Family: FamilyFFT, In: tensor.CHW, Out: tensor.CHW, VF: 1, Workspace: small, Run: fft1dNaive},
+		{Name: "fft1d-pre", Family: FamilyFFT, In: tensor.CHW, Out: tensor.CHW, VF: 4, Workspace: fftWorkspace, Run: fft1dPre(tensor.CHW)},
+		{Name: "fft1d-pre-hcw", Family: FamilyFFT, In: tensor.HCW, Out: tensor.HCW, VF: 4, Workspace: fftWorkspace, Run: fft1dPre(tensor.HCW)},
+		{Name: "fft1d-pre-cwh", Family: FamilyFFT, In: tensor.CWH, Out: tensor.CWH, VF: 4, Workspace: fftWorkspace, Run: fft1dPre(tensor.CWH)},
+	}
+}

@@ -1,0 +1,286 @@
+package conv
+
+import (
+	"pbqpdnn/internal/gemm"
+	"pbqpdnn/internal/tensor"
+)
+
+// The im2 family (paper §4): restructure the input image into a Toeplitz
+// matrix (im2col: patches as columns; im2row: patches as rows) and
+// perform the whole convolution as one GEMM call. Fast and
+// stride-capable, but the patch matrix is K² times the input — the
+// family's "large image" weakness in Table 1.
+
+// im2colPatches builds the (C·K²)×(Ho·Wo) patch matrix from CHW input.
+func im2colPatches(in *tensor.Tensor, s Scenario) []float32 {
+	oh, ow := s.OutH(), s.OutW()
+	cols := oh * ow
+	rows := s.C * s.K * s.K
+	p := make([]float32, rows*cols)
+	for c := 0; c < s.C; c++ {
+		for kh := 0; kh < s.K; kh++ {
+			for kw := 0; kw < s.K; kw++ {
+				r := (c*s.K+kh)*s.K + kw
+				dst := p[r*cols : r*cols+cols]
+				i := 0
+				for y := 0; y < oh; y++ {
+					ih := y*s.Stride - s.Pad + kh
+					for x := 0; x < ow; x++ {
+						iw := x*s.Stride - s.Pad + kw
+						if ih >= 0 && ih < s.H && iw >= 0 && iw < s.W {
+							dst[i] = in.Data[(c*s.H+ih)*s.W+iw]
+						}
+						i++
+					}
+				}
+			}
+		}
+	}
+	return p
+}
+
+// im2rowPatches builds the (Ho·Wo)×(C·K²) patch matrix from HWC input,
+// with the channel dimension innermost to match the layout.
+func im2rowPatches(in *tensor.Tensor, s Scenario) []float32 {
+	oh, ow := s.OutH(), s.OutW()
+	rows := oh * ow
+	cols := s.K * s.K * s.C
+	p := make([]float32, rows*cols)
+	for y := 0; y < oh; y++ {
+		for x := 0; x < ow; x++ {
+			r := y*ow + x
+			dst := p[r*cols : r*cols+cols]
+			i := 0
+			for kh := 0; kh < s.K; kh++ {
+				ih := y*s.Stride - s.Pad + kh
+				for kw := 0; kw < s.K; kw++ {
+					iw := x*s.Stride - s.Pad + kw
+					if ih >= 0 && ih < s.H && iw >= 0 && iw < s.W {
+						copy(dst[i:i+s.C], in.Data[(ih*s.W+iw)*s.C:(ih*s.W+iw)*s.C+s.C])
+					}
+					i += s.C
+				}
+			}
+		}
+	}
+	return p
+}
+
+// kernelMatrixMCK reshapes the kernel to M×(C·K²) rows (matches im2col
+// patch rows).
+func kernelMatrixMCK(k *Kernel) []float32 { return k.Data } // MCKK is already M×(C·K²) row-major
+
+// kernelMatrixKKC builds the (K·K·C)×M matrix whose row order matches
+// im2row patch columns (kh, kw, c) with output channels across.
+func kernelMatrixKKC(k *Kernel) []float32 {
+	rows := k.K * k.K * k.C
+	out := make([]float32, rows*k.M)
+	for m := 0; m < k.M; m++ {
+		for c := 0; c < k.C; c++ {
+			for kh := 0; kh < k.K; kh++ {
+				for kw := 0; kw < k.K; kw++ {
+					r := (kh*k.K+kw)*k.C + c
+					out[r*k.M+m] = k.At(m, c, kh, kw)
+				}
+			}
+		}
+	}
+	return out
+}
+
+type gemmKind uint8
+
+const (
+	gemmIKJ gemmKind = iota
+	gemmBlocked
+	gemmTransB
+	gemmNaive
+)
+
+// im2col returns an im2col primitive Run using the requested GEMM
+// kernel. Output is CHW (M×Ho·Wo result rows are output maps).
+func im2col(kind gemmKind) func(*tensor.Tensor, *Kernel, Scenario, int) *tensor.Tensor {
+	return func(in *tensor.Tensor, k *Kernel, s Scenario, threads int) *tensor.Tensor {
+		checkLayout(in, tensor.CHW, "im2col")
+		checkScenario(in, k, s)
+		oh, ow := s.OutH(), s.OutW()
+		patches := im2colPatches(in, s)
+		out := tensor.New(tensor.CHW, s.M, oh, ow)
+		m, n, kk := s.M, oh*ow, s.C*s.K*s.K
+		a := kernelMatrixMCK(k)
+		switch kind {
+		case gemmNaive:
+			gemm.Naive(m, n, kk, a, patches, out.Data)
+		case gemmBlocked:
+			gemm.Blocked(m, n, kk, 0, a, patches, out.Data)
+		case gemmTransB:
+			// Patches transposed: build n×kk panel and use the BT kernel.
+			pt := transposeMat(kk, n, patches)
+			gemm.TransB(m, n, kk, a, pt, out.Data)
+		default:
+			if threads > 1 {
+				gemm.Parallel(threads, m, n, kk, a, patches, out.Data)
+			} else {
+				gemm.IKJ(m, n, kk, a, patches, out.Data)
+			}
+		}
+		return out
+	}
+}
+
+// im2row returns an im2row primitive Run: patches×kernelᵀ, producing HWC
+// output directly (the paper's Figure 4 first-layer choice).
+func im2row(kind gemmKind) func(*tensor.Tensor, *Kernel, Scenario, int) *tensor.Tensor {
+	return func(in *tensor.Tensor, k *Kernel, s Scenario, threads int) *tensor.Tensor {
+		checkLayout(in, tensor.HWC, "im2row")
+		checkScenario(in, k, s)
+		oh, ow := s.OutH(), s.OutW()
+		patches := im2rowPatches(in, s)
+		out := tensor.New(tensor.HWC, s.M, oh, ow)
+		m, n, kk := oh*ow, s.M, s.K*s.K*s.C
+		b := kernelMatrixKKC(k)
+		switch kind {
+		case gemmNaive:
+			gemm.Naive(m, n, kk, patches, b, out.Data)
+		case gemmBlocked:
+			gemm.Blocked(m, n, kk, 0, patches, b, out.Data)
+		case gemmTransB:
+			bt := transposeMat(kk, n, b)
+			gemm.TransB(m, n, kk, patches, bt, out.Data)
+		default:
+			if threads > 1 {
+				gemm.Parallel(threads, m, n, kk, patches, b, out.Data)
+			} else {
+				gemm.IKJ(m, n, kk, patches, b, out.Data)
+			}
+		}
+		return out
+	}
+}
+
+// im2colHWCOut is im2col with a fused transposing writeback producing
+// HWC output from the CHW-natural GEMM result.
+func im2colHWCOut(in *tensor.Tensor, k *Kernel, s Scenario, threads int) *tensor.Tensor {
+	checkLayout(in, tensor.CHW, "im2col-hwcout")
+	checkScenario(in, k, s)
+	oh, ow := s.OutH(), s.OutW()
+	patches := im2colPatches(in, s)
+	m, n, kk := s.M, oh*ow, s.C*s.K*s.K
+	flat := make([]float32, m*n)
+	if threads > 1 {
+		gemm.Parallel(threads, m, n, kk, kernelMatrixMCK(k), patches, flat)
+	} else {
+		gemm.IKJ(m, n, kk, kernelMatrixMCK(k), patches, flat)
+	}
+	out := tensor.New(tensor.HWC, s.M, oh, ow)
+	for mm := 0; mm < m; mm++ {
+		for p := 0; p < n; p++ {
+			out.Data[p*s.M+mm] = flat[mm*n+p]
+		}
+	}
+	return out
+}
+
+// im2colBlockedIn consumes CHW4 input (unpacking blocks while building
+// patches) and emits CHW4 output — the vendor-layout im2 variant.
+func im2colBlockedIn(in *tensor.Tensor, k *Kernel, s Scenario, threads int) *tensor.Tensor {
+	checkLayout(in, tensor.CHW4, "im2col-chw4")
+	checkScenario(in, k, s)
+	oh, ow := s.OutH(), s.OutW()
+	cols := oh * ow
+	rows := s.C * s.K * s.K
+	patches := make([]float32, rows*cols)
+	for c := 0; c < s.C; c++ {
+		for kh := 0; kh < s.K; kh++ {
+			for kw := 0; kw < s.K; kw++ {
+				r := (c*s.K+kh)*s.K + kw
+				dst := patches[r*cols : r*cols+cols]
+				i := 0
+				for y := 0; y < oh; y++ {
+					ih := y*s.Stride - s.Pad + kh
+					for x := 0; x < ow; x++ {
+						iw := x*s.Stride - s.Pad + kw
+						if ih >= 0 && ih < s.H && iw >= 0 && iw < s.W {
+							dst[i] = in.At(c, ih, iw)
+						}
+						i++
+					}
+				}
+			}
+		}
+	}
+	m, n, kk := s.M, cols, rows
+	flat := make([]float32, m*n)
+	if threads > 1 {
+		gemm.Parallel(threads, m, n, kk, kernelMatrixMCK(k), patches, flat)
+	} else {
+		gemm.Blocked(m, n, kk, 0, kernelMatrixMCK(k), patches, flat)
+	}
+	out := tensor.New(tensor.CHW4, s.M, oh, ow)
+	for mm := 0; mm < m; mm++ {
+		for y := 0; y < oh; y++ {
+			for x := 0; x < ow; x++ {
+				out.Set(mm, y, x, flat[(mm*oh+y)*ow+x])
+			}
+		}
+	}
+	return out
+}
+
+// im2rowCHWOut is im2row with a transposing writeback producing CHW
+// output from the HWC-natural GEMM result.
+func im2rowCHWOut(in *tensor.Tensor, k *Kernel, s Scenario, threads int) *tensor.Tensor {
+	checkLayout(in, tensor.HWC, "im2row-chwout")
+	checkScenario(in, k, s)
+	oh, ow := s.OutH(), s.OutW()
+	patches := im2rowPatches(in, s)
+	m, n, kk := oh*ow, s.M, s.K*s.K*s.C
+	flat := make([]float32, m*n)
+	if threads > 1 {
+		gemm.Parallel(threads, m, n, kk, patches, kernelMatrixKKC(k), flat)
+	} else {
+		gemm.IKJ(m, n, kk, patches, kernelMatrixKKC(k), flat)
+	}
+	out := tensor.New(tensor.CHW, s.M, oh, ow)
+	for p := 0; p < m; p++ {
+		for mm := 0; mm < n; mm++ {
+			out.Data[mm*m+p] = flat[p*n+mm]
+		}
+	}
+	return out
+}
+
+func transposeMat(rows, cols int, a []float32) []float32 {
+	t := make([]float32, len(a))
+	for i := 0; i < rows; i++ {
+		for j := 0; j < cols; j++ {
+			t[j*rows+i] = a[i*cols+j]
+		}
+	}
+	return t
+}
+
+// im2Workspace models the Toeplitz matrix footprint.
+func im2Workspace(s Scenario) int64 {
+	return int64(s.C) * int64(s.K) * int64(s.K) * int64(s.OutH()) * int64(s.OutW()) * 4
+}
+
+// im2Primitives assembles the im2 family entries. Names follow the
+// paper's Figure 4 labels: "A B I K" multiplies kernel panel A by patch
+// panel B; the "BT" variants hand the second panel to GEMM transposed.
+func im2Primitives() []*Primitive {
+	ws := im2Workspace
+	return []*Primitive{
+		{Name: "im2col-ab", Family: FamilyIm2, In: tensor.CHW, Out: tensor.CHW, VF: 4, Strided: true, Workspace: ws, Run: im2col(gemmIKJ)},
+		{Name: "im2col-abt", Family: FamilyIm2, In: tensor.CHW, Out: tensor.CHW, VF: 4, Strided: true, Workspace: ws, Run: im2col(gemmTransB)},
+		{Name: "im2col-blk", Family: FamilyIm2, In: tensor.CHW, Out: tensor.CHW, VF: 8, Strided: true, Workspace: ws, Run: im2col(gemmBlocked)},
+		{Name: "im2col-naive", Family: FamilyIm2, In: tensor.CHW, Out: tensor.CHW, VF: 1, Strided: true, Workspace: ws, Run: im2col(gemmNaive)},
+		{Name: "im2row-ab", Family: FamilyIm2, In: tensor.HWC, Out: tensor.HWC, VF: 4, Strided: true, Workspace: ws, Run: im2row(gemmIKJ)},
+		{Name: "im2row-abt", Family: FamilyIm2, In: tensor.HWC, Out: tensor.HWC, VF: 4, Strided: true, Workspace: ws, Run: im2row(gemmTransB)},
+		{Name: "im2row-blk", Family: FamilyIm2, In: tensor.HWC, Out: tensor.HWC, VF: 8, Strided: true, Workspace: ws, Run: im2row(gemmBlocked)},
+		{Name: "im2row-naive", Family: FamilyIm2, In: tensor.HWC, Out: tensor.HWC, VF: 1, Strided: true, Workspace: ws, Run: im2row(gemmNaive)},
+		{Name: "im2col-hwcout", Family: FamilyIm2, In: tensor.CHW, Out: tensor.HWC, VF: 4, Strided: true, Workspace: ws, Run: im2colHWCOut},
+		{Name: "im2row-chwout", Family: FamilyIm2, In: tensor.HWC, Out: tensor.CHW, VF: 4, Strided: true, Workspace: ws, Run: im2rowCHWOut},
+		{Name: "im2col-chw4", Family: FamilyIm2, In: tensor.CHW4, Out: tensor.CHW4, VF: 4, Strided: true, MinC: 4, Workspace: ws, Run: im2colBlockedIn},
+	}
+}

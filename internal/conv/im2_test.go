@@ -1,0 +1,122 @@
+package conv
+
+import (
+	"testing"
+
+	"pbqpdnn/internal/tensor"
+)
+
+// TestIm2colPatchMatrix checks the Toeplitz construction directly:
+// patch rows are ordered (c, kh, kw) and columns enumerate output
+// pixels row-major, with zero padding materialized.
+func TestIm2colPatchMatrix(t *testing.T) {
+	s := Scenario{C: 2, H: 3, W: 3, Stride: 1, K: 3, M: 1, Pad: 1}
+	in := tensor.New(tensor.CHW, 2, 3, 3)
+	v := float32(1)
+	for c := 0; c < 2; c++ {
+		for h := 0; h < 3; h++ {
+			for w := 0; w < 3; w++ {
+				in.Set(c, h, w, v)
+				v++
+			}
+		}
+	}
+	p := im2colPatches(in, s)
+	cols := 9 // 3×3 output
+	rows := 2 * 9
+	if len(p) != rows*cols {
+		t.Fatalf("patch matrix %d elements, want %d", len(p), rows*cols)
+	}
+	// Row (c=0,kh=1,kw=1) is the center tap: equals the image itself.
+	r := (0*3+1)*3 + 1
+	for i := 0; i < cols; i++ {
+		want := in.Data[i]
+		if p[r*cols+i] != want {
+			t.Errorf("center-tap row[%d] = %v, want %v", i, p[r*cols+i], want)
+		}
+	}
+	// Row (c=0,kh=0,kw=0): top-left tap — first output pixel reads the
+	// padded corner, so it must be zero.
+	r = 0
+	if p[r*cols+0] != 0 {
+		t.Errorf("padded corner should be 0, got %v", p[r*cols])
+	}
+	// Output pixel (1,1) under tap (0,0) reads in(0,0)=1.
+	if p[r*cols+4] != 1 {
+		t.Errorf("tap(0,0) at out(1,1) = %v, want 1", p[r*cols+4])
+	}
+}
+
+// TestIm2rowPatchMatrix checks the channels-inner row layout: each
+// patch row enumerates (kh, kw, c).
+func TestIm2rowPatchMatrix(t *testing.T) {
+	s := Scenario{C: 3, H: 2, W: 2, Stride: 1, K: 1, M: 1, Pad: 0}
+	in := tensor.New(tensor.HWC, 3, 2, 2)
+	in.FillRandom(4)
+	p := im2rowPatches(in, s)
+	// K=1: the patch matrix is exactly the HWC image.
+	if len(p) != len(in.Data) {
+		t.Fatalf("K=1 patch matrix %d elements, want %d", len(p), len(in.Data))
+	}
+	for i := range p {
+		if p[i] != in.Data[i] {
+			t.Fatalf("K=1 im2row should be the identity copy (index %d)", i)
+		}
+	}
+}
+
+// TestKernelMatrixKKC checks the kernel reshape against direct
+// indexing.
+func TestKernelMatrixKKC(t *testing.T) {
+	k := NewKernel(3, 2, 2)
+	k.FillRandom(5)
+	m := kernelMatrixKKC(k)
+	for mm := 0; mm < 3; mm++ {
+		for c := 0; c < 2; c++ {
+			for kh := 0; kh < 2; kh++ {
+				for kw := 0; kw < 2; kw++ {
+					r := (kh*2+kw)*2 + c
+					if m[r*3+mm] != k.At(mm, c, kh, kw) {
+						t.Fatalf("KKC reshape wrong at m=%d c=%d kh=%d kw=%d", mm, c, kh, kw)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestIm2FamilyOnPointwise: K=1 convolutions are plain GEMMs; all im2
+// variants must agree with the reference on them (a common special
+// case in GoogleNet).
+func TestIm2FamilyOnPointwise(t *testing.T) {
+	s := Scenario{C: 16, H: 7, W: 7, Stride: 1, K: 1, M: 8, Pad: 0}
+	in := tensor.New(tensor.CHW, 16, 7, 7)
+	in.FillRandom(6)
+	k := NewKernel(8, 16, 1)
+	k.FillRandom(7)
+	want := Reference(in, k, s)
+	for _, p := range im2Primitives() {
+		if !p.Supports(s) {
+			continue
+		}
+		out := p.Run(tensor.Convert(in, p.In), k, s, 1)
+		if d := tensor.MaxAbsDiff(out, want); d > tolFor(s) {
+			t.Errorf("%s: pointwise diff %g", p.Name, d)
+		}
+	}
+}
+
+// TestIm2WorkspaceGrowsWithImage pins the Table 1 "large image" bad
+// case: workspace scales with H·W and K².
+func TestIm2WorkspaceGrowsWithImage(t *testing.T) {
+	small := Scenario{C: 8, H: 14, W: 14, Stride: 1, K: 3, M: 8, Pad: 1}
+	large := Scenario{C: 8, H: 112, W: 112, Stride: 1, K: 3, M: 8, Pad: 1}
+	if im2Workspace(large) != im2Workspace(small)*64 {
+		t.Errorf("workspace should scale with H·W: %d vs %d", im2Workspace(large), im2Workspace(small))
+	}
+	k5 := small
+	k5.K = 5
+	if im2Workspace(k5) <= im2Workspace(small) {
+		t.Error("workspace should grow with K²")
+	}
+}

@@ -1,0 +1,237 @@
+package conv
+
+import (
+	"pbqpdnn/internal/gemm"
+	"pbqpdnn/internal/tensor"
+)
+
+// The kn2 family (Vasudevan et al., paper §4): low-memory GEMM-based
+// convolution. Instead of a K²-times-larger Toeplitz matrix, it runs K²
+// small GEMMs — one per kernel tap — and accumulates each partial result
+// into the output at the tap's spatial offset. Needs only one
+// M×H×W scratch buffer, but cannot implement strided convolution
+// efficiently (Table 1's "strided: --").
+
+// kernelSlice extracts the M×C matrix of tap (kh,kw).
+func kernelSlice(k *Kernel, kh, kw int) []float32 {
+	a := make([]float32, k.M*k.C)
+	for m := 0; m < k.M; m++ {
+		for c := 0; c < k.C; c++ {
+			a[m*k.C+c] = k.At(m, c, kh, kw)
+		}
+	}
+	return a
+}
+
+// shiftAccumulate adds the full-plane partial product (M×H×W, CHW
+// order) into the output with spatial offset (dy,dx).
+func shiftAccumulate(out *tensor.Tensor, partial []float32, s Scenario, dy, dx int) {
+	oh, ow := s.OutH(), s.OutW()
+	for m := 0; m < s.M; m++ {
+		for y := 0; y < oh; y++ {
+			sy := y + dy
+			if sy < 0 || sy >= s.H {
+				continue
+			}
+			dst := out.Data[(m*oh+y)*ow : (m*oh+y)*ow+ow]
+			src := partial[(m*s.H+sy)*s.W : (m*s.H+sy)*s.W+s.W]
+			for x := 0; x < ow; x++ {
+				sx := x + dx
+				if sx < 0 || sx >= s.W {
+					continue
+				}
+				dst[x] += src[sx]
+			}
+		}
+	}
+}
+
+type kn2Kind uint8
+
+const (
+	kn2IKJ kn2Kind = iota
+	kn2TransB
+	kn2Blocked
+)
+
+// kn2row runs one GEMM per tap on CHW data: kernel slice (M×C) times
+// image matrix (C×H·W), then shift-accumulates.
+func kn2row(kind kn2Kind) func(*tensor.Tensor, *Kernel, Scenario, int) *tensor.Tensor {
+	return func(in *tensor.Tensor, k *Kernel, s Scenario, threads int) *tensor.Tensor {
+		checkLayout(in, tensor.CHW, "kn2row")
+		checkScenario(in, k, s)
+		oh, ow := s.OutH(), s.OutW()
+		out := tensor.New(tensor.CHW, s.M, oh, ow)
+		hw := s.H * s.W
+		partial := make([]float32, s.M*hw)
+		var imgT []float32
+		if kind == kn2TransB {
+			imgT = transposeMat(s.C, hw, in.Data)
+		}
+		for kh := 0; kh < s.K; kh++ {
+			for kw := 0; kw < s.K; kw++ {
+				a := kernelSlice(k, kh, kw)
+				switch kind {
+				case kn2TransB:
+					gemm.TransB(s.M, hw, s.C, a, imgT, partial)
+				case kn2Blocked:
+					gemm.Blocked(s.M, hw, s.C, 0, a, in.Data, partial)
+				default:
+					if threads > 1 {
+						gemm.Parallel(threads, s.M, hw, s.C, a, in.Data, partial)
+					} else {
+						gemm.IKJ(s.M, hw, s.C, a, in.Data, partial)
+					}
+				}
+				shiftAccumulate(out, partial, s, kh-s.Pad, kw-s.Pad)
+			}
+		}
+		return out
+	}
+}
+
+// kn2col is the HWC-side dual: image matrix (H·W×C) times kernel slice
+// (C×M) producing an H·W×M partial in HWC order.
+func kn2col(trans bool) func(*tensor.Tensor, *Kernel, Scenario, int) *tensor.Tensor {
+	return func(in *tensor.Tensor, k *Kernel, s Scenario, threads int) *tensor.Tensor {
+		checkLayout(in, tensor.HWC, "kn2col")
+		checkScenario(in, k, s)
+		oh, ow := s.OutH(), s.OutW()
+		out := tensor.New(tensor.HWC, s.M, oh, ow)
+		hw := s.H * s.W
+		partial := make([]float32, hw*s.M)
+		for kh := 0; kh < s.K; kh++ {
+			for kw := 0; kw < s.K; kw++ {
+				// C×M slice, transposed from the M×C extraction.
+				a := kernelSlice(k, kh, kw)
+				b := transposeMat(s.M, s.C, a) // C×M
+				if trans {
+					bt := transposeMat(s.C, s.M, b) // back to M-major rows of length C
+					gemm.TransB(hw, s.M, s.C, in.Data, bt, partial)
+				} else if threads > 1 {
+					gemm.Parallel(threads, hw, s.M, s.C, in.Data, b, partial)
+				} else {
+					gemm.IKJ(hw, s.M, s.C, in.Data, b, partial)
+				}
+				dy, dx := kh-s.Pad, kw-s.Pad
+				for y := 0; y < oh; y++ {
+					sy := y + dy
+					if sy < 0 || sy >= s.H {
+						continue
+					}
+					for x := 0; x < ow; x++ {
+						sx := x + dx
+						if sx < 0 || sx >= s.W {
+							continue
+						}
+						dst := out.Data[(y*ow+x)*s.M : (y*ow+x)*s.M+s.M]
+						src := partial[(sy*s.W+sx)*s.M : (sy*s.W+sx)*s.M+s.M]
+						for m := range dst {
+							dst[m] += src[m]
+						}
+					}
+				}
+			}
+		}
+		return out
+	}
+}
+
+// kn2Fused never materializes the full partial plane: the accumulating
+// GEMM writes straight into the (boundary-trimmed) output region for
+// each tap, trading GEMM regularity for zero workspace.
+func kn2Fused(in *tensor.Tensor, k *Kernel, s Scenario, threads int) *tensor.Tensor {
+	checkLayout(in, tensor.CHW, "kn2-fused")
+	checkScenario(in, k, s)
+	oh, ow := s.OutH(), s.OutW()
+	out := tensor.New(tensor.CHW, s.M, oh, ow)
+	parallelFor(threads, s.M, func(m int) {
+		for kh := 0; kh < s.K; kh++ {
+			for kw := 0; kw < s.K; kw++ {
+				dy, dx := kh-s.Pad, kw-s.Pad
+				for c := 0; c < s.C; c++ {
+					kv := k.At(m, c, kh, kw)
+					if kv == 0 {
+						continue
+					}
+					for y := 0; y < oh; y++ {
+						sy := y + dy
+						if sy < 0 || sy >= s.H {
+							continue
+						}
+						dst := out.Data[(m*oh+y)*ow : (m*oh+y)*ow+ow]
+						src := in.Data[(c*s.H+sy)*s.W : (c*s.H+sy)*s.W+s.W]
+						x0 := 0
+						if dx < 0 {
+							x0 = -dx
+						}
+						x1 := ow
+						if dx+ow > s.W {
+							x1 = s.W - dx
+						}
+						for x := x0; x < x1; x++ {
+							dst[x] += kv * src[x+dx]
+						}
+					}
+				}
+			}
+		}
+	})
+	return out
+}
+
+// kn2rowPar partitions output maps across workers, each with a private
+// single-map partial buffer — the multithread-oriented kn2 schedule.
+func kn2rowPar(in *tensor.Tensor, k *Kernel, s Scenario, threads int) *tensor.Tensor {
+	checkLayout(in, tensor.CHW, "kn2row-par")
+	checkScenario(in, k, s)
+	oh, ow := s.OutH(), s.OutW()
+	out := tensor.New(tensor.CHW, s.M, oh, ow)
+	hw := s.H * s.W
+	parallelFor(threads, s.M, func(m int) {
+		partial := make([]float32, hw)
+		a := make([]float32, s.C)
+		for kh := 0; kh < s.K; kh++ {
+			for kw := 0; kw < s.K; kw++ {
+				for c := 0; c < s.C; c++ {
+					a[c] = k.At(m, c, kh, kw)
+				}
+				gemm.IKJ(1, hw, s.C, a, in.Data, partial)
+				dy, dx := kh-s.Pad, kw-s.Pad
+				for y := 0; y < oh; y++ {
+					sy := y + dy
+					if sy < 0 || sy >= s.H {
+						continue
+					}
+					dst := out.Data[(m*oh+y)*ow : (m*oh+y)*ow+ow]
+					src := partial[sy*s.W : sy*s.W+s.W]
+					for x := 0; x < ow; x++ {
+						sx := x + dx
+						if sx >= 0 && sx < s.W {
+							dst[x] += src[sx]
+						}
+					}
+				}
+			}
+		}
+	})
+	return out
+}
+
+// kn2Workspace models the single M×H×W partial buffer.
+func kn2Workspace(s Scenario) int64 { return int64(s.M) * int64(s.H) * int64(s.W) * 4 }
+
+// kn2Primitives assembles the kn2 family. None support stride > 1.
+func kn2Primitives() []*Primitive {
+	ws := kn2Workspace
+	zero := func(Scenario) int64 { return 0 }
+	return []*Primitive{
+		{Name: "kn2row-ab", Family: FamilyKn2, In: tensor.CHW, Out: tensor.CHW, VF: 4, Workspace: ws, Run: kn2row(kn2IKJ)},
+		{Name: "kn2row-abt", Family: FamilyKn2, In: tensor.CHW, Out: tensor.CHW, VF: 4, Workspace: ws, Run: kn2row(kn2TransB)},
+		{Name: "kn2row-blk", Family: FamilyKn2, In: tensor.CHW, Out: tensor.CHW, VF: 8, Workspace: ws, Run: kn2row(kn2Blocked)},
+		{Name: "kn2row-par", Family: FamilyKn2, In: tensor.CHW, Out: tensor.CHW, VF: 8, Workspace: ws, Run: kn2rowPar},
+		{Name: "kn2col-ab", Family: FamilyKn2, In: tensor.HWC, Out: tensor.HWC, VF: 4, Workspace: ws, Run: kn2col(false)},
+		{Name: "kn2col-abt", Family: FamilyKn2, In: tensor.HWC, Out: tensor.HWC, VF: 4, Workspace: ws, Run: kn2col(true)},
+		{Name: "kn2-fused", Family: FamilyKn2, In: tensor.CHW, Out: tensor.CHW, VF: 1, Workspace: zero, Run: kn2Fused},
+	}
+}

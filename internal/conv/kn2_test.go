@@ -1,0 +1,118 @@
+package conv
+
+import (
+	"testing"
+
+	"pbqpdnn/internal/tensor"
+)
+
+func TestKernelSlice(t *testing.T) {
+	k := NewKernel(2, 3, 3)
+	k.FillRandom(1)
+	a := kernelSlice(k, 1, 2)
+	for m := 0; m < 2; m++ {
+		for c := 0; c < 3; c++ {
+			if a[m*3+c] != k.At(m, c, 1, 2) {
+				t.Fatalf("slice wrong at m=%d c=%d", m, c)
+			}
+		}
+	}
+}
+
+// TestShiftAccumulateCenter: the center tap accumulates the partial
+// plane unshifted.
+func TestShiftAccumulateCenter(t *testing.T) {
+	s := Scenario{C: 1, H: 4, W: 4, Stride: 1, K: 3, M: 1, Pad: 1}
+	out := tensor.New(tensor.CHW, 1, 4, 4)
+	partial := make([]float32, 16)
+	for i := range partial {
+		partial[i] = float32(i)
+	}
+	shiftAccumulate(out, partial, s, 0, 0)
+	for i := range out.Data {
+		if out.Data[i] != partial[i] {
+			t.Fatalf("center shift should be identity at %d", i)
+		}
+	}
+}
+
+// TestShiftAccumulateEdges: a (+1,+1) shift drops the last row/column
+// of the partial and leaves the last output row/column untouched... the
+// shift reads partial at (y+1, x+1), so output (3,·) reads partial row 4
+// — out of range — and stays zero.
+func TestShiftAccumulateEdges(t *testing.T) {
+	s := Scenario{C: 1, H: 3, W: 3, Stride: 1, K: 3, M: 1, Pad: 1}
+	out := tensor.New(tensor.CHW, 1, 3, 3)
+	partial := []float32{1, 2, 3, 4, 5, 6, 7, 8, 9}
+	shiftAccumulate(out, partial, s, 1, 1)
+	want := []float32{5, 6, 0, 8, 9, 0, 0, 0, 0}
+	for i := range want {
+		if out.Data[i] != want[i] {
+			t.Fatalf("shift(+1,+1): out[%d] = %v, want %v", i, out.Data[i], want[i])
+		}
+	}
+	// Negative shift reads above the plane.
+	out2 := tensor.New(tensor.CHW, 1, 3, 3)
+	shiftAccumulate(out2, partial, s, -1, 0)
+	want2 := []float32{0, 0, 0, 1, 2, 3, 4, 5, 6}
+	for i := range want2 {
+		if out2.Data[i] != want2[i] {
+			t.Fatalf("shift(-1,0): out[%d] = %v, want %v", i, out2.Data[i], want2[i])
+		}
+	}
+}
+
+// TestKn2PointwiseIsSingleGEMM: for K=1 the kn2 algorithm degenerates
+// to one GEMM with no shifting — an important identity.
+func TestKn2PointwiseIsSingleGEMM(t *testing.T) {
+	s := Scenario{C: 6, H: 5, W: 5, Stride: 1, K: 1, M: 4, Pad: 0}
+	in := tensor.New(tensor.CHW, 6, 5, 5)
+	in.FillRandom(2)
+	k := NewKernel(4, 6, 1)
+	k.FillRandom(3)
+	want := Reference(in, k, s)
+	for _, p := range kn2Primitives() {
+		if !p.Supports(s) {
+			continue
+		}
+		out := p.Run(tensor.Convert(in, p.In), k, s, 1)
+		if d := tensor.MaxAbsDiff(out, want); d > tolFor(s) {
+			t.Errorf("%s: pointwise diff %g", p.Name, d)
+		}
+	}
+}
+
+// TestKn2AsymmetricPadding exercises K=5 with pad 2 where shifts span
+// [-2, +2] in both axes.
+func TestKn2AsymmetricImage(t *testing.T) {
+	s := Scenario{C: 3, H: 11, W: 6, Stride: 1, K: 5, M: 2, Pad: 2}
+	in := tensor.New(tensor.CHW, 3, 11, 6)
+	in.FillRandom(4)
+	k := NewKernel(2, 3, 5)
+	k.FillRandom(5)
+	want := Reference(in, k, s)
+	for _, p := range kn2Primitives() {
+		if !p.Supports(s) {
+			continue
+		}
+		out := p.Run(tensor.Convert(in, p.In), k, s, 3)
+		if d := tensor.MaxAbsDiff(out, want); d > tolFor(s) {
+			t.Errorf("%s: asymmetric diff %g", p.Name, d)
+		}
+	}
+}
+
+// TestKn2WorkspaceIsOnePlaneSet pins the family's low-memory claim: the
+// workspace is M·H·W regardless of K.
+func TestKn2WorkspaceIsOnePlaneSet(t *testing.T) {
+	k3 := Scenario{C: 32, H: 28, W: 28, Stride: 1, K: 3, M: 16, Pad: 1}
+	k7 := k3
+	k7.K = 7
+	k7.Pad = 3
+	if kn2Workspace(k3) != kn2Workspace(k7) {
+		t.Error("kn2 workspace must not depend on K")
+	}
+	if kn2Workspace(k3) != int64(16*28*28*4) {
+		t.Errorf("kn2 workspace = %d, want M·H·W·4", kn2Workspace(k3))
+	}
+}

@@ -1,0 +1,53 @@
+package conv
+
+import "fmt"
+
+// Library assembles the full primitive registry: the paper's "library of
+// more than 70 DNN primitives operating on a variety of data layouts".
+// The slice is freshly built on each call so callers may annotate or
+// filter it without aliasing.
+func Library() []*Primitive {
+	var ps []*Primitive
+	ps = append(ps, Sum2D())
+	ps = append(ps, directPrimitives()...)
+	ps = append(ps, im2Primitives()...)
+	ps = append(ps, kn2Primitives()...)
+	ps = append(ps, winoPrimitives()...)
+	ps = append(ps, fftPrimitives()...)
+	ps = append(ps, sparsePrimitives()...)
+	ps = append(ps, extraPrimitives()...)
+	return ps
+}
+
+// ByName returns the primitive with the given name from lib, or an error
+// naming the miss.
+func ByName(lib []*Primitive, name string) (*Primitive, error) {
+	for _, p := range lib {
+		if p.Name == name {
+			return p, nil
+		}
+	}
+	return nil, fmt.Errorf("conv: no primitive named %q", name)
+}
+
+// ByFamily filters lib down to one family.
+func ByFamily(lib []*Primitive, f Family) []*Primitive {
+	var out []*Primitive
+	for _, p := range lib {
+		if p.Family == f {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// Supporting filters lib down to primitives that can implement s.
+func Supporting(lib []*Primitive, s Scenario) []*Primitive {
+	var out []*Primitive
+	for _, p := range lib {
+		if p.Supports(s) {
+			out = append(out, p)
+		}
+	}
+	return out
+}

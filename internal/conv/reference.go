@@ -1,0 +1,71 @@
+package conv
+
+import "pbqpdnn/internal/tensor"
+
+// Reference computes the convolution with the textbook
+// sum-of-single-channels algorithm (loop order M×C×H×W×K×K, paper §4) on
+// a CHW input, producing a CHW output. It is both the evaluation
+// baseline ("sum2d") and the correctness oracle for every other
+// primitive.
+func Reference(in *tensor.Tensor, k *Kernel, s Scenario) *tensor.Tensor {
+	checkScenario(in, k, s)
+	src := in
+	if src.Layout != tensor.CHW {
+		src = tensor.Convert(src, tensor.CHW)
+	}
+	oh, ow := s.OutH(), s.OutW()
+	out := tensor.New(tensor.CHW, s.M, oh, ow)
+	for m := 0; m < s.M; m++ {
+		for c := 0; c < s.C; c++ {
+			// Convolve one input channel with one kernel plane and
+			// accumulate into output map m: the "sum of single channel
+			// convolutions".
+			for y := 0; y < oh; y++ {
+				for x := 0; x < ow; x++ {
+					var acc float32
+					hb := y*s.Stride - s.Pad
+					wb := x*s.Stride - s.Pad
+					for kh := 0; kh < s.K; kh++ {
+						ih := hb + kh
+						if ih < 0 || ih >= s.H {
+							continue
+						}
+						for kw := 0; kw < s.K; kw++ {
+							iw := wb + kw
+							if iw < 0 || iw >= s.W {
+								continue
+							}
+							acc += src.At(c, ih, iw) * k.At(m, c, kh, kw)
+						}
+					}
+					out.Data[(m*oh+y)*ow+x] += acc
+				}
+			}
+		}
+	}
+	return out
+}
+
+// sum2dRun wraps Reference as a library primitive.
+func sum2dRun(in *tensor.Tensor, k *Kernel, s Scenario, threads int) *tensor.Tensor {
+	checkLayout(in, tensor.CHW, "sum2d")
+	return Reference(in, k, s)
+}
+
+// Sum2D returns the baseline primitive used for all speedup
+// normalization in the paper's figures. It is deliberately
+// single-threaded regardless of the threads argument, matching §5.2
+// ("the textbook sum-of-single-channels algorithm, with single-threaded
+// execution").
+func Sum2D() *Primitive {
+	return &Primitive{
+		Name:      "sum2d",
+		Family:    FamilySum2D,
+		In:        tensor.CHW,
+		Out:       tensor.CHW,
+		VF:        1,
+		Strided:   true,
+		Workspace: func(Scenario) int64 { return 0 },
+		Run:       sum2dRun,
+	}
+}

@@ -1,0 +1,58 @@
+package conv
+
+import (
+	"pbqpdnn/internal/gemm"
+	"pbqpdnn/internal/tensor"
+)
+
+// Sparsity-aware primitives (paper §8, future work): when many kernel
+// weights are zero — e.g. after magnitude pruning — the im2col GEMM can
+// run on a compressed kernel matrix in time proportional to the
+// non-zeros. The selector decides per layer whether a sparse or dense
+// implementation wins, driven by the scenario's Sparsity parameter.
+
+// im2colSparse builds the Toeplitz patch matrix and multiplies it by the
+// CSR-compressed kernel matrix.
+func im2colSparse(in *tensor.Tensor, k *Kernel, s Scenario, threads int) *tensor.Tensor {
+	checkLayout(in, tensor.CHW, "im2col-sparse")
+	checkScenario(in, k, s)
+	oh, ow := s.OutH(), s.OutW()
+	patches := im2colPatches(in, s)
+	csr := gemm.NewCSR(s.M, s.C*s.K*s.K, kernelMatrixMCK(k))
+	out := tensor.New(tensor.CHW, s.M, oh, ow)
+	csr.SpMM(oh*ow, patches, out.Data)
+	return out
+}
+
+// kn2Sparse runs the kn2row tap loop but skips all-zero kernel slices
+// entirely and uses CSR slices otherwise.
+func kn2Sparse(in *tensor.Tensor, k *Kernel, s Scenario, threads int) *tensor.Tensor {
+	checkLayout(in, tensor.CHW, "kn2-sparse")
+	checkScenario(in, k, s)
+	oh, ow := s.OutH(), s.OutW()
+	out := tensor.New(tensor.CHW, s.M, oh, ow)
+	hw := s.H * s.W
+	partial := make([]float32, s.M*hw)
+	for kh := 0; kh < s.K; kh++ {
+		for kw := 0; kw < s.K; kw++ {
+			slice := kernelSlice(k, kh, kw)
+			csr := gemm.NewCSR(s.M, s.C, slice)
+			if csr.NNZ() == 0 {
+				continue
+			}
+			csr.SpMM(hw, in.Data, partial)
+			shiftAccumulate(out, partial, s, kh-s.Pad, kw-s.Pad)
+		}
+	}
+	return out
+}
+
+// sparsePrimitives assembles the sparsity-exploiting entries.
+func sparsePrimitives() []*Primitive {
+	return []*Primitive{
+		{Name: "im2col-sparse", Family: FamilyIm2, In: tensor.CHW, Out: tensor.CHW, VF: 4,
+			Strided: true, Sparse: true, Workspace: im2Workspace, Run: im2colSparse},
+		{Name: "kn2-sparse", Family: FamilyKn2, In: tensor.CHW, Out: tensor.CHW, VF: 4,
+			Sparse: true, Workspace: kn2Workspace, Run: kn2Sparse},
+	}
+}

@@ -1,0 +1,292 @@
+package conv
+
+import (
+	"fmt"
+
+	"pbqpdnn/internal/tensor"
+	"pbqpdnn/internal/winograd"
+)
+
+// The Winograd family (paper §4): fast convolution with a theoretically
+// minimal multiplication count, for K=3 and K=5. Two shapes are
+// provided, matching the paper's Figure 4 selections:
+//
+//   - 2D tiled F(m×m, r×r): fewest operations but a large transformed-
+//     input workspace — fast on big-cache CPUs (the Intel selections);
+//   - 1D row-wise F(m, r): 2D convolution as a sum of 1D Winograd
+//     convolutions — more arithmetic but far less memory, which is why
+//     the optimizer picks it on the small-cache ARM core.
+//
+// VF variants block the channel accumulation by 4 or 8 lanes, the scalar
+// analogue of the paper's NEON/AVX2 vector-factor variants.
+
+// gatherTile2D collects a t×t input tile (with zero padding) starting at
+// output tile origin (y0,x0) from a CHW or HWC tensor.
+func gatherTile2D(in *tensor.Tensor, c, y0, x0, t, pad int, dst []float64) {
+	for i := 0; i < t; i++ {
+		ih := y0 + i - pad
+		for j := 0; j < t; j++ {
+			iw := x0 + j - pad
+			if ih < 0 || ih >= in.H || iw < 0 || iw >= in.W {
+				dst[i*t+j] = 0
+			} else {
+				dst[i*t+j] = float64(in.At(c, ih, iw))
+			}
+		}
+	}
+}
+
+// wino2D returns a 2D tiled Winograd Run for F(m×m, r×r) with channel
+// accumulation blocked by vf. layout selects the activation layout.
+func wino2D(m, r, vf int, layout tensor.Layout) func(*tensor.Tensor, *Kernel, Scenario, int) *tensor.Tensor {
+	plan := winograd.NewPlan(m, r)
+	return func(in *tensor.Tensor, k *Kernel, s Scenario, threads int) *tensor.Tensor {
+		checkLayout(in, layout, "wino2d")
+		checkScenario(in, k, s)
+		if s.Stride != 1 || s.K != r {
+			panic(fmt.Sprintf("wino2d F(%d,%d): unsupported scenario %s", m, r, s))
+		}
+		oh, ow := s.OutH(), s.OutW()
+		t := plan.T
+		tt := t * t
+		// Kernel transform: U[mm][c] is a t×t tile in Winograd domain.
+		u := make([][]float64, s.M*s.C)
+		for mm := 0; mm < s.M; mm++ {
+			for c := 0; c < s.C; c++ {
+				g := make([]float32, r*r)
+				for kh := 0; kh < r; kh++ {
+					for kw := 0; kw < r; kw++ {
+						g[kh*r+kw] = k.At(mm, c, kh, kw)
+					}
+				}
+				u[mm*s.C+c] = plan.KernelTransform2D(g)
+			}
+		}
+		out := tensor.New(layout, s.M, oh, ow)
+		tilesY := (oh + m - 1) / m
+		tilesX := (ow + m - 1) / m
+		parallelFor(threads, tilesY, func(ty int) {
+			d := make([]float64, tt)
+			v := make([]float64, s.C*tt) // transformed input tiles, all channels
+			sum := make([]float64, tt)
+			lanes := make([]float64, vf)
+			for tx := 0; tx < tilesX; tx++ {
+				y0, x0 := ty*m, tx*m
+				for c := 0; c < s.C; c++ {
+					gatherTile2D(in, c, y0, x0, t, s.Pad, d)
+					copy(v[c*tt:(c+1)*tt], plan.InputTransform2D(d))
+				}
+				for mm := 0; mm < s.M; mm++ {
+					for i := range sum {
+						sum[i] = 0
+					}
+					// Channel accumulation blocked by vf lanes.
+					for i := 0; i < tt; i++ {
+						for l := range lanes {
+							lanes[l] = 0
+						}
+						var tail float64
+						c := 0
+						for ; c+vf <= s.C; c += vf {
+							for l := 0; l < vf; l++ {
+								lanes[l] += u[mm*s.C+c+l][i] * v[(c+l)*tt+i]
+							}
+						}
+						for ; c < s.C; c++ {
+							tail += u[mm*s.C+c][i] * v[c*tt+i]
+						}
+						for _, lv := range lanes {
+							tail += lv
+						}
+						sum[i] = tail
+					}
+					y := plan.OutputTransform2D(sum)
+					for i := 0; i < m && y0+i < oh; i++ {
+						for j := 0; j < m && x0+j < ow; j++ {
+							out.Set(mm, y0+i, x0+j, float32(y[i*m+j]))
+						}
+					}
+				}
+			}
+		})
+		return out
+	}
+}
+
+// wino1D returns a row-wise 1D Winograd Run for F(m, r): 2D convolution
+// as the sum over kernel rows of 1D convolutions, with channel and
+// kernel-row accumulation done in the Winograd domain per row tile.
+func wino1D(m, r, vf int, layout tensor.Layout) func(*tensor.Tensor, *Kernel, Scenario, int) *tensor.Tensor {
+	plan := winograd.NewPlan(m, r)
+	return func(in *tensor.Tensor, k *Kernel, s Scenario, threads int) *tensor.Tensor {
+		checkLayout(in, layout, "wino1d")
+		checkScenario(in, k, s)
+		if s.Stride != 1 || s.K != r {
+			panic(fmt.Sprintf("wino1d F(%d,%d): unsupported scenario %s", m, r, s))
+		}
+		oh, ow := s.OutH(), s.OutW()
+		t := plan.T
+		// Transform every kernel row: u[(mm,c,kh)] has length t.
+		u := make([][]float64, s.M*s.C*r)
+		for mm := 0; mm < s.M; mm++ {
+			for c := 0; c < s.C; c++ {
+				for kh := 0; kh < r; kh++ {
+					row := make([]float32, r)
+					for kw := 0; kw < r; kw++ {
+						row[kw] = k.At(mm, c, kh, kw)
+					}
+					u[(mm*s.C+c)*r+kh] = plan.KernelTransform1D(row)
+				}
+			}
+		}
+		out := tensor.New(layout, s.M, oh, ow)
+		tilesX := (ow + m - 1) / m
+		parallelFor(threads, oh, func(y int) {
+			d := make([]float64, t)
+			sum := make([]float64, t)
+			lanes := make([]float64, vf)
+			// Transformed input row-tiles for (c,kh) pairs of this output
+			// row: v[c*r+kh] — each input row is shared by all kernel rows
+			// that reference it, but per output row we just transform the
+			// r contributing rows per channel.
+			v := make([][]float64, s.C*r)
+			for i := range v {
+				v[i] = make([]float64, t)
+			}
+			for tx := 0; tx < tilesX; tx++ {
+				x0 := tx * m
+				for c := 0; c < s.C; c++ {
+					for kh := 0; kh < r; kh++ {
+						ih := y + kh - s.Pad
+						for j := 0; j < t; j++ {
+							iw := x0 + j - s.Pad
+							if ih < 0 || ih >= s.H || iw < 0 || iw >= s.W {
+								d[j] = 0
+							} else {
+								d[j] = float64(in.At(c, ih, iw))
+							}
+						}
+						copy(v[c*r+kh], plan.InputTransform1D(d))
+					}
+				}
+				for mm := 0; mm < s.M; mm++ {
+					for i := range sum {
+						sum[i] = 0
+					}
+					for i := 0; i < t; i++ {
+						for l := range lanes {
+							lanes[l] = 0
+						}
+						var tail float64
+						pairs := s.C * r
+						p := 0
+						for ; p+vf <= pairs; p += vf {
+							for l := 0; l < vf; l++ {
+								tail2 := u[mm*pairs+p+l][i] * v[p+l][i]
+								lanes[l] += tail2
+							}
+						}
+						for ; p < pairs; p++ {
+							tail += u[mm*pairs+p][i] * v[p][i]
+						}
+						for _, lv := range lanes {
+							tail += lv
+						}
+						sum[i] = tail
+					}
+					yv := plan.OutputTransform1D(sum)
+					for j := 0; j < m && x0+j < ow; j++ {
+						out.Set(mm, y, x0+j, float32(yv[j]))
+					}
+				}
+			}
+		})
+		return out
+	}
+}
+
+// winoWorkspace2D models the resident working set of the 2D algorithm
+// in idealized float32 units (the reference implementation here uses
+// float64 intermediates for numerical headroom, but a production kernel
+// would not): the full Winograd-domain kernel tensor plus one row of
+// transformed input tiles. This is the "significant memory" Table 1
+// charges the 2D algorithm with.
+func winoWorkspace2D(m, r int) func(Scenario) int64 {
+	t := m + r - 1
+	return func(s Scenario) int64 {
+		kernelDomain := int64(s.M) * int64(s.C) * int64(t*t) * 4
+		tileRow := int64(s.C) * int64(t*t) * 4 * int64((s.OutW()+m-1)/m)
+		return kernelDomain + tileRow
+	}
+}
+
+// winoWorkspace1D models the much smaller 1D working set: the row-wise
+// algorithm streams one kernel-tap row at a time, so only an M×C×t
+// slice of the transformed kernels plus the current row tiles must stay
+// resident — r× less than the 2D kernel domain.
+func winoWorkspace1D(m, r int) func(Scenario) int64 {
+	t := m + r - 1
+	return func(s Scenario) int64 {
+		kernelRowSlice := int64(s.M) * int64(s.C) * int64(t) * 4
+		rowTiles := int64(s.C) * int64(r) * int64(t) * 4
+		return kernelRowSlice + rowTiles
+	}
+}
+
+// winoPrimitives assembles the Winograd family: the cross product of
+// tile size F(m,r), dimensionality, vector factor and layout used by the
+// paper's experiments.
+func winoPrimitives() []*Primitive {
+	var ps []*Primitive
+	add2d := func(m, r, vf int, layout tensor.Layout) {
+		suffix := ""
+		if layout != tensor.CHW {
+			suffix = "-" + layout.String()
+		}
+		ps = append(ps, &Primitive{
+			Name:   fmt.Sprintf("wino2d-m%d-k%d-vf%d%s", m, r, vf, suffix),
+			Family: FamilyWinograd, In: layout, Out: layout,
+			VF: vf, Ks: []int{r}, MinC: 1,
+			WinoM: m, WinoR: r, Wino2D: true,
+			Workspace: winoWorkspace2D(m, r),
+			Run:       wino2D(m, r, vf, layout),
+		})
+	}
+	add1d := func(m, r, vf int, layout tensor.Layout) {
+		suffix := ""
+		if layout != tensor.CHW {
+			suffix = "-" + layout.String()
+		}
+		ps = append(ps, &Primitive{
+			Name:   fmt.Sprintf("wino1d-m%d-k%d-vf%d%s", m, r, vf, suffix),
+			Family: FamilyWinograd, In: layout, Out: layout,
+			VF: vf, Ks: []int{r}, MinC: 1,
+			WinoM: m, WinoR: r, Wino2D: false,
+			Workspace: winoWorkspace1D(m, r),
+			Run:       wino1D(m, r, vf, layout),
+		})
+	}
+	// 2D tiles: F(2,3), F(4,3), F(6,3) for K=3 and F(2,5), F(3,5) for
+	// K=5, each at VF4/VF8 in both the channels-last layout the
+	// pointwise stage vectorizes best over (HWC) and the canonical CHW.
+	for _, mr := range [][2]int{{2, 3}, {4, 3}, {6, 3}, {2, 5}, {3, 5}} {
+		for _, vf := range []int{4, 8} {
+			add2d(mr[0], mr[1], vf, tensor.CHW)
+			add2d(mr[0], mr[1], vf, tensor.HWC)
+		}
+	}
+	// Scalar 2D reference variants.
+	add2d(2, 3, 1, tensor.CHW)
+	add2d(4, 3, 1, tensor.CHW)
+	// 1D tiles: row-wise algorithms want row-contiguous layouts (CHW,
+	// HCW); an HWC variant exists but gathers strided rows.
+	for _, mr := range [][2]int{{2, 3}, {4, 3}, {2, 5}, {3, 5}} {
+		for _, vf := range []int{4, 8} {
+			add1d(mr[0], mr[1], vf, tensor.CHW)
+			add1d(mr[0], mr[1], vf, tensor.HCW)
+		}
+	}
+	add1d(2, 3, 4, tensor.HWC)
+	add1d(4, 3, 8, tensor.HWC)
+	return ps
+}

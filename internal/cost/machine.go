@@ -1,0 +1,97 @@
+// Package cost prices (layer, primitive) pairs and layout transforms —
+// the paper's §3.1 profiling stage. Two profilers are provided:
+//
+//   - Model: a deterministic analytic machine model parameterized by
+//     platform (SIMD width, core count, cache hierarchy, bandwidth).
+//     It substitutes for the paper's physical Intel Core i5-4570 and ARM
+//     Cortex-A57 testbeds (see DESIGN.md §3): the mechanisms the paper
+//     credits for its platform-dependent selections — vector width
+//     matching the VF variants, cache capacity limiting the Winograd
+//     workspace, bandwidth shared across cores — are modeled explicitly,
+//     so the same selection crossovers emerge.
+//
+//   - Measure: wall-clock measurement of the real Go primitives on the
+//     host, the literal analogue of the paper's layerwise profiling.
+package cost
+
+// Machine describes an execution platform for the analytic model.
+type Machine struct {
+	Name string
+	// Cores is the number of physical cores (both testbeds have 4).
+	Cores int
+	// VecWidth is the FP32 SIMD lane count (8 for AVX2, 4 for NEON).
+	VecWidth int
+	// FreqGHz is the sustained clock.
+	FreqGHz float64
+	// L1D, L2, LLC are per-core L1 data, per-core L2, and last-level
+	// cache capacities in bytes (LLC is shared).
+	L1D, L2, LLC int64
+	// MemBW is sustained DRAM bandwidth in GB/s (shared across cores).
+	MemBW float64
+	// GatherBW is the effective bandwidth of worst-case strided
+	// gather/scatter traffic (layout permutations). Desktop cores with
+	// deep OoO windows and big TLBs sustain a decent fraction of
+	// streaming bandwidth; the embedded core collapses to a trickle,
+	// which is why data-layout transformations can erase the direct
+	// family's per-layer gains on GoogleNet (paper §5.8).
+	GatherBW float64
+	// EffScale globally derates sustained efficiency relative to the
+	// Intel reference core (narrower issue, weaker prefetchers).
+	EffScale float64
+	// ThrashKappa is the compute-time penalty per unit of working-set /
+	// cache-budget ratio beyond 1. An out-of-order desktop core with a
+	// deep cache hierarchy and aggressive prefetchers tolerates
+	// overruns far better than an embedded core whose L2 is the last
+	// level — this asymmetry is what drives the paper's Figure 4 split
+	// between 2D Winograd (Intel) and low-memory 1D Winograd (ARM).
+	ThrashKappa float64
+}
+
+// IntelHaswell models the paper's Intel Core i5-4570 desktop testbed:
+// 4 Haswell cores at 3.2 GHz with 8-wide FP32 AVX2 FMA, 6 MB shared LLC
+// and dual-channel DDR3.
+var IntelHaswell = Machine{
+	Name:        "intel-haswell",
+	Cores:       4,
+	VecWidth:    8,
+	FreqGHz:     3.2,
+	L1D:         32 << 10,
+	L2:          256 << 10,
+	LLC:         6 << 20,
+	MemBW:       21,
+	GatherBW:    2.2,
+	EffScale:    1.0,
+	ThrashKappa: 0.02,
+}
+
+// CortexA57 models the paper's embedded testbed, the ARM Cortex-A57
+// quad in the NVIDIA Tegra X1: 4 cores at 1.9 GHz with 4-wide FP32 NEON,
+// a 2 MB shared L2 as the last cache level, and LPDDR4.
+var CortexA57 = Machine{
+	Name:        "arm-cortex-a57",
+	Cores:       4,
+	VecWidth:    4,
+	FreqGHz:     1.9,
+	L1D:         32 << 10,
+	L2:          2 << 20,
+	LLC:         2 << 20,
+	MemBW:       12,
+	GatherBW:    0.12,
+	EffScale:    0.55,
+	ThrashKappa: 0.10,
+}
+
+// Machines lists the modeled platforms.
+func Machines() []Machine { return []Machine{IntelHaswell, CortexA57} }
+
+// PeakFlops returns the machine's peak FP32 throughput in FLOP/s for the
+// given thread count (FMA counts as two operations per lane per cycle).
+func (m Machine) PeakFlops(threads int) float64 {
+	if threads < 1 {
+		threads = 1
+	}
+	if threads > m.Cores {
+		threads = m.Cores
+	}
+	return m.FreqGHz * 1e9 * float64(m.VecWidth) * 2 * float64(threads)
+}

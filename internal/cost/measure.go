@@ -1,0 +1,69 @@
+package cost
+
+import (
+	"time"
+
+	"pbqpdnn/internal/conv"
+	"pbqpdnn/internal/tensor"
+)
+
+// Measure is the wall-clock profiler: it executes the real Go
+// implementation of each primitive on random tensors of the layer's
+// shape and takes the best of Reps runs — the literal analogue of the
+// paper's layerwise profiling step, which exploits the observation that
+// DNN layer runtime depends on input dimensions, not values (§2.2).
+type Measure struct {
+	// Reps is the number of timed repetitions (best-of). Values < 1
+	// mean 1.
+	Reps int
+	// Threads caps the goroutine count handed to primitives.
+	Threads int
+}
+
+// NewMeasure returns a measurement profiler taking best-of-reps timings.
+func NewMeasure(reps int) *Measure { return &Measure{Reps: reps} }
+
+func (me *Measure) reps() int {
+	if me.Reps < 1 {
+		return 1
+	}
+	return me.Reps
+}
+
+// Primitive times a real execution of p on scenario s.
+func (me *Measure) Primitive(p *conv.Primitive, s conv.Scenario, threads int) float64 {
+	in := tensor.New(p.In, s.C, s.H, s.W)
+	in.FillRandom(1)
+	k := conv.NewKernel(s.M, s.C, s.K)
+	if s.Sparsity > 0 {
+		k.FillSparse(2, s.Sparsity)
+	} else {
+		k.FillRandom(2)
+	}
+	best := 0.0
+	for r := 0; r < me.reps(); r++ {
+		start := time.Now()
+		p.Run(in, k, s, threads)
+		el := time.Since(start).Seconds()
+		if r == 0 || el < best {
+			best = el
+		}
+	}
+	return best
+}
+
+// Transform times a real layout transform on a c×h×w tensor.
+func (me *Measure) Transform(tr tensor.Transform, c, h, w int) float64 {
+	src := tensor.New(tr.From, c, h, w)
+	src.FillRandom(3)
+	best := 0.0
+	for r := 0; r < me.reps(); r++ {
+		start := time.Now()
+		tr.Run(src)
+		el := time.Since(start).Seconds()
+		if r == 0 || el < best {
+			best = el
+		}
+	}
+	return best
+}

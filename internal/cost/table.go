@@ -1,0 +1,128 @@
+package cost
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+
+	"pbqpdnn/internal/conv"
+	"pbqpdnn/internal/dnn"
+	"pbqpdnn/internal/tensor"
+)
+
+// Table is a materialized, serializable cost table: every
+// (scenario, primitive, threads) node cost and every
+// (transform, shape) conversion cost a network's optimization needs.
+// This implements the paper's deployment story (§4): "the resulting
+// cost tables are tiny compared to the weight data … making it
+// feasible to produce these cost tables before deployment, and ship
+// them with the trained model". Profile once per hardware platform per
+// DNN model — with the Measure profiler on the real device — then ship
+// the JSON and re-solve on the target without ever running a
+// primitive.
+type Table struct {
+	// Machine documents the platform the table was profiled on.
+	Machine string `json:"machine"`
+	// Threads is the thread count the entries were profiled at.
+	Threads int `json:"threads"`
+	// Nodes maps scenario → primitive name → seconds.
+	Nodes map[string]map[string]float64 `json:"nodes"`
+	// Transforms maps shape ("CxHxW") → transform name → seconds.
+	Transforms map[string]map[string]float64 `json:"transforms"`
+}
+
+func shapeKey(c, h, w int) string { return fmt.Sprintf("%dx%dx%d", c, h, w) }
+
+// BuildTable profiles every (layer scenario, supporting primitive)
+// pair of the network and every direct transform at every edge shape,
+// using the given profiler — the paper's §3.1 profiling stage,
+// materialized.
+func BuildTable(net *dnn.Graph, lib []*conv.Primitive, prof Profiler, machine string, threads int) *Table {
+	t := &Table{
+		Machine:    machine,
+		Threads:    threads,
+		Nodes:      map[string]map[string]float64{},
+		Transforms: map[string]map[string]float64{},
+	}
+	for _, id := range net.ConvLayers() {
+		s := net.Layers[id].Conv
+		key := s.String()
+		if _, done := t.Nodes[key]; done {
+			continue
+		}
+		row := map[string]float64{}
+		for _, p := range lib {
+			if p.Supports(s) {
+				row[p.Name] = prof.Primitive(p, s, threads)
+			}
+		}
+		t.Nodes[key] = row
+	}
+	for _, l := range net.Layers {
+		key := shapeKey(l.OutC, l.OutH, l.OutW)
+		if _, done := t.Transforms[key]; done {
+			continue
+		}
+		row := map[string]float64{}
+		for _, tr := range tensor.DirectTransforms() {
+			row[tr.Name] = prof.Transform(tr, l.OutC, l.OutH, l.OutW)
+		}
+		t.Transforms[key] = row
+	}
+	return t
+}
+
+// Primitive implements Profiler from the materialized table. Entries
+// missing from the table (a scenario or primitive that was not
+// profiled) cost +Inf, so the selector will never choose them.
+func (t *Table) Primitive(p *conv.Primitive, s conv.Scenario, threads int) float64 {
+	if row, ok := t.Nodes[s.String()]; ok {
+		if c, ok := row[p.Name]; ok {
+			return c
+		}
+	}
+	return math.Inf(1)
+}
+
+// Transform implements Profiler from the materialized table.
+func (t *Table) Transform(tr tensor.Transform, c, h, w int) float64 {
+	if row, ok := t.Transforms[shapeKey(c, h, w)]; ok {
+		if v, ok := row[tr.Name]; ok {
+			return v
+		}
+	}
+	return math.Inf(1)
+}
+
+// NumEntries returns the total number of profiled costs — the "tiny"
+// size the paper contrasts against model weights.
+func (t *Table) NumEntries() int {
+	n := 0
+	for _, row := range t.Nodes {
+		n += len(row)
+	}
+	for _, row := range t.Transforms {
+		n += len(row)
+	}
+	return n
+}
+
+// Save writes the table as JSON.
+func (t *Table) Save(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(t)
+}
+
+// LoadTable reads a table written by Save.
+func LoadTable(r io.Reader) (*Table, error) {
+	var t Table
+	if err := json.NewDecoder(r).Decode(&t); err != nil {
+		return nil, fmt.Errorf("cost: decoding table: %w", err)
+	}
+	if t.Nodes == nil || t.Transforms == nil {
+		return nil, fmt.Errorf("cost: table missing sections")
+	}
+	return &t, nil
+}

@@ -1,0 +1,124 @@
+package cost
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"pbqpdnn/internal/conv"
+	"pbqpdnn/internal/dnn"
+	"pbqpdnn/internal/dnn/models"
+	"pbqpdnn/internal/tensor"
+)
+
+func tableNet() *dnn.Graph {
+	b, x := dnn.NewBuilder("table-net", 3, 16, 16)
+	x = b.Conv(x, "c1", 8, 3, 1, 1)
+	x = b.MaxPool(x, "p1", 2, 2, 0)
+	x = b.Conv(x, "c2", 8, 3, 1, 1)
+	x = b.Softmax(x, "sm")
+	return func() *dnn.Graph { return b.Graph() }()
+}
+
+func TestBuildTableCoversNetwork(t *testing.T) {
+	net := tableNet()
+	lib := conv.Library()
+	mo := NewModel(IntelHaswell)
+	tab := BuildTable(net, lib, mo, IntelHaswell.Name, 2)
+
+	if tab.NumEntries() == 0 {
+		t.Fatal("empty table")
+	}
+	// Every conv scenario and every supporting primitive must match the
+	// live profiler exactly.
+	for _, id := range net.ConvLayers() {
+		s := net.Layers[id].Conv
+		for _, p := range lib {
+			if !p.Supports(s) {
+				continue
+			}
+			got := tab.Primitive(p, s, 2)
+			want := mo.Primitive(p, s, 2)
+			if got != want {
+				t.Errorf("%s on %s: table %g != live %g", p.Name, s, got, want)
+			}
+		}
+	}
+	// Transform entries exist for every layer output shape.
+	for _, l := range net.Layers {
+		for _, tr := range tensor.DirectTransforms() {
+			got := tab.Transform(tr, l.OutC, l.OutH, l.OutW)
+			want := mo.Transform(tr, l.OutC, l.OutH, l.OutW)
+			if got != want {
+				t.Errorf("%s at %dx%dx%d: table %g != live %g", tr.Name, l.OutC, l.OutH, l.OutW, got, want)
+			}
+		}
+	}
+}
+
+func TestTableMissingEntriesAreInf(t *testing.T) {
+	tab := &Table{Nodes: map[string]map[string]float64{}, Transforms: map[string]map[string]float64{}}
+	p := conv.Sum2D()
+	s := conv.Scenario{C: 1, H: 4, W: 4, Stride: 1, K: 1, M: 1}
+	if !math.IsInf(tab.Primitive(p, s, 1), 1) {
+		t.Error("missing node entry should be +Inf")
+	}
+	if !math.IsInf(tab.Transform(tensor.DirectTransforms()[0], 1, 2, 3), 1) {
+		t.Error("missing transform entry should be +Inf")
+	}
+}
+
+func TestTableJSONRoundTrip(t *testing.T) {
+	net := tableNet()
+	tab := BuildTable(net, conv.Library(), NewModel(CortexA57), CortexA57.Name, 4)
+	var buf bytes.Buffer
+	if err := tab.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadTable(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Machine != CortexA57.Name || loaded.Threads != 4 {
+		t.Errorf("metadata lost: %+v", loaded)
+	}
+	if loaded.NumEntries() != tab.NumEntries() {
+		t.Errorf("entries %d != %d after round trip", loaded.NumEntries(), tab.NumEntries())
+	}
+	s := net.Layers[net.ConvLayers()[0]].Conv
+	p, _ := conv.ByName(conv.Library(), "im2col-ab")
+	if loaded.Primitive(p, s, 4) != tab.Primitive(p, s, 4) {
+		t.Error("node cost changed across round trip")
+	}
+}
+
+func TestLoadTableRejectsGarbage(t *testing.T) {
+	if _, err := LoadTable(strings.NewReader("not json")); err == nil {
+		t.Error("garbage should fail to load")
+	}
+	if _, err := LoadTable(strings.NewReader(`{"machine":"x"}`)); err == nil {
+		t.Error("missing sections should fail to load")
+	}
+}
+
+// TestTableIsTiny pins the paper's §4 claim: the cost table is tiny
+// compared to the model weights (on a real network, not a toy).
+func TestTableIsTiny(t *testing.T) {
+	net, err := models.Build("alexnet")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab := BuildTable(net, conv.Library(), NewModel(IntelHaswell), "intel", 1)
+	var buf bytes.Buffer
+	if err := tab.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	weightBytes := int64(0)
+	for _, id := range net.ConvLayers() {
+		weightBytes += net.Layers[id].Conv.KernelBytes()
+	}
+	if int64(buf.Len()) > weightBytes {
+		t.Errorf("cost table (%d B) should be smaller than the weights (%d B)", buf.Len(), weightBytes)
+	}
+}

@@ -1,0 +1,127 @@
+package dnn
+
+import (
+	"fmt"
+
+	"pbqpdnn/internal/conv"
+)
+
+// Builder constructs a Graph layer by layer with automatic shape
+// propagation, in the style of a Caffe prototxt.
+type Builder struct {
+	g *Graph
+}
+
+// NewBuilder starts a network with a single input of shape c×h×w.
+func NewBuilder(name string, c, h, w int) (*Builder, int) {
+	b := &Builder{g: &Graph{Name: name}}
+	id := b.add(&Layer{Name: "data", Kind: KindInput, OutC: c, OutH: h, OutW: w})
+	return b, id
+}
+
+func (b *Builder) add(l *Layer, preds ...int) int {
+	l.ID = len(b.g.Layers)
+	b.g.Layers = append(b.g.Layers, l)
+	b.g.succs = append(b.g.succs, nil)
+	b.g.preds = append(b.g.preds, nil)
+	for _, p := range preds {
+		b.g.succs[p] = append(b.g.succs[p], l.ID)
+		b.g.preds[l.ID] = append(b.g.preds[l.ID], p)
+	}
+	return l.ID
+}
+
+func (b *Builder) shape(id int) (c, h, w int) {
+	l := b.g.Layers[id]
+	return l.OutC, l.OutH, l.OutW
+}
+
+// Conv appends a convolution of m filters, k×k taps, given stride and
+// padding, fed by layer `from`.
+func (b *Builder) Conv(from int, name string, m, k, stride, pad int) int {
+	c, h, w := b.shape(from)
+	s := conv.Scenario{C: c, H: h, W: w, Stride: stride, K: k, M: m, Pad: pad}
+	if err := s.Validate(); err != nil {
+		panic(fmt.Sprintf("dnn: conv %q: %v", name, err))
+	}
+	return b.add(&Layer{Name: name, Kind: KindConv, Conv: s,
+		OutC: m, OutH: s.OutH(), OutW: s.OutW()}, from)
+}
+
+// ReLU appends an activation.
+func (b *Builder) ReLU(from int, name string) int {
+	c, h, w := b.shape(from)
+	return b.add(&Layer{Name: name, Kind: KindReLU, OutC: c, OutH: h, OutW: w}, from)
+}
+
+// LRN appends local response normalization.
+func (b *Builder) LRN(from int, name string) int {
+	c, h, w := b.shape(from)
+	return b.add(&Layer{Name: name, Kind: KindLRN, OutC: c, OutH: h, OutW: w}, from)
+}
+
+// poolOut implements Caffe's ceil-mode pooled extent.
+func poolOut(in, k, stride, pad int) int {
+	out := (in+2*pad-k+stride-1)/stride + 1
+	if pad > 0 && (out-1)*stride >= in+pad {
+		out--
+	}
+	return out
+}
+
+// MaxPool appends a max pooling layer (Caffe ceil semantics).
+func (b *Builder) MaxPool(from int, name string, k, stride, pad int) int {
+	c, h, w := b.shape(from)
+	return b.add(&Layer{Name: name, Kind: KindMaxPool, PoolK: k, PoolStride: stride, PoolPad: pad,
+		OutC: c, OutH: poolOut(h, k, stride, pad), OutW: poolOut(w, k, stride, pad)}, from)
+}
+
+// AvgPool appends an average pooling layer.
+func (b *Builder) AvgPool(from int, name string, k, stride, pad int) int {
+	c, h, w := b.shape(from)
+	return b.add(&Layer{Name: name, Kind: KindAvgPool, PoolK: k, PoolStride: stride, PoolPad: pad,
+		OutC: c, OutH: poolOut(h, k, stride, pad), OutW: poolOut(w, k, stride, pad)}, from)
+}
+
+// Concat appends a channel-dimension concatenation of the given layers,
+// which must agree on spatial extent.
+func (b *Builder) Concat(name string, from ...int) int {
+	if len(from) < 2 {
+		panic(fmt.Sprintf("dnn: concat %q needs ≥ 2 inputs", name))
+	}
+	_, h0, w0 := b.shape(from[0])
+	totalC := 0
+	for _, f := range from {
+		c, h, w := b.shape(f)
+		if h != h0 || w != w0 {
+			panic(fmt.Sprintf("dnn: concat %q: spatial mismatch %dx%d vs %dx%d", name, h, w, h0, w0))
+		}
+		totalC += c
+	}
+	return b.add(&Layer{Name: name, Kind: KindConcat, OutC: totalC, OutH: h0, OutW: w0}, from...)
+}
+
+// FC appends a fully-connected layer of n outputs.
+func (b *Builder) FC(from int, name string, n int) int {
+	return b.add(&Layer{Name: name, Kind: KindFC, FCOut: n, OutC: n, OutH: 1, OutW: 1}, from)
+}
+
+// Dropout appends an inference-time identity dropout layer.
+func (b *Builder) Dropout(from int, name string) int {
+	c, h, w := b.shape(from)
+	return b.add(&Layer{Name: name, Kind: KindDropout, OutC: c, OutH: h, OutW: w}, from)
+}
+
+// Softmax appends the output distribution layer.
+func (b *Builder) Softmax(from int, name string) int {
+	c, h, w := b.shape(from)
+	return b.add(&Layer{Name: name, Kind: KindSoftmax, OutC: c, OutH: h, OutW: w}, from)
+}
+
+// Graph finalizes and validates the network.
+func (b *Builder) Graph() *Graph {
+	if err := b.g.Validate(); err != nil {
+		panic(err)
+	}
+	return b.g
+}

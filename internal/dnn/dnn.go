@@ -1,0 +1,215 @@
+// Package dnn provides the network intermediate representation: a
+// directed acyclic graph of layers executed in topological order (paper
+// §2). Convolution layers carry the paper's {C,H,W,δ,K,M} scenario;
+// every other layer kind (pooling, activation, LRN, concat, FC, …) is a
+// "dummy" node for the optimizer — it accepts any layout and has zero
+// selection cost (paper §5.2) — but still participates in shape
+// propagation and real execution.
+package dnn
+
+import (
+	"fmt"
+
+	"pbqpdnn/internal/conv"
+)
+
+// Kind enumerates the layer operators needed by the paper's three
+// network families.
+type Kind uint8
+
+const (
+	// KindInput is the network entry point.
+	KindInput Kind = iota
+	// KindConv is a convolution layer — the only kind the optimizer
+	// selects primitives for.
+	KindConv
+	// KindReLU is rectified-linear activation.
+	KindReLU
+	// KindMaxPool is max pooling.
+	KindMaxPool
+	// KindAvgPool is average pooling.
+	KindAvgPool
+	// KindLRN is local response normalization.
+	KindLRN
+	// KindConcat concatenates inputs along the channel dimension
+	// (inception modules).
+	KindConcat
+	// KindFC is a fully-connected layer.
+	KindFC
+	// KindDropout is inference-time identity.
+	KindDropout
+	// KindSoftmax is the output distribution.
+	KindSoftmax
+)
+
+// String names the kind.
+func (k Kind) String() string {
+	switch k {
+	case KindInput:
+		return "input"
+	case KindConv:
+		return "conv"
+	case KindReLU:
+		return "relu"
+	case KindMaxPool:
+		return "maxpool"
+	case KindAvgPool:
+		return "avgpool"
+	case KindLRN:
+		return "lrn"
+	case KindConcat:
+		return "concat"
+	case KindFC:
+		return "fc"
+	case KindDropout:
+		return "dropout"
+	case KindSoftmax:
+		return "softmax"
+	}
+	return fmt.Sprintf("Kind(%d)", uint8(k))
+}
+
+// Layer is one node of the network graph.
+type Layer struct {
+	ID   int
+	Name string
+	Kind Kind
+
+	// Conv holds the convolutional scenario when Kind == KindConv.
+	Conv conv.Scenario
+
+	// Pooling geometry when Kind is a pool.
+	PoolK, PoolStride, PoolPad int
+
+	// FCOut is the output width of a fully-connected layer.
+	FCOut int
+
+	// OutC, OutH, OutW is the propagated output shape.
+	OutC, OutH, OutW int
+}
+
+// IsConv reports whether the optimizer selects a primitive for this
+// layer.
+func (l *Layer) IsConv() bool { return l.Kind == KindConv }
+
+// Graph is a DAG of layers.
+type Graph struct {
+	Name   string
+	Layers []*Layer
+	succs  [][]int
+	preds  [][]int
+}
+
+// NumLayers returns the node count.
+func (g *Graph) NumLayers() int { return len(g.Layers) }
+
+// Succs returns the successor layer ids of u.
+func (g *Graph) Succs(u int) []int { return g.succs[u] }
+
+// Preds returns the predecessor layer ids of u.
+func (g *Graph) Preds(u int) []int { return g.preds[u] }
+
+// Edges returns every directed edge as (from, to) pairs.
+func (g *Graph) Edges() [][2]int {
+	var es [][2]int
+	for u := range g.succs {
+		for _, v := range g.succs[u] {
+			es = append(es, [2]int{u, v})
+		}
+	}
+	return es
+}
+
+// ConvLayers returns the ids of all convolution layers in id order.
+func (g *Graph) ConvLayers() []int {
+	var ids []int
+	for _, l := range g.Layers {
+		if l.IsConv() {
+			ids = append(ids, l.ID)
+		}
+	}
+	return ids
+}
+
+// TopoOrder returns the layer ids in a topological order, or an error if
+// the graph has a cycle.
+func (g *Graph) TopoOrder() ([]int, error) {
+	indeg := make([]int, len(g.Layers))
+	for u := range g.succs {
+		for range g.preds[u] {
+			indeg[u]++
+		}
+	}
+	var queue, order []int
+	for u, d := range indeg {
+		if d == 0 {
+			queue = append(queue, u)
+		}
+	}
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		order = append(order, u)
+		for _, v := range g.succs[u] {
+			indeg[v]--
+			if indeg[v] == 0 {
+				queue = append(queue, v)
+			}
+		}
+	}
+	if len(order) != len(g.Layers) {
+		return nil, fmt.Errorf("dnn: graph %q contains a cycle", g.Name)
+	}
+	return order, nil
+}
+
+// Validate checks structural invariants: one input, connected shapes,
+// concat arity.
+func (g *Graph) Validate() error {
+	if len(g.Layers) == 0 {
+		return fmt.Errorf("dnn: empty graph %q", g.Name)
+	}
+	inputs := 0
+	for _, l := range g.Layers {
+		switch l.Kind {
+		case KindInput:
+			inputs++
+			if len(g.preds[l.ID]) != 0 {
+				return fmt.Errorf("dnn: input layer %q has predecessors", l.Name)
+			}
+		case KindConcat:
+			if len(g.preds[l.ID]) < 2 {
+				return fmt.Errorf("dnn: concat layer %q has %d inputs", l.Name, len(g.preds[l.ID]))
+			}
+		default:
+			if len(g.preds[l.ID]) != 1 {
+				return fmt.Errorf("dnn: layer %q (%s) has %d inputs, want 1", l.Name, l.Kind, len(g.preds[l.ID]))
+			}
+		}
+		if l.OutC < 1 || l.OutH < 1 || l.OutW < 1 {
+			return fmt.Errorf("dnn: layer %q has invalid shape %d×%d×%d", l.Name, l.OutC, l.OutH, l.OutW)
+		}
+		if l.IsConv() {
+			if err := l.Conv.Validate(); err != nil {
+				return fmt.Errorf("dnn: layer %q: %w", l.Name, err)
+			}
+		}
+	}
+	if inputs != 1 {
+		return fmt.Errorf("dnn: graph %q has %d input layers, want 1", g.Name, inputs)
+	}
+	if _, err := g.TopoOrder(); err != nil {
+		return err
+	}
+	return nil
+}
+
+// TotalConvFlops sums the direct-algorithm operation counts of all
+// convolution layers.
+func (g *Graph) TotalConvFlops() float64 {
+	var total float64
+	for _, id := range g.ConvLayers() {
+		total += g.Layers[id].Conv.Flops()
+	}
+	return total
+}

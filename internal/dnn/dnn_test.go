@@ -1,0 +1,149 @@
+package dnn
+
+import (
+	"strings"
+	"testing"
+)
+
+func buildTiny() *Graph {
+	b, x := NewBuilder("tiny", 3, 16, 16)
+	x = b.Conv(x, "c1", 8, 3, 1, 1)
+	x = b.ReLU(x, "r1")
+	x = b.MaxPool(x, "p1", 2, 2, 0)
+	x = b.Conv(x, "c2", 4, 3, 1, 1)
+	return func() *Graph { b.Softmax(x, "sm"); return b.Graph() }()
+}
+
+func TestBuilderShapes(t *testing.T) {
+	g := buildTiny()
+	byName := map[string]*Layer{}
+	for _, l := range g.Layers {
+		byName[l.Name] = l
+	}
+	if l := byName["c1"]; l.OutC != 8 || l.OutH != 16 || l.OutW != 16 {
+		t.Errorf("c1 shape %d×%d×%d", l.OutC, l.OutH, l.OutW)
+	}
+	if l := byName["p1"]; l.OutH != 8 || l.OutW != 8 {
+		t.Errorf("p1 shape %d×%d", l.OutH, l.OutW)
+	}
+	if l := byName["c2"]; l.OutC != 4 || l.OutH != 8 {
+		t.Errorf("c2 shape %d×%d×%d", l.OutC, l.OutH, l.OutW)
+	}
+}
+
+func TestTopoOrder(t *testing.T) {
+	g := buildTiny()
+	order, err := g.TopoOrder()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pos := make([]int, len(order))
+	for i, id := range order {
+		pos[id] = i
+	}
+	for _, e := range g.Edges() {
+		if pos[e[0]] >= pos[e[1]] {
+			t.Errorf("edge %v violates topological order", e)
+		}
+	}
+}
+
+func TestConvLayers(t *testing.T) {
+	g := buildTiny()
+	convs := g.ConvLayers()
+	if len(convs) != 2 {
+		t.Fatalf("conv layers = %d, want 2", len(convs))
+	}
+	for _, id := range convs {
+		if !g.Layers[id].IsConv() {
+			t.Errorf("layer %d not conv", id)
+		}
+	}
+	if g.TotalConvFlops() <= 0 {
+		t.Error("TotalConvFlops should be positive")
+	}
+}
+
+func TestConcatValidation(t *testing.T) {
+	b, x := NewBuilder("cat", 3, 8, 8)
+	a := b.Conv(x, "a", 4, 1, 1, 0)
+	c := b.Conv(x, "c", 6, 3, 1, 1)
+	cat := b.Concat("cat1", a, c)
+	g := func() *Graph { b.Softmax(cat, "sm"); return b.Graph() }()
+	l := g.Layers[cat]
+	if l.OutC != 10 || l.OutH != 8 {
+		t.Errorf("concat shape %d×%d×%d", l.OutC, l.OutH, l.OutW)
+	}
+	if len(g.Preds(cat)) != 2 {
+		t.Errorf("concat preds = %d", len(g.Preds(cat)))
+	}
+}
+
+func TestBuilderPanics(t *testing.T) {
+	for _, f := range []func(){
+		func() { // conv bigger than input
+			b, x := NewBuilder("bad", 1, 2, 2)
+			b.Conv(x, "c", 1, 5, 1, 0)
+		},
+		func() { // concat spatial mismatch
+			b, x := NewBuilder("bad", 3, 8, 8)
+			a := b.MaxPool(x, "p", 2, 2, 0)
+			b.Concat("cat", x, a)
+		},
+		func() { // concat arity
+			b, x := NewBuilder("bad", 3, 8, 8)
+			b.Concat("cat", x)
+		},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected builder panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestPoolCeilSemantics(t *testing.T) {
+	// Caffe AlexNet: 55 → pool 3/2 → 27 (ceil((55-3)/2)+1).
+	if got := poolOut(55, 3, 2, 0); got != 27 {
+		t.Errorf("poolOut(55,3,2,0) = %d, want 27", got)
+	}
+	// GoogleNet: 112 → pool 3/2 → 56.
+	if got := poolOut(112, 3, 2, 0); got != 56 {
+		t.Errorf("poolOut(112,3,2,0) = %d, want 56", got)
+	}
+	// Padded pooling must not start a window beyond the input.
+	if got := poolOut(14, 3, 1, 1); got != 14 {
+		t.Errorf("poolOut(14,3,1,1) = %d, want 14", got)
+	}
+}
+
+func TestKindString(t *testing.T) {
+	kinds := []Kind{KindInput, KindConv, KindReLU, KindMaxPool, KindAvgPool,
+		KindLRN, KindConcat, KindFC, KindDropout, KindSoftmax}
+	seen := map[string]bool{}
+	for _, k := range kinds {
+		s := k.String()
+		if s == "" || seen[s] {
+			t.Errorf("kind %d has bad/duplicate name %q", k, s)
+		}
+		seen[s] = true
+	}
+}
+
+func TestDOTExport(t *testing.T) {
+	g := buildTiny()
+	dot := g.DOT()
+	for _, want := range []string{"digraph \"tiny\"", "box3d", "n0 -> n1", "ellipse"} {
+		if !strings.Contains(dot, want) {
+			t.Errorf("DOT missing %q", want)
+		}
+	}
+	// Edge count matches the graph.
+	if got := strings.Count(dot, "->"); got != len(g.Edges()) {
+		t.Errorf("DOT has %d edges, graph has %d", got, len(g.Edges()))
+	}
+}

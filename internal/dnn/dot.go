@@ -1,0 +1,33 @@
+package dnn
+
+import (
+	"fmt"
+	"strings"
+)
+
+// DOT renders the network in Graphviz dot format; convolution layers
+// show their scenario tuple. Useful for inspecting the model zoo and
+// for documenting plans.
+func (g *Graph) DOT() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "digraph %q {\n  rankdir=TB;\n  node [shape=box, fontsize=10];\n", g.Name)
+	for _, l := range g.Layers {
+		label := fmt.Sprintf("%s\\n%s", l.Name, l.Kind)
+		shape := "box"
+		switch l.Kind {
+		case KindConv:
+			label = fmt.Sprintf("%s\\n%s", l.Name, l.Conv)
+			shape = "box3d"
+		case KindConcat:
+			shape = "trapezium"
+		case KindInput:
+			shape = "ellipse"
+		}
+		fmt.Fprintf(&b, "  n%d [label=\"%s\", shape=%s];\n", l.ID, label, shape)
+	}
+	for _, e := range g.Edges() {
+		fmt.Fprintf(&b, "  n%d -> n%d;\n", e[0], e[1])
+	}
+	b.WriteString("}\n")
+	return b.String()
+}

@@ -1,0 +1,177 @@
+// Package models reconstructs the public network architectures the
+// paper evaluates (§5.2): AlexNet, the VGG B/C/D/E configurations
+// (hand-reconstructed exactly following Simonyan & Zisserman, as the
+// paper itself did for the unreleased variants), and GoogleNet with all
+// nine inception modules.
+package models
+
+import (
+	"fmt"
+
+	"pbqpdnn/internal/dnn"
+)
+
+// Names lists the available model builders.
+func Names() []string {
+	return []string{"alexnet", "vgg-b", "vgg-c", "vgg-d", "vgg-e", "googlenet"}
+}
+
+// Build returns the named network, or an error for unknown names.
+func Build(name string) (*dnn.Graph, error) {
+	switch name {
+	case "alexnet":
+		return AlexNet(), nil
+	case "vgg-b":
+		return VGG('B'), nil
+	case "vgg-c":
+		return VGG('C'), nil
+	case "vgg-d":
+		return VGG('D'), nil
+	case "vgg-e":
+		return VGG('E'), nil
+	case "googlenet":
+		return GoogleNet(), nil
+	}
+	return nil, fmt.Errorf("models: unknown network %q (have %v)", name, Names())
+}
+
+// AlexNet is the BVLC Caffe AlexNet: five convolutions (K=11 δ=4, K=5,
+// then three K=3) and three FC layers. Grouped convolutions are modeled
+// as full convolutions, as the paper's scenario tuple has no group
+// parameter.
+func AlexNet() *dnn.Graph {
+	b, x := dnn.NewBuilder("alexnet", 3, 227, 227)
+	x = b.Conv(x, "conv1", 96, 11, 4, 0)
+	x = b.ReLU(x, "relu1")
+	x = b.LRN(x, "norm1")
+	x = b.MaxPool(x, "pool1", 3, 2, 0)
+	x = b.Conv(x, "conv2", 256, 5, 1, 2)
+	x = b.ReLU(x, "relu2")
+	x = b.LRN(x, "norm2")
+	x = b.MaxPool(x, "pool2", 3, 2, 0)
+	x = b.Conv(x, "conv3", 384, 3, 1, 1)
+	x = b.ReLU(x, "relu3")
+	x = b.Conv(x, "conv4", 384, 3, 1, 1)
+	x = b.ReLU(x, "relu4")
+	x = b.Conv(x, "conv5", 256, 3, 1, 1)
+	x = b.ReLU(x, "relu5")
+	x = b.MaxPool(x, "pool5", 3, 2, 0)
+	x = b.FC(x, "fc6", 4096)
+	x = b.ReLU(x, "relu6")
+	x = b.Dropout(x, "drop6")
+	x = b.FC(x, "fc7", 4096)
+	x = b.ReLU(x, "relu7")
+	x = b.Dropout(x, "drop7")
+	x = b.FC(x, "fc8", 1000)
+	b.Softmax(x, "prob")
+	return b.Graph()
+}
+
+// vggBlock appends n K×K convolutions of m maps followed by a 2×2/2 max
+// pool. k1 positions (1-based from the end) use 1×1 convolutions — the
+// VGG-C peculiarity.
+func vggBlock(b *dnn.Builder, x int, block string, m, n int, oneByOneLast bool) int {
+	for i := 1; i <= n; i++ {
+		k, pad := 3, 1
+		if oneByOneLast && i == n {
+			k, pad = 1, 0
+		}
+		x = b.Conv(x, fmt.Sprintf("conv%s_%d", block, i), m, k, 1, pad)
+		x = b.ReLU(x, fmt.Sprintf("relu%s_%d", block, i))
+	}
+	return b.MaxPool(x, "pool"+block, 2, 2, 0)
+}
+
+// VGG builds configuration B, C, D or E from the VGG paper's Table 1.
+func VGG(config byte) *dnn.Graph {
+	var per [5]int  // convs per block
+	var one [5]bool // last conv of block is 1×1 (config C)
+	switch config {
+	case 'B':
+		per = [5]int{2, 2, 2, 2, 2}
+	case 'C':
+		per = [5]int{2, 2, 3, 3, 3}
+		one = [5]bool{false, false, true, true, true}
+	case 'D':
+		per = [5]int{2, 2, 3, 3, 3}
+	case 'E':
+		per = [5]int{2, 2, 4, 4, 4}
+	default:
+		panic(fmt.Sprintf("models: unknown VGG config %q", config))
+	}
+	b, x := dnn.NewBuilder(fmt.Sprintf("vgg-%c", config+'a'-'A'), 3, 224, 224)
+	maps := [5]int{64, 128, 256, 512, 512}
+	for blk := 0; blk < 5; blk++ {
+		x = vggBlock(b, x, fmt.Sprintf("%d", blk+1), maps[blk], per[blk], one[blk])
+	}
+	x = b.FC(x, "fc6", 4096)
+	x = b.ReLU(x, "relu6")
+	x = b.Dropout(x, "drop6")
+	x = b.FC(x, "fc7", 4096)
+	x = b.ReLU(x, "relu7")
+	x = b.Dropout(x, "drop7")
+	x = b.FC(x, "fc8", 1000)
+	b.Softmax(x, "prob")
+	return b.Graph()
+}
+
+// inception appends one GoogleNet inception module: four parallel
+// branches (1×1; 1×1→3×3; 1×1→5×5; 3×3 maxpool→1×1) concatenated along
+// channels. This is the Figure 3 DAG structure whose layout decisions
+// make the selection problem hard.
+func inception(b *dnn.Builder, x int, name string, b1, b2r, b2, b3r, b3, b4 int) int {
+	p1 := b.Conv(x, name+"/1x1", b1, 1, 1, 0)
+	p1 = b.ReLU(p1, name+"/relu_1x1")
+
+	p2 := b.Conv(x, name+"/3x3_reduce", b2r, 1, 1, 0)
+	p2 = b.ReLU(p2, name+"/relu_3x3_reduce")
+	p2 = b.Conv(p2, name+"/3x3", b2, 3, 1, 1)
+	p2 = b.ReLU(p2, name+"/relu_3x3")
+
+	p3 := b.Conv(x, name+"/5x5_reduce", b3r, 1, 1, 0)
+	p3 = b.ReLU(p3, name+"/relu_5x5_reduce")
+	p3 = b.Conv(p3, name+"/5x5", b3, 5, 1, 2)
+	p3 = b.ReLU(p3, name+"/relu_5x5")
+
+	p4 := b.MaxPool(x, name+"/pool", 3, 1, 1)
+	p4 = b.Conv(p4, name+"/pool_proj", b4, 1, 1, 0)
+	p4 = b.ReLU(p4, name+"/relu_pool_proj")
+
+	return b.Concat(name+"/output", p1, p2, p3, p4)
+}
+
+// GoogleNet is the 2014 ILSVRC GoogleNet (inference path, auxiliary
+// classifiers omitted): 57 convolution layers across a stem and nine
+// inception modules.
+func GoogleNet() *dnn.Graph {
+	b, x := dnn.NewBuilder("googlenet", 3, 224, 224)
+	x = b.Conv(x, "conv1/7x7_s2", 64, 7, 2, 3)
+	x = b.ReLU(x, "conv1/relu_7x7")
+	x = b.MaxPool(x, "pool1/3x3_s2", 3, 2, 0)
+	x = b.LRN(x, "pool1/norm1")
+	x = b.Conv(x, "conv2/3x3_reduce", 64, 1, 1, 0)
+	x = b.ReLU(x, "conv2/relu_3x3_reduce")
+	x = b.Conv(x, "conv2/3x3", 192, 3, 1, 1)
+	x = b.ReLU(x, "conv2/relu_3x3")
+	x = b.LRN(x, "conv2/norm2")
+	x = b.MaxPool(x, "pool2/3x3_s2", 3, 2, 0)
+
+	x = inception(b, x, "inception_3a", 64, 96, 128, 16, 32, 32)
+	x = inception(b, x, "inception_3b", 128, 128, 192, 32, 96, 64)
+	x = b.MaxPool(x, "pool3/3x3_s2", 3, 2, 0)
+
+	x = inception(b, x, "inception_4a", 192, 96, 208, 16, 48, 64)
+	x = inception(b, x, "inception_4b", 160, 112, 224, 24, 64, 64)
+	x = inception(b, x, "inception_4c", 128, 128, 256, 24, 64, 64)
+	x = inception(b, x, "inception_4d", 112, 144, 288, 32, 64, 64)
+	x = inception(b, x, "inception_4e", 256, 160, 320, 32, 128, 128)
+	x = b.MaxPool(x, "pool4/3x3_s2", 3, 2, 0)
+
+	x = inception(b, x, "inception_5a", 256, 160, 320, 32, 128, 128)
+	x = inception(b, x, "inception_5b", 384, 192, 384, 48, 128, 128)
+	x = b.AvgPool(x, "pool5/7x7_s1", 7, 1, 0)
+	x = b.Dropout(x, "pool5/drop_7x7_s1")
+	x = b.FC(x, "loss3/classifier", 1000)
+	b.Softmax(x, "prob")
+	return b.Graph()
+}

@@ -1,0 +1,168 @@
+package models
+
+import (
+	"strings"
+	"testing"
+
+	"pbqpdnn/internal/dnn"
+)
+
+func TestBuildAllModels(t *testing.T) {
+	for _, name := range Names() {
+		g, err := Build(name)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if err := g.Validate(); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+	}
+	if _, err := Build("resnet"); err == nil {
+		t.Error("unknown model should fail")
+	}
+}
+
+func TestAlexNetStructure(t *testing.T) {
+	g := AlexNet()
+	convs := g.ConvLayers()
+	if len(convs) != 5 {
+		t.Fatalf("AlexNet has %d convs, want 5", len(convs))
+	}
+	c1 := g.Layers[convs[0]].Conv
+	if c1.K != 11 || c1.Stride != 4 || c1.M != 96 || c1.OutH() != 55 {
+		t.Errorf("conv1 = %s (out %d)", c1, c1.OutH())
+	}
+	c2 := g.Layers[convs[1]].Conv
+	if c2.K != 5 || c2.C != 96 || c2.M != 256 || c2.H != 27 {
+		t.Errorf("conv2 = %s", c2)
+	}
+	for i, id := range convs[2:] {
+		if k := g.Layers[id].Conv.K; k != 3 {
+			t.Errorf("conv%d K = %d, want 3", i+3, k)
+		}
+	}
+	c5 := g.Layers[convs[4]].Conv
+	if c5.H != 13 || c5.M != 256 {
+		t.Errorf("conv5 = %s", c5)
+	}
+}
+
+func TestVGGStructure(t *testing.T) {
+	wantConvs := map[byte]int{'B': 10, 'C': 13, 'D': 13, 'E': 16}
+	for cfg, want := range wantConvs {
+		g := VGG(cfg)
+		if got := len(g.ConvLayers()); got != want {
+			t.Errorf("VGG-%c has %d convs, want %d", cfg, got, want)
+		}
+		// All spatial extents halve exactly five times: final conv block
+		// output is 14×14 before the last pool (512 maps).
+		last := g.ConvLayers()[len(g.ConvLayers())-1]
+		l := g.Layers[last]
+		if l.OutC != 512 || l.OutH != 14 || l.OutW != 14 {
+			t.Errorf("VGG-%c last conv shape %d×%d×%d", cfg, l.OutC, l.OutH, l.OutW)
+		}
+	}
+	// VGG-C has exactly three 1×1 convolutions; VGG-D none.
+	count1x1 := func(g *dnn.Graph) int {
+		n := 0
+		for _, id := range g.ConvLayers() {
+			if g.Layers[id].Conv.K == 1 {
+				n++
+			}
+		}
+		return n
+	}
+	if n := count1x1(VGG('C')); n != 3 {
+		t.Errorf("VGG-C 1×1 convs = %d, want 3", n)
+	}
+	if n := count1x1(VGG('D')); n != 0 {
+		t.Errorf("VGG-D 1×1 convs = %d, want 0", n)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("VGG('Z') should panic")
+		}
+	}()
+	VGG('Z')
+}
+
+func TestGoogleNetStructure(t *testing.T) {
+	g := GoogleNet()
+	convs := g.ConvLayers()
+	// Stem has 3 convs; each of 9 inception modules has 6.
+	if len(convs) != 3+9*6 {
+		t.Errorf("GoogleNet has %d convs, want 57", len(convs))
+	}
+	// Inception 3a output is 256 channels at 28×28.
+	var out3a *dnn.Layer
+	for _, l := range g.Layers {
+		if l.Name == "inception_3a/output" {
+			out3a = l
+		}
+	}
+	if out3a == nil {
+		t.Fatal("missing inception_3a/output")
+	}
+	if out3a.OutC != 256 || out3a.OutH != 28 || out3a.OutW != 28 {
+		t.Errorf("3a output %d×%d×%d, want 256×28×28", out3a.OutC, out3a.OutH, out3a.OutW)
+	}
+	// 5b output is 1024×7×7.
+	for _, l := range g.Layers {
+		if l.Name == "inception_5b/output" {
+			if l.OutC != 1024 || l.OutH != 7 {
+				t.Errorf("5b output %d×%d×%d, want 1024×7×7", l.OutC, l.OutH, l.OutW)
+			}
+		}
+	}
+	// The graph is a genuine DAG: concat layers have 4 predecessors.
+	nConcat := 0
+	for _, l := range g.Layers {
+		if l.Kind == dnn.KindConcat {
+			nConcat++
+			if len(g.Preds(l.ID)) != 4 {
+				t.Errorf("%s has %d preds, want 4", l.Name, len(g.Preds(l.ID)))
+			}
+		}
+	}
+	if nConcat != 9 {
+		t.Errorf("GoogleNet has %d inception concats, want 9", nConcat)
+	}
+}
+
+// TestFlopOrdering pins a well-known fact the evaluation relies on:
+// VGG-E is by far the heaviest network, AlexNet the lightest.
+func TestFlopOrdering(t *testing.T) {
+	flops := map[string]float64{}
+	for _, n := range []string{"alexnet", "vgg-b", "vgg-e", "googlenet"} {
+		g, err := Build(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		flops[n] = g.TotalConvFlops()
+	}
+	if !(flops["vgg-e"] > flops["vgg-b"] && flops["vgg-b"] > flops["googlenet"] &&
+		flops["googlenet"] > flops["alexnet"]) {
+		t.Errorf("unexpected flop ordering: %v", flops)
+	}
+}
+
+func TestInceptionBranchNames(t *testing.T) {
+	g := GoogleNet()
+	want := []string{"inception_4e/1x1", "inception_4e/3x3", "inception_4e/5x5", "inception_4e/pool_proj"}
+	found := 0
+	for _, l := range g.Layers {
+		for _, w := range want {
+			if l.Name == w {
+				found++
+			}
+		}
+		if strings.HasPrefix(l.Name, "inception_4e/5x5") && l.IsConv() && l.Conv.K == 5 {
+			if l.Conv.Pad != 2 {
+				t.Errorf("5x5 conv pad = %d, want 2", l.Conv.Pad)
+			}
+		}
+	}
+	if found != len(want) {
+		t.Errorf("found %d/%d expected 4e branch layers", found, len(want))
+	}
+}

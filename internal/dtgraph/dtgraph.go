@@ -1,0 +1,125 @@
+// Package dtgraph implements the paper's data-layout transformation (DT)
+// graph (§3.1): data layouts are nodes, the library's direct conversion
+// routines are weighted directed edges, and the cost of converting
+// between an arbitrary pair of layouts is the shortest path in the
+// graph's transitive closure — possibly a multi-hop chain, or +Inf when
+// no path exists.
+package dtgraph
+
+import (
+	"fmt"
+	"math"
+
+	"pbqpdnn/internal/tensor"
+)
+
+// CostFunc prices one direct transform routine, typically for a specific
+// tensor shape (measured or modeled execution time in seconds).
+type CostFunc func(tr tensor.Transform) float64
+
+// Graph is the DT graph together with its all-pairs shortest-path
+// closure for one tensor shape.
+type Graph struct {
+	layouts []tensor.Layout
+	index   map[tensor.Layout]int
+	trs     []tensor.Transform
+	// dist is the closed shortest-path cost; via[i][j] is the index into
+	// trs of the first hop on the best i→j path, or -1.
+	dist [][]float64
+	via  [][]int
+}
+
+// New builds the closure over the given direct transforms. Costs must
+// be non-negative; Floyd–Warshall computes the all-pairs closure ahead
+// of time, as §3.1 prescribes.
+func New(transforms []tensor.Transform, cost CostFunc) *Graph {
+	g := &Graph{index: map[tensor.Layout]int{}, trs: transforms}
+	for _, l := range tensor.Layouts() {
+		g.index[l] = len(g.layouts)
+		g.layouts = append(g.layouts, l)
+	}
+	n := len(g.layouts)
+	g.dist = make([][]float64, n)
+	g.via = make([][]int, n)
+	for i := range g.dist {
+		g.dist[i] = make([]float64, n)
+		g.via[i] = make([]int, n)
+		for j := range g.dist[i] {
+			if i == j {
+				g.dist[i][j] = 0
+			} else {
+				g.dist[i][j] = math.Inf(1)
+			}
+			g.via[i][j] = -1
+		}
+	}
+	for ti, tr := range transforms {
+		c := cost(tr)
+		if c < 0 {
+			panic(fmt.Sprintf("dtgraph: negative cost %g for %s", c, tr.Name))
+		}
+		i, j := g.index[tr.From], g.index[tr.To]
+		if c < g.dist[i][j] {
+			g.dist[i][j] = c
+			g.via[i][j] = ti
+		}
+	}
+	for k := 0; k < n; k++ {
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				if d := g.dist[i][k] + g.dist[k][j]; d < g.dist[i][j] {
+					g.dist[i][j] = d
+					g.via[i][j] = g.via[i][k]
+				}
+			}
+		}
+	}
+	return g
+}
+
+// Cost returns the least cost of converting from one layout to another
+// (0 for identical layouts, +Inf when unreachable).
+func (g *Graph) Cost(from, to tensor.Layout) float64 {
+	return g.dist[g.index[from]][g.index[to]]
+}
+
+// Path returns the chain of direct transforms realizing the least-cost
+// conversion, empty for identical layouts, or an error when unreachable.
+func (g *Graph) Path(from, to tensor.Layout) ([]tensor.Transform, error) {
+	if from == to {
+		return nil, nil
+	}
+	i, j := g.index[from], g.index[to]
+	if math.IsInf(g.dist[i][j], 1) {
+		return nil, fmt.Errorf("dtgraph: no transform chain %s→%s", from, to)
+	}
+	var chain []tensor.Transform
+	for i != j {
+		ti := g.via[i][j]
+		if ti < 0 {
+			return nil, fmt.Errorf("dtgraph: broken path %s→%s", from, to)
+		}
+		tr := g.trs[ti]
+		chain = append(chain, tr)
+		i = g.index[tr.To]
+		if len(chain) > len(g.layouts) {
+			return nil, fmt.Errorf("dtgraph: path %s→%s does not terminate", from, to)
+		}
+	}
+	return chain, nil
+}
+
+// Apply converts t to the target layout along the least-cost chain.
+func (g *Graph) Apply(t *tensor.Tensor, to tensor.Layout) (*tensor.Tensor, error) {
+	chain, err := g.Path(t.Layout, to)
+	if err != nil {
+		return nil, err
+	}
+	for _, tr := range chain {
+		t = tr.Run(t)
+	}
+	return t, nil
+}
+
+// Layouts returns the node set.
+func (g *Graph) Layouts() []tensor.Layout { return g.layouts }

@@ -1,0 +1,161 @@
+package dtgraph
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"pbqpdnn/internal/tensor"
+)
+
+func unitCost(tensor.Transform) float64 { return 1 }
+
+func TestIdentityIsFree(t *testing.T) {
+	g := New(tensor.DirectTransforms(), unitCost)
+	for _, l := range tensor.Layouts() {
+		if c := g.Cost(l, l); c != 0 {
+			t.Errorf("Cost(%s,%s) = %v", l, l, c)
+		}
+		p, err := g.Path(l, l)
+		if err != nil || len(p) != 0 {
+			t.Errorf("Path(%s,%s) = %v, %v", l, l, p, err)
+		}
+	}
+}
+
+func TestDirectEdgeCost(t *testing.T) {
+	g := New(tensor.DirectTransforms(), unitCost)
+	if c := g.Cost(tensor.CHW, tensor.HWC); c != 1 {
+		t.Errorf("CHW→HWC = %v, want 1 (direct)", c)
+	}
+}
+
+func TestChainsRequired(t *testing.T) {
+	g := New(tensor.DirectTransforms(), unitCost)
+	// CHW→WCH has no direct routine; best chain is CHW→CWH→WCH.
+	if c := g.Cost(tensor.CHW, tensor.WCH); c != 2 {
+		t.Errorf("CHW→WCH = %v, want 2", c)
+	}
+	p, err := g.Path(tensor.CHW, tensor.WCH)
+	if err != nil || len(p) != 2 {
+		t.Fatalf("Path = %v, %v", p, err)
+	}
+	if p[0].From != tensor.CHW || p[1].To != tensor.WCH || p[0].To != p[1].From {
+		t.Errorf("chain not contiguous: %v", p)
+	}
+	// CHW8 can only unpack via CHW4.
+	if c := g.Cost(tensor.CHW8, tensor.CHW); c != 2 {
+		t.Errorf("CHW8→CHW = %v, want 2", c)
+	}
+}
+
+func TestFullReachability(t *testing.T) {
+	// The shipped transform set connects every pair of layouts, possibly
+	// via chains — the paper's setting where the closure is finite.
+	g := New(tensor.DirectTransforms(), unitCost)
+	for _, a := range tensor.Layouts() {
+		for _, b := range tensor.Layouts() {
+			if math.IsInf(g.Cost(a, b), 1) {
+				t.Errorf("%s→%s unreachable", a, b)
+			}
+		}
+	}
+}
+
+func TestUnreachableIsInf(t *testing.T) {
+	// With only one direct routine, most pairs are unreachable.
+	trs := tensor.DirectTransforms()[:1] // CHW→HWC
+	g := New(trs, unitCost)
+	if !math.IsInf(g.Cost(tensor.HWC, tensor.CHW), 1) {
+		t.Error("reverse should be unreachable")
+	}
+	if _, err := g.Path(tensor.HWC, tensor.CHW); err == nil {
+		t.Error("Path should fail when unreachable")
+	}
+}
+
+// TestTriangleInequality: property test — the closure must satisfy
+// dist(a,c) ≤ dist(a,b)+dist(b,c) for any cost assignment.
+func TestTriangleInequality(t *testing.T) {
+	f := func(seed int64) bool {
+		costs := map[string]float64{}
+		rng := seed
+		for _, tr := range tensor.DirectTransforms() {
+			rng = rng*6364136223846793005 + 1442695040888963407
+			costs[tr.Name] = float64(uint64(rng)%1000) / 100
+		}
+		g := New(tensor.DirectTransforms(), func(tr tensor.Transform) float64 {
+			return costs[tr.Name]
+		})
+		for _, a := range tensor.Layouts() {
+			for _, b := range tensor.Layouts() {
+				for _, c := range tensor.Layouts() {
+					if g.Cost(a, c) > g.Cost(a, b)+g.Cost(b, c)+1e-9 {
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPathCostConsistency: the materialized chain's summed edge costs
+// equal the closed-form distance.
+func TestPathCostConsistency(t *testing.T) {
+	costs := map[string]float64{}
+	v := 1.0
+	for _, tr := range tensor.DirectTransforms() {
+		costs[tr.Name] = v
+		v += 0.7
+	}
+	cf := func(tr tensor.Transform) float64 { return costs[tr.Name] }
+	g := New(tensor.DirectTransforms(), cf)
+	for _, a := range tensor.Layouts() {
+		for _, b := range tensor.Layouts() {
+			p, err := g.Path(a, b)
+			if err != nil {
+				t.Fatalf("%s→%s: %v", a, b, err)
+			}
+			sum := 0.0
+			for _, tr := range p {
+				sum += costs[tr.Name]
+			}
+			if math.Abs(sum-g.Cost(a, b)) > 1e-9 {
+				t.Errorf("%s→%s: path sum %v != dist %v", a, b, sum, g.Cost(a, b))
+			}
+		}
+	}
+}
+
+// TestApplyPreservesData: converting a tensor along any closure path
+// preserves all values.
+func TestApplyPreservesData(t *testing.T) {
+	g := New(tensor.DirectTransforms(), unitCost)
+	src := tensor.New(tensor.CHW, 5, 6, 7)
+	src.FillRandom(11)
+	for _, to := range tensor.Layouts() {
+		got, err := g.Apply(src.Clone(), to)
+		if err != nil {
+			t.Fatalf("Apply to %s: %v", to, err)
+		}
+		if got.Layout != to {
+			t.Errorf("Apply to %s produced %s", to, got.Layout)
+		}
+		if !tensor.AlmostEqual(src, got, 0) {
+			t.Errorf("Apply to %s corrupted data", to)
+		}
+	}
+}
+
+func TestNegativeCostRejected(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("negative cost should panic")
+		}
+	}()
+	New(tensor.DirectTransforms(), func(tensor.Transform) float64 { return -1 })
+}

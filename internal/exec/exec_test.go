@@ -1,0 +1,217 @@
+package exec
+
+import (
+	"strings"
+	"testing"
+
+	"pbqpdnn/internal/conv"
+	"pbqpdnn/internal/cost"
+	"pbqpdnn/internal/dnn"
+	"pbqpdnn/internal/selector"
+	"pbqpdnn/internal/tensor"
+)
+
+// tinyDAG builds a small inception-style DAG that exercises conv, relu,
+// both pools, LRN, concat, fc and softmax at testable sizes.
+func tinyDAG() *dnn.Graph {
+	b, x := dnn.NewBuilder("tiny-dag", 3, 20, 20)
+	x = b.Conv(x, "stem", 8, 3, 1, 1)
+	x = b.ReLU(x, "stem-relu")
+	x = b.LRN(x, "stem-lrn")
+	x = b.MaxPool(x, "pool1", 2, 2, 0) // 10×10
+
+	b1 := b.Conv(x, "b1/1x1", 4, 1, 1, 0)
+	b2 := b.Conv(x, "b2/reduce", 4, 1, 1, 0)
+	b2 = b.Conv(b2, "b2/3x3", 8, 3, 1, 1)
+	b3 := b.Conv(x, "b3/5x5", 4, 5, 1, 2)
+	b4 := b.MaxPool(x, "b4/pool", 3, 1, 1)
+	b4 = b.Conv(b4, "b4/proj", 4, 1, 1, 0)
+	x = b.Concat("cat", b1, b2, b3, b4) // 20 channels
+
+	x = b.AvgPool(x, "gap", 10, 1, 0) // 1×1
+	x = b.FC(x, "fc", 10)
+	x = b.Softmax(x, "prob")
+	return func() *dnn.Graph { return b.Graph() }()
+}
+
+func tinyChain() *dnn.Graph {
+	b, x := dnn.NewBuilder("tiny-chain", 4, 16, 16)
+	x = b.Conv(x, "c1", 8, 3, 1, 1)
+	x = b.ReLU(x, "r1")
+	x = b.Conv(x, "c2", 8, 5, 1, 2)
+	x = b.MaxPool(x, "p1", 2, 2, 0)
+	x = b.Conv(x, "c3", 6, 3, 2, 1) // strided
+	x = b.Softmax(x, "sm")
+	return func() *dnn.Graph { return b.Graph() }()
+}
+
+func runBoth(t *testing.T, net *dnn.Graph, opts selector.Options) (*tensor.Tensor, *tensor.Tensor) {
+	t.Helper()
+	w := NewWeights(net)
+	in := tensor.New(tensor.CHW, net.Layers[0].OutC, net.Layers[0].OutH, net.Layers[0].OutW)
+	in.FillRandom(99)
+	plan, err := selector.Select(net, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Run(plan, in.Clone(), w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := Reference(net, in.Clone(), w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return got, want
+}
+
+// TestOptimizedPlanMatchesReference is the end-to-end soundness gate:
+// whatever primitives and layout chains the optimizer picks, the
+// network must compute the same function as the textbook reference.
+func TestOptimizedPlanMatchesReference(t *testing.T) {
+	for _, net := range []*dnn.Graph{tinyChain(), tinyDAG()} {
+		for _, m := range cost.Machines() {
+			for _, threads := range []int{1, 4} {
+				got, want := runBoth(t, net, selector.Options{Prof: cost.NewModel(m), Threads: threads})
+				if !tensor.AlmostEqual(got, want, 1e-3) {
+					t.Errorf("%s on %s (threads=%d): output diverges by %g",
+						net.Name, m.Name, threads, tensor.MaxAbsDiff(got, want))
+				}
+			}
+		}
+	}
+}
+
+// TestAllStrategiesComputeSameFunction runs every evaluation strategy
+// end to end on the DAG network.
+func TestAllStrategiesComputeSameFunction(t *testing.T) {
+	net := tinyDAG()
+	opts := selector.Options{Prof: cost.NewModel(cost.IntelHaswell), Threads: 2}
+	w := NewWeights(net)
+	in := tensor.New(tensor.CHW, 3, 20, 20)
+	in.FillRandom(5)
+	want, err := Reference(net, in.Clone(), w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plans := map[string]func() (*selector.Plan, error){
+		"pbqp":      func() (*selector.Plan, error) { return selector.Select(net, opts) },
+		"winograd":  func() (*selector.Plan, error) { return selector.FamilyBest(net, conv.FamilyWinograd, opts) },
+		"im2":       func() (*selector.Plan, error) { return selector.FamilyBest(net, conv.FamilyIm2, opts) },
+		"kn2":       func() (*selector.Plan, error) { return selector.FamilyBest(net, conv.FamilyKn2, opts) },
+		"direct":    func() (*selector.Plan, error) { return selector.FamilyBest(net, conv.FamilyDirect, opts) },
+		"fft":       func() (*selector.Plan, error) { return selector.FamilyBest(net, conv.FamilyFFT, opts) },
+		"local-opt": func() (*selector.Plan, error) { return selector.LocalOptimal(net, tensor.CHW, opts) },
+		"no-edge":   func() (*selector.Plan, error) { return selector.NoEdgeCost(net, opts) },
+		"caffe":     func() (*selector.Plan, error) { return selector.CaffeProxy(net, opts) },
+		"mkldnn":    func() (*selector.Plan, error) { return selector.MKLDNNProxy(net, opts) },
+		"armcl":     func() (*selector.Plan, error) { return selector.ARMCLProxy(net, opts) },
+	}
+	for name, mk := range plans {
+		plan, err := mk()
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		got, err := Run(plan, in.Clone(), w)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if !tensor.AlmostEqual(got, want, 1e-3) {
+			t.Errorf("%s: output diverges by %g", name, tensor.MaxAbsDiff(got, want))
+		}
+	}
+}
+
+func TestSoftmaxOutputIsDistribution(t *testing.T) {
+	net := tinyChain()
+	w := NewWeights(net)
+	in := tensor.New(tensor.CHW, 4, 16, 16)
+	in.FillRandom(1)
+	out, err := Reference(net, in, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for h := 0; h < out.H; h++ {
+		for x := 0; x < out.W; x++ {
+			var sum float64
+			for c := 0; c < out.C; c++ {
+				v := out.At(c, h, x)
+				if v < 0 || v > 1 {
+					t.Fatalf("softmax value %v out of range", v)
+				}
+				sum += float64(v)
+			}
+			if sum < 0.999 || sum > 1.001 {
+				t.Errorf("softmax column sums to %v", sum)
+			}
+		}
+	}
+}
+
+func TestRunRejectsWrongInput(t *testing.T) {
+	net := tinyChain()
+	w := NewWeights(net)
+	plan, err := selector.Select(net, selector.Options{Prof: cost.NewModel(cost.IntelHaswell)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := tensor.New(tensor.CHW, 3, 16, 16) // wrong channel count
+	if _, err := Run(plan, bad, w); err == nil {
+		t.Error("expected error for mismatched input")
+	}
+}
+
+func TestWeightsDeterministic(t *testing.T) {
+	net := tinyChain()
+	a, b := NewWeights(net), NewWeights(net)
+	for id, k := range a.Kernels {
+		for i := range k.Data {
+			if k.Data[i] != b.Kernels[id].Data[i] {
+				t.Fatal("kernel weights not deterministic")
+			}
+		}
+	}
+}
+
+func TestGenerateProgram(t *testing.T) {
+	net := tinyDAG()
+	plan, err := selector.Select(net, selector.Options{Prof: cost.NewModel(cost.CortexA57), Threads: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := GenerateProgram(plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"// program for tiny-dag", "stem =", "cat = concat", "prob = softmax"} {
+		if !strings.Contains(prog, want) {
+			t.Errorf("program missing %q:\n%s", want, prog)
+		}
+	}
+	// Every selected primitive appears in the emitted program.
+	for _, p := range plan.Primitives {
+		if !strings.Contains(prog, p.Name+"(") {
+			t.Errorf("program does not call %s", p.Name)
+		}
+	}
+}
+
+func TestAvgPoolCounts(t *testing.T) {
+	in := tensor.New(tensor.CHW, 1, 4, 4)
+	for i := range in.Data {
+		in.Data[i] = 2
+	}
+	l := &dnn.Layer{OutC: 1, OutH: 2, OutW: 2, PoolK: 2, PoolStride: 2}
+	out := pool(in, l, false)
+	for _, v := range out.Data {
+		if v != 2 {
+			t.Errorf("avg of constant 2 = %v", v)
+		}
+	}
+	outMax := pool(in, l, true)
+	for _, v := range outMax.Data {
+		if v != 2 {
+			t.Errorf("max of constant 2 = %v", v)
+		}
+	}
+}

@@ -1,0 +1,143 @@
+package experiments
+
+import (
+	"fmt"
+
+	"pbqpdnn/internal/cost"
+)
+
+// Trend is one §5.8-style claim checked against regenerated data.
+type Trend struct {
+	Name string
+	OK   bool
+	Note string
+}
+
+// CheckTrends re-derives the paper's experimental trends (§5.6–§5.8)
+// from the whole-network grids and reports which hold. The benchmark
+// harness prints them; the test suite asserts them.
+func CheckTrends() ([]Trend, error) {
+	var ts []Trend
+	add := func(name string, ok bool, note string) {
+		ts = append(ts, Trend{Name: name, OK: ok, Note: note})
+	}
+
+	f5, err := Figure5()
+	if err != nil {
+		return nil, err
+	}
+	f6, err := Figure6()
+	if err != nil {
+		return nil, err
+	}
+	f7a, err := Figure7a()
+	if err != nil {
+		return nil, err
+	}
+	f7b, err := Figure7b()
+	if err != nil {
+		return nil, err
+	}
+	byNet := func(nrs []*NetworkResult) map[string]*NetworkResult {
+		m := map[string]*NetworkResult{}
+		for _, nr := range nrs {
+			m[nr.Network] = nr
+		}
+		return m
+	}
+	n5, n6, n7a, n7b := byNet(f5), byNet(f6), byNet(f7a), byNet(f7b)
+
+	// 1. PBQP is the best strategy on every network / platform / mode.
+	allBest := true
+	worstNote := ""
+	for _, grid := range [][]*NetworkResult{f5, f6, f7a, f7b} {
+		for _, nr := range grid {
+			if top := nr.SortedStrategies()[0]; top != "pbqp" {
+				allBest = false
+				worstNote = fmt.Sprintf("%s/%s/t%d topped by %s", nr.Network, nr.Machine, nr.Threads, top)
+			}
+		}
+	}
+	add("pbqp-dominates-everywhere", allBest, worstNote)
+
+	// 2. Winograd is the best non-PBQP family on the all-3×3 VGG nets
+	// but NOT on AlexNet/GoogleNet (§5.8: "no one convolution algorithm
+	// excels in every scenario").
+	winoVGG := true
+	for _, n := range []string{"vgg-b", "vgg-e"} {
+		w, _ := n5[n].Get("winograd")
+		for _, fam := range []string{"direct", "im2", "kn2", "fft"} {
+			if r, _ := n5[n].Get(fam); r.Speedup > w.Speedup {
+				winoVGG = false
+			}
+		}
+	}
+	add("winograd-supreme-on-vgg", winoVGG, "")
+	wGoogle, _ := n5["googlenet"].Get("winograd")
+	im2Google, _ := n5["googlenet"].Get("im2")
+	add("winograd-not-supreme-on-googlenet", wGoogle.Speedup < im2Google.Speedup,
+		fmt.Sprintf("wino %.2fx vs im2 %.2fx", wGoogle.Speedup, im2Google.Speedup))
+
+	// 3. GoogleNet + direct family on ARM single-threaded: the
+	// legalizing DT transforms produce a net slowdown (§5.8).
+	dG, _ := n7a["googlenet"].Get("direct")
+	add("direct-googlenet-arm-net-slowdown", dG.Speedup <= 1.0,
+		fmt.Sprintf("direct %.3fx", dG.Speedup))
+
+	// 4. Local-optimal CHW always helps (≥1×) but is always beaten by
+	// PBQP (§6).
+	loptOK := true
+	for _, grid := range [][]*NetworkResult{f5, f6, f7a, f7b} {
+		for _, nr := range grid {
+			lo, _ := nr.Get("local-opt")
+			pb, _ := nr.Get("pbqp")
+			if lo.Speedup < 1 || lo.Speedup >= pb.Speedup {
+				loptOK = false
+			}
+		}
+	}
+	add("local-opt-helps-but-loses", loptOK, "")
+
+	// 5. The PBQP-vs-vendor gap widens multithreaded (§5.6: "it is in
+	// multithreaded execution where the PBQP approach really shines",
+	// up to ~2× over the vendor library on VGG-E).
+	gapST := ratio(n5["vgg-e"], "pbqp", "mkldnn")
+	gapMT := ratio(n6["vgg-e"], "pbqp", "mkldnn")
+	add("mt-widens-vendor-gap", gapMT > gapST,
+		fmt.Sprintf("ST %.2fx → MT %.2fx", gapST, gapMT))
+
+	// 6. PBQP beats Caffe by a large factor on ARM multithreaded (§5.7:
+	// "up to 7x versus Caffe on the Cortex-A57").
+	cf := ratio(n7b["alexnet"], "pbqp", "caffe")
+	cg := ratio(n7b["googlenet"], "pbqp", "caffe")
+	add("arm-mt-beats-caffe", cf > 2 && cg > 2,
+		fmt.Sprintf("alexnet %.1fx googlenet %.1fx", cf, cg))
+
+	// 7. Solver overhead: < 1 s and provably optimal for every network
+	// (§5.4).
+	ov, err := SolverOverheads(cost.IntelHaswell, 4)
+	if err != nil {
+		return nil, err
+	}
+	solverOK := true
+	note := ""
+	for n, r := range ov {
+		if !r.Optimal || r.SolveMS > 1000 {
+			solverOK = false
+			note = fmt.Sprintf("%s: optimal=%v solve=%.1fms", n, r.Optimal, r.SolveMS)
+		}
+	}
+	add("solver-fast-and-optimal", solverOK, note)
+
+	return ts, nil
+}
+
+// ratio returns speedup(a)/speedup(b) within one bar group.
+func ratio(nr *NetworkResult, a, b string) float64 {
+	ra, _ := nr.Get(a)
+	rb, _ := nr.Get(b)
+	if rb.Speedup == 0 {
+		return 0
+	}
+	return ra.Speedup / rb.Speedup
+}

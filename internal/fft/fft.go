@@ -1,0 +1,145 @@
+// Package fft provides the Fourier-transform substrate for the paper's
+// fft convolution family: an iterative radix-2 complex FFT and 1D linear
+// convolution via the convolution theorem. The primitives compute 2D DNN
+// convolution as a sum of 1D FFT convolutions (paper §4), which needs
+// less space than a full 2D FFT at the cost of more operations.
+package fft
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+)
+
+// NextPow2 returns the smallest power of two ≥ n (and ≥ 1).
+func NextPow2(n int) int {
+	if n <= 1 {
+		return 1
+	}
+	return 1 << bits.Len(uint(n-1))
+}
+
+// IsPow2 reports whether n is a positive power of two.
+func IsPow2(n int) bool { return n > 0 && n&(n-1) == 0 }
+
+// InPlace computes the in-place radix-2 Cooley–Tukey FFT of x, whose
+// length must be a power of two. If inverse is true the inverse DFT is
+// computed, including the 1/N normalization.
+func InPlace(x []complex128, inverse bool) {
+	n := len(x)
+	if !IsPow2(n) {
+		panic(fmt.Sprintf("fft: length %d is not a power of two", n))
+	}
+	// Bit-reversal permutation.
+	shift := 64 - uint(bits.Len(uint(n-1)))
+	if n == 1 {
+		return
+	}
+	for i := 0; i < n; i++ {
+		j := int(bits.Reverse64(uint64(i)) >> shift)
+		if j > i {
+			x[i], x[j] = x[j], x[i]
+		}
+	}
+	sign := -1.0
+	if inverse {
+		sign = 1.0
+	}
+	for size := 2; size <= n; size <<= 1 {
+		ang := sign * 2 * math.Pi / float64(size)
+		wn := complex(math.Cos(ang), math.Sin(ang))
+		for start := 0; start < n; start += size {
+			w := complex(1, 0)
+			half := size / 2
+			for k := 0; k < half; k++ {
+				u := x[start+k]
+				v := x[start+k+half] * w
+				x[start+k] = u + v
+				x[start+k+half] = u - v
+				w *= wn
+			}
+		}
+	}
+	if inverse {
+		inv := complex(1/float64(n), 0)
+		for i := range x {
+			x[i] *= inv
+		}
+	}
+}
+
+// Forward returns the DFT of x padded to the next power of two ≥ size.
+func Forward(x []float32, size int) []complex128 {
+	n := NextPow2(size)
+	out := make([]complex128, n)
+	for i, v := range x {
+		out[i] = complex(float64(v), 0)
+	}
+	InPlace(out, false)
+	return out
+}
+
+// ConvolveReal returns the full linear convolution of a and b
+// (length len(a)+len(b)-1) computed via the convolution theorem.
+func ConvolveReal(a, b []float32) []float32 {
+	if len(a) == 0 || len(b) == 0 {
+		return nil
+	}
+	outLen := len(a) + len(b) - 1
+	n := NextPow2(outLen)
+	fa := make([]complex128, n)
+	fb := make([]complex128, n)
+	for i, v := range a {
+		fa[i] = complex(float64(v), 0)
+	}
+	for i, v := range b {
+		fb[i] = complex(float64(v), 0)
+	}
+	InPlace(fa, false)
+	InPlace(fb, false)
+	for i := range fa {
+		fa[i] *= fb[i]
+	}
+	InPlace(fa, true)
+	out := make([]float32, outLen)
+	for i := range out {
+		out[i] = float32(real(fa[i]))
+	}
+	return out
+}
+
+// Pointwise multiplies spectrum a by spectrum b elementwise into a.
+// Both spectra must have equal power-of-two length.
+func Pointwise(a, b []complex128) {
+	if len(a) != len(b) {
+		panic("fft: spectrum length mismatch")
+	}
+	for i := range a {
+		a[i] *= b[i]
+	}
+}
+
+// ConvolveRealPre performs linear convolution of signal a against a
+// kernel whose forward spectrum fb (of power-of-two length n ≥
+// len(a)+kLen-1) has been precomputed with Forward. This lets a
+// convolution primitive transform each kernel row once and reuse it for
+// every image row.
+func ConvolveRealPre(a []float32, fb []complex128, kLen int) []float32 {
+	outLen := len(a) + kLen - 1
+	n := len(fb)
+	if !IsPow2(n) || n < outLen {
+		panic(fmt.Sprintf("fft: precomputed spectrum length %d too small for output %d", n, outLen))
+	}
+	fa := make([]complex128, n)
+	for i, v := range a {
+		fa[i] = complex(float64(v), 0)
+	}
+	InPlace(fa, false)
+	Pointwise(fa, fb)
+	InPlace(fa, true)
+	out := make([]float32, outLen)
+	for i := range out {
+		out[i] = float32(real(fa[i]))
+	}
+	return out
+}

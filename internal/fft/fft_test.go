@@ -1,0 +1,205 @@
+package fft
+
+import (
+	"math"
+	"math/cmplx"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNextPow2(t *testing.T) {
+	cases := map[int]int{-3: 1, 0: 1, 1: 1, 2: 2, 3: 4, 4: 4, 5: 8, 17: 32, 1024: 1024, 1025: 2048}
+	for in, want := range cases {
+		if got := NextPow2(in); got != want {
+			t.Errorf("NextPow2(%d) = %d, want %d", in, got, want)
+		}
+	}
+}
+
+func TestIsPow2(t *testing.T) {
+	for _, n := range []int{1, 2, 4, 8, 1 << 20} {
+		if !IsPow2(n) {
+			t.Errorf("IsPow2(%d) = false", n)
+		}
+	}
+	for _, n := range []int{0, -2, 3, 6, 12} {
+		if IsPow2(n) {
+			t.Errorf("IsPow2(%d) = true", n)
+		}
+	}
+}
+
+// naiveDFT is the O(n²) reference transform.
+func naiveDFT(x []complex128, inverse bool) []complex128 {
+	n := len(x)
+	out := make([]complex128, n)
+	sign := -1.0
+	if inverse {
+		sign = 1.0
+	}
+	for k := 0; k < n; k++ {
+		var s complex128
+		for j := 0; j < n; j++ {
+			s += x[j] * cmplx.Exp(complex(0, sign*2*math.Pi*float64(k*j)/float64(n)))
+		}
+		if inverse {
+			s /= complex(float64(n), 0)
+		}
+		out[k] = s
+	}
+	return out
+}
+
+func TestFFTMatchesNaiveDFT(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for _, n := range []int{1, 2, 4, 8, 16, 64} {
+		x := make([]complex128, n)
+		for i := range x {
+			x[i] = complex(rng.Float64()*2-1, rng.Float64()*2-1)
+		}
+		want := naiveDFT(x, false)
+		got := append([]complex128(nil), x...)
+		InPlace(got, false)
+		for i := range got {
+			if cmplx.Abs(got[i]-want[i]) > 1e-9*float64(n) {
+				t.Fatalf("n=%d: FFT[%d] = %v, want %v", n, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestFFTRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 << (1 + rng.Intn(7))
+		x := make([]complex128, n)
+		for i := range x {
+			x[i] = complex(rng.Float64(), rng.Float64())
+		}
+		y := append([]complex128(nil), x...)
+		InPlace(y, false)
+		InPlace(y, true)
+		for i := range y {
+			if cmplx.Abs(y[i]-x[i]) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFFTRejectsNonPow2(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for non-power-of-two length")
+		}
+	}()
+	InPlace(make([]complex128, 6), false)
+}
+
+func naiveConv(a, b []float32) []float32 {
+	out := make([]float32, len(a)+len(b)-1)
+	for i := range a {
+		for j := range b {
+			out[i+j] += a[i] * b[j]
+		}
+	}
+	return out
+}
+
+func TestConvolveReal(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for _, pair := range [][2]int{{1, 1}, {4, 3}, {7, 5}, {16, 11}, {31, 3}, {1, 9}} {
+		a := make([]float32, pair[0])
+		b := make([]float32, pair[1])
+		for i := range a {
+			a[i] = rng.Float32()*2 - 1
+		}
+		for i := range b {
+			b[i] = rng.Float32()*2 - 1
+		}
+		got := ConvolveReal(a, b)
+		want := naiveConv(a, b)
+		if len(got) != len(want) {
+			t.Fatalf("len = %d, want %d", len(got), len(want))
+		}
+		for i := range got {
+			if math.Abs(float64(got[i]-want[i])) > 1e-4 {
+				t.Fatalf("conv %v: out[%d] = %v, want %v", pair, i, got[i], want[i])
+			}
+		}
+	}
+	if out := ConvolveReal(nil, []float32{1}); out != nil {
+		t.Error("empty input should give nil")
+	}
+}
+
+func TestConvolveRealPre(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	a := make([]float32, 20)
+	k := make([]float32, 5)
+	for i := range a {
+		a[i] = rng.Float32()
+	}
+	for i := range k {
+		k[i] = rng.Float32()
+	}
+	n := NextPow2(len(a) + len(k) - 1)
+	fk := Forward(k, n)
+	got := ConvolveRealPre(a, fk, len(k))
+	want := naiveConv(a, k)
+	for i := range want {
+		if math.Abs(float64(got[i]-want[i])) > 1e-4 {
+			t.Fatalf("out[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestPointwiseMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic on length mismatch")
+		}
+	}()
+	Pointwise(make([]complex128, 4), make([]complex128, 8))
+}
+
+// TestParsevalEnergy: property test — the DFT preserves energy up to the
+// 1/N normalization (Parseval's theorem).
+func TestParsevalEnergy(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 << (2 + rng.Intn(6))
+		x := make([]complex128, n)
+		var te float64
+		for i := range x {
+			x[i] = complex(rng.Float64()*2-1, 0)
+			te += real(x[i]) * real(x[i])
+		}
+		InPlace(x, false)
+		var fe float64
+		for i := range x {
+			fe += real(x[i])*real(x[i]) + imag(x[i])*imag(x[i])
+		}
+		return math.Abs(te-fe/float64(n)) < 1e-8*float64(n)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkFFT1024(b *testing.B) {
+	x := make([]complex128, 1024)
+	for i := range x {
+		x[i] = complex(float64(i%17), 0)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		y := append([]complex128(nil), x...)
+		InPlace(y, false)
+	}
+}

@@ -1,0 +1,169 @@
+// Package gemm is the matrix-multiplication substrate standing in for
+// OpenBLAS in the paper's primitive library. All matrices are dense
+// row-major float32 slices. Several kernels with different blocking and
+// threading strategies are provided; the im2 and kn2 convolution
+// families are built on top of them.
+package gemm
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+)
+
+func checkDims(m, n, k int, a, b, c []float32) {
+	if m < 0 || n < 0 || k < 0 {
+		panic(fmt.Sprintf("gemm: negative dims m=%d n=%d k=%d", m, n, k))
+	}
+	if len(a) < m*k || len(b) < k*n || len(c) < m*n {
+		panic(fmt.Sprintf("gemm: buffer too small for m=%d n=%d k=%d (a=%d b=%d c=%d)",
+			m, n, k, len(a), len(b), len(c)))
+	}
+}
+
+// Naive computes C = A·B with the textbook triple loop (ijk order).
+// A is m×k, B is k×n, C is m×n, all row-major. C is overwritten.
+func Naive(m, n, k int, a, b, c []float32) {
+	checkDims(m, n, k, a, b, c)
+	for i := 0; i < m; i++ {
+		for j := 0; j < n; j++ {
+			var s float32
+			for p := 0; p < k; p++ {
+				s += a[i*k+p] * b[p*n+j]
+			}
+			c[i*n+j] = s
+		}
+	}
+}
+
+// IKJ computes C = A·B with the cache-friendlier ikj loop order, which
+// streams both B and C rows. C is overwritten.
+func IKJ(m, n, k int, a, b, c []float32) {
+	checkDims(m, n, k, a, b, c)
+	for i := 0; i < m; i++ {
+		ci := c[i*n : i*n+n]
+		for j := range ci {
+			ci[j] = 0
+		}
+		for p := 0; p < k; p++ {
+			av := a[i*k+p]
+			if av == 0 {
+				continue
+			}
+			bp := b[p*n : p*n+n]
+			for j, bv := range bp {
+				ci[j] += av * bv
+			}
+		}
+	}
+}
+
+// Accumulate computes C += A·B using the ikj order. Unlike the other
+// kernels it does not clear C first; the kn2 convolution family relies on
+// this to sum partial products in place.
+func Accumulate(m, n, k int, a, b, c []float32) {
+	checkDims(m, n, k, a, b, c)
+	for i := 0; i < m; i++ {
+		ci := c[i*n : i*n+n]
+		for p := 0; p < k; p++ {
+			av := a[i*k+p]
+			if av == 0 {
+				continue
+			}
+			bp := b[p*n : p*n+n]
+			for j, bv := range bp {
+				ci[j] += av * bv
+			}
+		}
+	}
+}
+
+// TransB computes C = A·Bᵀ where bt holds B transposed as an n×k
+// row-major matrix. Both input panels are then traversed row-wise, which
+// is the "BT" kernel variant the paper's Figure 4 selects on ARM.
+func TransB(m, n, k int, a, bt, c []float32) {
+	if len(a) < m*k || len(bt) < n*k || len(c) < m*n {
+		panic(fmt.Sprintf("gemm: buffer too small for TransB m=%d n=%d k=%d", m, n, k))
+	}
+	for i := 0; i < m; i++ {
+		ai := a[i*k : i*k+k]
+		for j := 0; j < n; j++ {
+			bj := bt[j*k : j*k+k]
+			var s float32
+			for p := range ai {
+				s += ai[p] * bj[p]
+			}
+			c[i*n+j] = s
+		}
+	}
+}
+
+// DefaultBlock is the tile edge used by Blocked when the caller passes a
+// non-positive block size.
+const DefaultBlock = 48
+
+// Blocked computes C = A·B with three-level loop tiling (block×block
+// tiles, ikj inside each tile). C is overwritten.
+func Blocked(m, n, k, block int, a, b, c []float32) {
+	checkDims(m, n, k, a, b, c)
+	if block <= 0 {
+		block = DefaultBlock
+	}
+	for i := range c[:m*n] {
+		c[i] = 0
+	}
+	for i0 := 0; i0 < m; i0 += block {
+		imax := min(i0+block, m)
+		for p0 := 0; p0 < k; p0 += block {
+			pmax := min(p0+block, k)
+			for j0 := 0; j0 < n; j0 += block {
+				jmax := min(j0+block, n)
+				for i := i0; i < imax; i++ {
+					ci := c[i*n : i*n+n]
+					for p := p0; p < pmax; p++ {
+						av := a[i*k+p]
+						if av == 0 {
+							continue
+						}
+						bp := b[p*n : p*n+n]
+						for j := j0; j < jmax; j++ {
+							ci[j] += av * bp[j]
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// Parallel computes C = A·B splitting the rows of A across `threads`
+// goroutines (each worker uses the ikj kernel on its row slab). A
+// non-positive thread count uses GOMAXPROCS.
+func Parallel(threads, m, n, k int, a, b, c []float32) {
+	checkDims(m, n, k, a, b, c)
+	if threads <= 0 {
+		threads = runtime.GOMAXPROCS(0)
+	}
+	if threads > m {
+		threads = m
+	}
+	if threads <= 1 {
+		IKJ(m, n, k, a, b, c)
+		return
+	}
+	var wg sync.WaitGroup
+	rows := (m + threads - 1) / threads
+	for t := 0; t < threads; t++ {
+		lo := t * rows
+		hi := min(lo+rows, m)
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			IKJ(hi-lo, n, k, a[lo*k:], b, c[lo*n:])
+		}(lo, hi)
+	}
+	wg.Wait()
+}

@@ -1,0 +1,191 @@
+package gemm
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func randMat(rng *rand.Rand, n int) []float32 {
+	m := make([]float32, n)
+	for i := range m {
+		m[i] = rng.Float32()*2 - 1
+	}
+	return m
+}
+
+func transpose(rows, cols int, a []float32) []float32 {
+	t := make([]float32, len(a))
+	for i := 0; i < rows; i++ {
+		for j := 0; j < cols; j++ {
+			t[j*rows+i] = a[i*cols+j]
+		}
+	}
+	return t
+}
+
+func maxDiff(a, b []float32) float64 {
+	var d float64
+	for i := range a {
+		if v := math.Abs(float64(a[i] - b[i])); v > d {
+			d = v
+		}
+	}
+	return d
+}
+
+// TestKernelsAgree checks every GEMM kernel against Naive on a grid of
+// shapes, including degenerate and non-square ones.
+func TestKernelsAgree(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	shapes := [][3]int{{1, 1, 1}, {2, 3, 4}, {5, 5, 5}, {7, 1, 9}, {1, 8, 3},
+		{16, 16, 16}, {33, 17, 29}, {50, 50, 50}, {64, 3, 64}}
+	for _, s := range shapes {
+		m, n, k := s[0], s[1], s[2]
+		a, b := randMat(rng, m*k), randMat(rng, k*n)
+		want := make([]float32, m*n)
+		Naive(m, n, k, a, b, want)
+
+		got := make([]float32, m*n)
+		IKJ(m, n, k, a, b, got)
+		if d := maxDiff(got, want); d > 1e-4 {
+			t.Errorf("IKJ %v: diff %g", s, d)
+		}
+
+		for i := range got {
+			got[i] = 0
+		}
+		Accumulate(m, n, k, a, b, got)
+		if d := maxDiff(got, want); d > 1e-4 {
+			t.Errorf("Accumulate %v: diff %g", s, d)
+		}
+
+		TransB(m, n, k, a, transpose(k, n, b), got)
+		if d := maxDiff(got, want); d > 1e-4 {
+			t.Errorf("TransB %v: diff %g", s, d)
+		}
+
+		for _, block := range []int{0, 1, 4, 8, 64} {
+			Blocked(m, n, k, block, a, b, got)
+			if d := maxDiff(got, want); d > 1e-4 {
+				t.Errorf("Blocked(%d) %v: diff %g", block, s, d)
+			}
+		}
+
+		for _, th := range []int{1, 2, 4, 9} {
+			Parallel(th, m, n, k, a, b, got)
+			if d := maxDiff(got, want); d > 1e-4 {
+				t.Errorf("Parallel(%d) %v: diff %g", th, s, d)
+			}
+		}
+	}
+}
+
+// TestAccumulateAdds verifies Accumulate really adds onto existing C
+// contents instead of clearing them.
+func TestAccumulateAdds(t *testing.T) {
+	a := []float32{1, 2, 3, 4} // 2×2
+	b := []float32{5, 6, 7, 8}
+	c := []float32{100, 100, 100, 100}
+	Accumulate(2, 2, 2, a, b, c)
+	want := []float32{100 + 19, 100 + 22, 100 + 43, 100 + 50}
+	if maxDiff(c, want) != 0 {
+		t.Errorf("Accumulate got %v, want %v", c, want)
+	}
+}
+
+func TestGemmPanicsOnShortBuffers(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic on short buffer")
+		}
+	}()
+	Naive(2, 2, 2, make([]float32, 3), make([]float32, 4), make([]float32, 4))
+}
+
+// TestGemmLinearity: property test — GEMM is linear in A, so
+// (A1+A2)·B = A1·B + A2·B.
+func TestGemmLinearity(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m, n, k := 1+rng.Intn(8), 1+rng.Intn(8), 1+rng.Intn(8)
+		a1, a2, b := randMat(rng, m*k), randMat(rng, m*k), randMat(rng, k*n)
+		sum := make([]float32, m*k)
+		for i := range sum {
+			sum[i] = a1[i] + a2[i]
+		}
+		c1 := make([]float32, m*n)
+		c2 := make([]float32, m*n)
+		cs := make([]float32, m*n)
+		IKJ(m, n, k, a1, b, c1)
+		IKJ(m, n, k, a2, b, c2)
+		IKJ(m, n, k, sum, b, cs)
+		for i := range cs {
+			if math.Abs(float64(cs[i]-(c1[i]+c2[i]))) > 1e-4 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCSRRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	rows, cols := 13, 9
+	a := make([]float32, rows*cols)
+	for i := range a {
+		if rng.Float64() < 0.3 {
+			a[i] = rng.Float32()
+		}
+	}
+	s := NewCSR(rows, cols, a)
+	if s.NNZ() == 0 {
+		t.Fatal("expected some non-zeros")
+	}
+	if d := s.Density(); d <= 0 || d > 1 {
+		t.Errorf("Density = %v", d)
+	}
+	n := 7
+	b := randMat(rng, cols*n)
+	want := make([]float32, rows*n)
+	Naive(rows, n, cols, a, b, want)
+	got := make([]float32, rows*n)
+	s.SpMM(n, b, got)
+	if d := maxDiff(got, want); d > 1e-4 {
+		t.Errorf("SpMM diff %g", d)
+	}
+	// SpMMAcc adds on top.
+	s.SpMMAcc(n, b, got)
+	for i := range got {
+		want[i] *= 2
+	}
+	if d := maxDiff(got, want); d > 1e-4 {
+		t.Errorf("SpMMAcc diff %g", d)
+	}
+}
+
+func TestCSREmptyMatrix(t *testing.T) {
+	s := NewCSR(0, 0, nil)
+	if s.Density() != 0 || s.NNZ() != 0 {
+		t.Error("empty CSR should have zero density and nnz")
+	}
+}
+
+func BenchmarkGemmNaive64(b *testing.B) { benchGemm(b, Naive, 64) }
+func BenchmarkGemmIKJ64(b *testing.B)   { benchGemm(b, IKJ, 64) }
+func BenchmarkGemmBlocked64(b *testing.B) {
+	benchGemm(b, func(m, n, k int, x, y, z []float32) { Blocked(m, n, k, 0, x, y, z) }, 64)
+}
+
+func benchGemm(b *testing.B, f func(m, n, k int, a, x, c []float32), n int) {
+	rng := rand.New(rand.NewSource(1))
+	a, x, c := randMat(rng, n*n), randMat(rng, n*n), make([]float32, n*n)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		f(n, n, n, a, x, c)
+	}
+}

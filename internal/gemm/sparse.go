@@ -1,0 +1,72 @@
+package gemm
+
+// CSR is a compressed-sparse-row float32 matrix, the substrate for the
+// sparsity-aware convolution primitives described in the paper's future
+// work (§8): a kernel matrix with many zero weights can be multiplied in
+// time proportional to its non-zeros.
+type CSR struct {
+	Rows, Cols int
+	RowPtr     []int32
+	ColIdx     []int32
+	Val        []float32
+}
+
+// NewCSR compresses the dense row-major rows×cols matrix a, dropping
+// exact zeros.
+func NewCSR(rows, cols int, a []float32) *CSR {
+	m := &CSR{Rows: rows, Cols: cols, RowPtr: make([]int32, rows+1)}
+	for i := 0; i < rows; i++ {
+		for j := 0; j < cols; j++ {
+			if v := a[i*cols+j]; v != 0 {
+				m.ColIdx = append(m.ColIdx, int32(j))
+				m.Val = append(m.Val, v)
+			}
+		}
+		m.RowPtr[i+1] = int32(len(m.Val))
+	}
+	return m
+}
+
+// NNZ returns the number of stored non-zeros.
+func (m *CSR) NNZ() int { return len(m.Val) }
+
+// Density returns the fraction of entries that are non-zero.
+func (m *CSR) Density() float64 {
+	if m.Rows*m.Cols == 0 {
+		return 0
+	}
+	return float64(m.NNZ()) / float64(m.Rows*m.Cols)
+}
+
+// SpMM computes C = S·B where S is this CSR matrix (rows×cols), B is a
+// dense cols×n row-major matrix, and C is a dense rows×n matrix that is
+// overwritten.
+func (m *CSR) SpMM(n int, b, c []float32) {
+	for i := 0; i < m.Rows; i++ {
+		ci := c[i*n : i*n+n]
+		for j := range ci {
+			ci[j] = 0
+		}
+		for p := m.RowPtr[i]; p < m.RowPtr[i+1]; p++ {
+			av := m.Val[p]
+			bp := b[int(m.ColIdx[p])*n : int(m.ColIdx[p])*n+n]
+			for j, bv := range bp {
+				ci[j] += av * bv
+			}
+		}
+	}
+}
+
+// SpMMAcc computes C += S·B without clearing C first.
+func (m *CSR) SpMMAcc(n int, b, c []float32) {
+	for i := 0; i < m.Rows; i++ {
+		ci := c[i*n : i*n+n]
+		for p := m.RowPtr[i]; p < m.RowPtr[i+1]; p++ {
+			av := m.Val[p]
+			bp := b[int(m.ColIdx[p])*n : int(m.ColIdx[p])*n+n]
+			for j, bv := range bp {
+				ci[j] += av * bv
+			}
+		}
+	}
+}

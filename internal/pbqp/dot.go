@@ -1,0 +1,55 @@
+package pbqp
+
+import (
+	"fmt"
+	"strings"
+)
+
+// DOT renders the instance in Graphviz dot format, with node cost
+// vectors as labels and edge matrices summarized by their min/max
+// entries — handy for inspecting the instances the selector builds.
+// labels may be nil, in which case nodes are numbered.
+func (g *Graph) DOT(name string, labels []string) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "graph %q {\n  node [shape=box];\n", name)
+	for u, costs := range g.costs {
+		label := fmt.Sprintf("n%d", u)
+		if labels != nil && u < len(labels) {
+			label = labels[u]
+		}
+		fmt.Fprintf(&b, "  n%d [label=\"%s\\n%s\"];\n", u, label, vecString(costs, 6))
+	}
+	for u := range g.costs {
+		for v, m := range g.adj[u] {
+			if u >= v {
+				continue
+			}
+			lo, hi := m.V[0], m.V[0]
+			for _, x := range m.V {
+				if x < lo {
+					lo = x
+				}
+				if x > hi {
+					hi = x
+				}
+			}
+			fmt.Fprintf(&b, "  n%d -- n%d [label=\"%d×%d [%.3g,%.3g]\"];\n",
+				u, v, m.Rows, m.Cols, lo, hi)
+		}
+	}
+	b.WriteString("}\n")
+	return b.String()
+}
+
+// vecString prints at most n entries of a cost vector.
+func vecString(xs []float64, n int) string {
+	var parts []string
+	for i, x := range xs {
+		if i == n {
+			parts = append(parts, fmt.Sprintf("…(%d)", len(xs)))
+			break
+		}
+		parts = append(parts, fmt.Sprintf("%.3g", x))
+	}
+	return "(" + strings.Join(parts, ",") + ")"
+}

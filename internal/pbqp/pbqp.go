@@ -1,0 +1,158 @@
+// Package pbqp implements a Partitioned Boolean Quadratic Programming
+// solver in the style of Scholz/Eckstein and Hames/Scholz — the
+// "off-the-shelf PBQP solver" the paper uses. A PBQP instance is a
+// graph whose nodes carry cost vectors (one entry per possible
+// assignment) and whose edges carry cost matrices indexed by the pair of
+// endpoint assignments; the task is to pick one assignment per node
+// minimizing the total of node and edge costs.
+//
+// The solver applies the optimality-preserving degree reductions R0
+// (isolated node), RI (degree one) and RII (degree two) until the graph
+// is empty, falling back to either the RN heuristic (fast, possibly
+// suboptimal — the solution reports Optimal=false) or exact
+// branch-and-bound when irreducible nodes remain. Like the paper's
+// solver, it reports whether the returned solution is provably optimal.
+package pbqp
+
+import (
+	"fmt"
+	"math"
+)
+
+// Inf is the cost of a forbidden assignment pair (e.g. an unreachable
+// layout conversion in the paper's DT graph).
+var Inf = math.Inf(1)
+
+// Matrix is a dense Rows×Cols cost matrix attached to an edge. Rows are
+// indexed by the first endpoint's assignment, columns by the second's.
+type Matrix struct {
+	Rows, Cols int
+	V          []float64
+}
+
+// NewMatrix allocates a zero cost matrix.
+func NewMatrix(rows, cols int) *Matrix {
+	if rows < 1 || cols < 1 {
+		panic(fmt.Sprintf("pbqp: invalid matrix %d×%d", rows, cols))
+	}
+	return &Matrix{Rows: rows, Cols: cols, V: make([]float64, rows*cols)}
+}
+
+// At returns entry (i,j).
+func (m *Matrix) At(i, j int) float64 { return m.V[i*m.Cols+j] }
+
+// Set stores entry (i,j).
+func (m *Matrix) Set(i, j int, v float64) { m.V[i*m.Cols+j] = v }
+
+// Transpose returns a new transposed matrix.
+func (m *Matrix) Transpose() *Matrix {
+	t := NewMatrix(m.Cols, m.Rows)
+	for i := 0; i < m.Rows; i++ {
+		for j := 0; j < m.Cols; j++ {
+			t.V[j*m.Rows+i] = m.V[i*m.Cols+j]
+		}
+	}
+	return t
+}
+
+// add accumulates o into m (same shape).
+func (m *Matrix) add(o *Matrix) {
+	if m.Rows != o.Rows || m.Cols != o.Cols {
+		panic("pbqp: matrix shape mismatch in add")
+	}
+	for i := range m.V {
+		m.V[i] += o.V[i]
+	}
+}
+
+func (m *Matrix) clone() *Matrix {
+	c := &Matrix{Rows: m.Rows, Cols: m.Cols, V: make([]float64, len(m.V))}
+	copy(c.V, m.V)
+	return c
+}
+
+// Graph is a PBQP instance under construction. Parallel edges are
+// merged by summing their matrices, as the reduction algebra requires.
+type Graph struct {
+	costs [][]float64
+	// adj[u][v] holds the edge matrix oriented with u's assignments as
+	// rows; adj[v][u] holds the transposed view of the same values.
+	adj []map[int]*Matrix
+}
+
+// NewGraph returns an empty instance.
+func NewGraph() *Graph { return &Graph{} }
+
+// AddNode appends a node with the given assignment cost vector and
+// returns its id. The vector is copied.
+func (g *Graph) AddNode(costs []float64) int {
+	if len(costs) == 0 {
+		panic("pbqp: node needs at least one assignment")
+	}
+	g.costs = append(g.costs, append([]float64(nil), costs...))
+	g.adj = append(g.adj, map[int]*Matrix{})
+	return len(g.costs) - 1
+}
+
+// NumNodes returns the number of nodes added so far.
+func (g *Graph) NumNodes() int { return len(g.costs) }
+
+// Degree returns the number of distinct neighbors of node u.
+func (g *Graph) Degree(u int) int { return len(g.adj[u]) }
+
+// AddEdge attaches cost matrix m (rows = u's assignments, cols = v's)
+// to the edge {u,v}, summing with any existing matrix on that edge.
+func (g *Graph) AddEdge(u, v int, m *Matrix) {
+	if u == v {
+		panic("pbqp: self edge")
+	}
+	if u < 0 || v < 0 || u >= len(g.costs) || v >= len(g.costs) {
+		panic(fmt.Sprintf("pbqp: edge (%d,%d) out of range", u, v))
+	}
+	if m.Rows != len(g.costs[u]) || m.Cols != len(g.costs[v]) {
+		panic(fmt.Sprintf("pbqp: edge (%d,%d) matrix %d×%d does not match node domains %d,%d",
+			u, v, m.Rows, m.Cols, len(g.costs[u]), len(g.costs[v])))
+	}
+	if ex := g.adj[u][v]; ex != nil {
+		ex.add(m)
+		g.adj[v][u].add(m.Transpose())
+		return
+	}
+	g.adj[u][v] = m.clone()
+	g.adj[v][u] = m.Transpose()
+}
+
+// Evaluate returns the total cost of a full assignment (selection[u] is
+// node u's chosen index).
+func (g *Graph) Evaluate(selection []int) float64 {
+	if len(selection) != len(g.costs) {
+		panic("pbqp: selection length mismatch")
+	}
+	total := 0.0
+	for u, c := range g.costs {
+		total += c[selection[u]]
+	}
+	for u := range g.costs {
+		for v, m := range g.adj[u] {
+			if u < v {
+				total += m.At(selection[u], selection[v])
+			}
+		}
+	}
+	return total
+}
+
+// Solution is the solver's result.
+type Solution struct {
+	// Selection[u] is the chosen assignment index for node u.
+	Selection []int
+	// Cost is the total cost of the selection.
+	Cost float64
+	// Optimal reports whether the solution is provably optimal: true
+	// when the instance was solved by R0–RII reductions alone or by
+	// exact branch-and-bound.
+	Optimal bool
+	// Reductions counts applications of each reduction, keyed "R0",
+	// "RI", "RII", "RN", "branch".
+	Reductions map[string]int
+}

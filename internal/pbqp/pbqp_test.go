@@ -1,0 +1,372 @@
+package pbqp
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// bruteForce enumerates every assignment — the test oracle.
+func bruteForce(g *Graph) ([]int, float64) {
+	n := g.NumNodes()
+	sel := make([]int, n)
+	best := make([]int, n)
+	bestCost := math.Inf(1)
+	var rec func(u int)
+	rec = func(u int) {
+		if u == n {
+			if c := g.Evaluate(sel); c < bestCost {
+				bestCost = c
+				copy(best, sel)
+			}
+			return
+		}
+		for i := 0; i < len(g.costs[u]); i++ {
+			sel[u] = i
+			rec(u + 1)
+		}
+	}
+	rec(0)
+	return best, bestCost
+}
+
+func matrixFrom(rows, cols int, vals ...float64) *Matrix {
+	m := NewMatrix(rows, cols)
+	copy(m.V, vals)
+	return m
+}
+
+// paperFigure2 builds the worked example of the paper's Figure 2: a
+// three-node chain with node costs (8,6,10), (17,19,14), (20,17,22) and
+// the two 3×3 edge matrices shown in Figure 2b.
+func paperFigure2() *Graph {
+	g := NewGraph()
+	c1 := g.AddNode([]float64{8, 6, 10})
+	c2 := g.AddNode([]float64{17, 19, 14})
+	c3 := g.AddNode([]float64{20, 17, 22})
+	g.AddEdge(c1, c2, matrixFrom(3, 3,
+		0, 2, 4,
+		4, 0, 5,
+		2, 1, 0))
+	g.AddEdge(c2, c3, matrixFrom(3, 3,
+		0, 3, 5,
+		6, 0, 5,
+		1, 5, 0))
+	return g
+}
+
+// TestPaperFigure2NodeOnly reproduces Figure 2a: without edge costs the
+// optimum picks each node's cheapest primitive — B, C, B with total 37.
+func TestPaperFigure2NodeOnly(t *testing.T) {
+	g := NewGraph()
+	g.AddNode([]float64{8, 6, 10})
+	g.AddNode([]float64{17, 19, 14})
+	g.AddNode([]float64{20, 17, 22})
+	sol := g.Solve(Heuristic)
+	if !sol.Optimal {
+		t.Error("edgeless instance must be solved optimally")
+	}
+	if sol.Cost != 37 {
+		t.Errorf("cost = %v, want 37", sol.Cost)
+	}
+	want := []int{1, 2, 1} // B, C, B
+	for i, w := range want {
+		if sol.Selection[i] != w {
+			t.Errorf("node %d selection = %d, want %d", i, sol.Selection[i], w)
+		}
+	}
+}
+
+// TestPaperFigure2WithEdges solves the full Figure 2b instance. With
+// edge costs the node-only optimum (B,C,B = 37+edges) is no longer
+// optimal — exactly the paper's point. We assert the solver matches
+// exhaustive search. (The figure annotates its drawing with total 45;
+// enumerating the printed tables gives an optimum of 42 — see
+// EXPERIMENTS.md — so we pin against enumeration, not the annotation.)
+func TestPaperFigure2WithEdges(t *testing.T) {
+	g := paperFigure2()
+	wantSel, wantCost := bruteForce(g)
+	for _, mode := range []Mode{Heuristic, Exact} {
+		sol := g.Solve(mode)
+		if sol.Cost != wantCost {
+			t.Errorf("mode %d: cost %v, want %v (brute force)", mode, sol.Cost, wantCost)
+		}
+		if g.Evaluate(sol.Selection) != sol.Cost {
+			t.Errorf("mode %d: reported cost inconsistent with selection", mode)
+		}
+		if !sol.Optimal {
+			t.Errorf("mode %d: chain instance should be provably optimal", mode)
+		}
+	}
+	// The node-only optimum (B,C,B) must cost strictly more here.
+	if c := g.Evaluate([]int{1, 2, 1}); c <= wantCost {
+		t.Errorf("node-only selection costs %v, expected worse than %v", c, wantCost)
+	}
+	_ = wantSel
+}
+
+func TestEmptyGraph(t *testing.T) {
+	sol := NewGraph().Solve(Heuristic)
+	if sol.Cost != 0 || !sol.Optimal || len(sol.Selection) != 0 {
+		t.Errorf("empty graph: %+v", sol)
+	}
+}
+
+func TestSingleNode(t *testing.T) {
+	g := NewGraph()
+	g.AddNode([]float64{5, 3, 9})
+	sol := g.Solve(Heuristic)
+	if sol.Cost != 3 || sol.Selection[0] != 1 || !sol.Optimal {
+		t.Errorf("single node: %+v", sol)
+	}
+}
+
+func TestParallelEdgesMerge(t *testing.T) {
+	g := NewGraph()
+	u := g.AddNode([]float64{0, 0})
+	v := g.AddNode([]float64{0, 0})
+	g.AddEdge(u, v, matrixFrom(2, 2, 1, 2, 3, 4))
+	g.AddEdge(u, v, matrixFrom(2, 2, 10, 20, 30, 40))
+	if c := g.Evaluate([]int{1, 0}); c != 33 {
+		t.Errorf("merged edge cost = %v, want 33", c)
+	}
+	// Reversed orientation accumulates transposed.
+	g2 := NewGraph()
+	a := g2.AddNode([]float64{0, 0})
+	b := g2.AddNode([]float64{0, 0})
+	g2.AddEdge(a, b, matrixFrom(2, 2, 1, 2, 3, 4))
+	g2.AddEdge(b, a, matrixFrom(2, 2, 0, 100, 0, 0))
+	// The (b,a)-oriented matrix charges 100 when b=0 and a=1.
+	if c := g2.Evaluate([]int{1, 0}); c != 3+100 {
+		t.Errorf("cost = %v, want 103", c)
+	}
+	if c := g2.Evaluate([]int{0, 1}); c != 2+0 {
+		t.Errorf("cost = %v, want 2", c)
+	}
+}
+
+func TestInfForbidsAssignments(t *testing.T) {
+	g := NewGraph()
+	u := g.AddNode([]float64{1, 100})
+	v := g.AddNode([]float64{1, 100})
+	m := NewMatrix(2, 2)
+	m.Set(0, 0, Inf) // cheap-cheap is forbidden
+	g.AddEdge(u, v, m)
+	sol := g.Solve(Heuristic)
+	if math.IsInf(sol.Cost, 1) {
+		t.Fatal("solver chose a forbidden pair")
+	}
+	if sol.Cost != 101 {
+		t.Errorf("cost = %v, want 101", sol.Cost)
+	}
+}
+
+// TestDiamondDAG exercises RII on the shape that DNN concat/split
+// structures produce: a 4-cycle (after chain collapsing) like an
+// inception module.
+func TestDiamondDAG(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for trial := 0; trial < 30; trial++ {
+		g := NewGraph()
+		n := make([]int, 4)
+		for i := range n {
+			n[i] = g.AddNode([]float64{rng.Float64() * 10, rng.Float64() * 10, rng.Float64() * 10})
+		}
+		edges := [][2]int{{0, 1}, {0, 2}, {1, 3}, {2, 3}}
+		for _, e := range edges {
+			m := NewMatrix(3, 3)
+			for i := range m.V {
+				m.V[i] = rng.Float64() * 10
+			}
+			g.AddEdge(n[e[0]], n[e[1]], m)
+		}
+		_, wantCost := bruteForce(g)
+		solH := g.Solve(Heuristic)
+		solE := g.Solve(Exact)
+		if math.Abs(solE.Cost-wantCost) > 1e-9 {
+			t.Fatalf("trial %d: exact cost %v, want %v", trial, solE.Cost, wantCost)
+		}
+		// A 4-cycle is fully RII-reducible, so even the heuristic is
+		// provably optimal here.
+		if !solH.Optimal || math.Abs(solH.Cost-wantCost) > 1e-9 {
+			t.Fatalf("trial %d: heuristic %v (optimal=%v), want %v", trial, solH.Cost, solH.Optimal, wantCost)
+		}
+	}
+}
+
+// TestRandomGraphsExactMatchesBruteForce: property test over random
+// dense-ish graphs including negative costs.
+func TestRandomGraphsExactMatchesBruteForce(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		nNodes := 2 + rng.Intn(5)
+		g := NewGraph()
+		doms := make([]int, nNodes)
+		for i := range doms {
+			doms[i] = 1 + rng.Intn(3)
+			costs := make([]float64, doms[i])
+			for j := range costs {
+				costs[j] = rng.Float64()*20 - 5
+			}
+			g.AddNode(costs)
+		}
+		for u := 0; u < nNodes; u++ {
+			for v := u + 1; v < nNodes; v++ {
+				if rng.Float64() < 0.5 {
+					m := NewMatrix(doms[u], doms[v])
+					for i := range m.V {
+						m.V[i] = rng.Float64()*20 - 5
+					}
+					g.AddEdge(u, v, m)
+				}
+			}
+		}
+		_, wantCost := bruteForce(g)
+		sol := g.Solve(Exact)
+		return math.Abs(sol.Cost-wantCost) < 1e-9 &&
+			math.Abs(g.Evaluate(sol.Selection)-wantCost) < 1e-9 && sol.Optimal
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestHeuristicNeverBeatenByExactAndClose: the RN heuristic yields a
+// valid (if possibly suboptimal) solution whose cost is ≥ optimal.
+func TestHeuristicSoundness(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		nNodes := 3 + rng.Intn(4)
+		g := NewGraph()
+		for i := 0; i < nNodes; i++ {
+			g.AddNode([]float64{rng.Float64() * 10, rng.Float64() * 10})
+		}
+		for u := 0; u < nNodes; u++ {
+			for v := u + 1; v < nNodes; v++ {
+				m := NewMatrix(2, 2)
+				for i := range m.V {
+					m.V[i] = rng.Float64() * 10
+				}
+				g.AddEdge(u, v, m)
+			}
+		}
+		_, wantCost := bruteForce(g)
+		sol := g.Solve(Heuristic)
+		return sol.Cost >= wantCost-1e-9 && math.Abs(g.Evaluate(sol.Selection)-sol.Cost) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestLongChainReducesOptimally mimics a VGG-style linear network: long
+// chains must be solved exactly by RI reductions alone and quickly.
+func TestLongChainReducesOptimally(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	g := NewGraph()
+	const n = 60
+	prev := -1
+	for i := 0; i < n; i++ {
+		costs := make([]float64, 8)
+		for j := range costs {
+			costs[j] = rng.Float64() * 100
+		}
+		u := g.AddNode(costs)
+		if prev >= 0 {
+			m := NewMatrix(8, 8)
+			for j := range m.V {
+				m.V[j] = rng.Float64() * 50
+			}
+			g.AddEdge(prev, u, m)
+		}
+		prev = u
+	}
+	sol := g.Solve(Heuristic)
+	if !sol.Optimal {
+		t.Error("chain must be solved without RN")
+	}
+	if sol.Reductions["RN"] != 0 || sol.Reductions["RI"] == 0 {
+		t.Errorf("unexpected reduction profile: %v", sol.Reductions)
+	}
+	exact := g.Solve(Exact)
+	if math.Abs(sol.Cost-exact.Cost) > 1e-9 {
+		t.Errorf("chain heuristic %v != exact %v", sol.Cost, exact.Cost)
+	}
+}
+
+func TestGraphValidation(t *testing.T) {
+	g := NewGraph()
+	u := g.AddNode([]float64{1})
+	v := g.AddNode([]float64{1, 2})
+	for _, f := range []func(){
+		func() { g.AddNode(nil) },
+		func() { g.AddEdge(u, u, NewMatrix(1, 1)) },
+		func() { g.AddEdge(u, 5, NewMatrix(1, 1)) },
+		func() { g.AddEdge(u, v, NewMatrix(2, 2)) },
+		func() { NewMatrix(0, 1) },
+		func() { g.Evaluate([]int{0}) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestMatrixTranspose(t *testing.T) {
+	m := matrixFrom(2, 3, 1, 2, 3, 4, 5, 6)
+	tr := m.Transpose()
+	if tr.Rows != 3 || tr.Cols != 2 {
+		t.Fatalf("transpose dims %d×%d", tr.Rows, tr.Cols)
+	}
+	if tr.At(2, 1) != 6 || tr.At(0, 1) != 4 {
+		t.Error("transpose values wrong")
+	}
+}
+
+func BenchmarkSolveChain100(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	g := NewGraph()
+	prev := -1
+	for i := 0; i < 100; i++ {
+		costs := make([]float64, 16)
+		for j := range costs {
+			costs[j] = rng.Float64()
+		}
+		u := g.AddNode(costs)
+		if prev >= 0 {
+			m := NewMatrix(16, 16)
+			for j := range m.V {
+				m.V[j] = rng.Float64()
+			}
+			g.AddEdge(prev, u, m)
+		}
+		prev = u
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		g.Solve(Heuristic)
+	}
+}
+
+func TestDOTExport(t *testing.T) {
+	g := paperFigure2()
+	dot := g.DOT("fig2", []string{"conv1", "conv2", "conv3"})
+	for _, want := range []string{"graph \"fig2\"", "conv1", "n0 -- n1", "3×3"} {
+		if !strings.Contains(dot, want) {
+			t.Errorf("DOT output missing %q:\n%s", want, dot)
+		}
+	}
+	// Long vectors are elided.
+	g2 := NewGraph()
+	g2.AddNode(make([]float64, 20))
+	if dot2 := g2.DOT("big", nil); !strings.Contains(dot2, "…(20)") {
+		t.Error("long cost vectors should be elided")
+	}
+}

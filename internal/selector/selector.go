@@ -1,0 +1,230 @@
+// Package selector implements the paper's primary contribution: optimal
+// per-layer primitive selection in the presence of data layout
+// transformations, via reduction to PBQP (§3).
+//
+// Every layer of the network becomes a PBQP node. Convolution layers
+// choose among the library primitives that support their scenario, at
+// the profiled execution cost; all other layers are zero-cost wildcard
+// nodes whose choices are the data layouts themselves (§5.2). Each DNN
+// edge carries a cost matrix of layout-conversion costs taken from the
+// DT graph's all-pairs closure for the tensor shape flowing over that
+// edge. Solving the PBQP instance yields the globally cheapest
+// instantiation; a legalization pass then materializes the conversion
+// chains on edges whose endpoint layouts disagree.
+package selector
+
+import (
+	"fmt"
+	"time"
+
+	"pbqpdnn/internal/conv"
+	"pbqpdnn/internal/cost"
+	"pbqpdnn/internal/dnn"
+	"pbqpdnn/internal/dtgraph"
+	"pbqpdnn/internal/pbqp"
+	"pbqpdnn/internal/tensor"
+)
+
+// Plan is a fully legalized instantiation of a network.
+type Plan struct {
+	Net      *dnn.Graph
+	Strategy string
+	Threads  int
+
+	// Primitives maps each conv layer id to its selected primitive.
+	Primitives map[int]*conv.Primitive
+	// Layouts maps every layer id to its selected *output* layout.
+	Layouts map[int]tensor.Layout
+	// Conversions maps each graph edge to the (possibly empty) chain of
+	// direct transforms legalizing it.
+	Conversions map[[2]int][]tensor.Transform
+
+	// NodeCost and EdgeCost split the predicted execution time (s).
+	NodeCost, EdgeCost float64
+	// Optimal reports whether the PBQP solver proved optimality.
+	Optimal bool
+	// SolveTime is the wall-clock time spent in the PBQP solver.
+	SolveTime time.Duration
+}
+
+// TotalCost is the predicted whole-network execution time in seconds.
+func (p *Plan) TotalCost() float64 { return p.NodeCost + p.EdgeCost }
+
+// Options configures a selection run.
+type Options struct {
+	// Lib is the primitive library (conv.Library() by default).
+	Lib []*conv.Primitive
+	// Prof prices primitives and transforms.
+	Prof cost.Profiler
+	// Threads is the execution thread count being optimized for.
+	Threads int
+	// Mode selects the PBQP fallback (heuristic RN vs exact B&B).
+	Mode pbqp.Mode
+}
+
+func (o *Options) defaults() {
+	if o.Lib == nil {
+		o.Lib = conv.Library()
+	}
+	if o.Threads < 1 {
+		o.Threads = 1
+	}
+}
+
+// dtCache builds DT closures lazily per tensor shape, since transform
+// costs depend on the tensor dimensions on each edge (§3.1).
+type dtCache struct {
+	prof cost.Profiler
+	m    map[[3]int]*dtgraph.Graph
+}
+
+func newDTCache(prof cost.Profiler) *dtCache {
+	return &dtCache{prof: prof, m: map[[3]int]*dtgraph.Graph{}}
+}
+
+func (d *dtCache) get(c, h, w int) *dtgraph.Graph {
+	key := [3]int{c, h, w}
+	if g, ok := d.m[key]; ok {
+		return g
+	}
+	g := dtgraph.New(tensor.DirectTransforms(), func(tr tensor.Transform) float64 {
+		return d.prof.Transform(tr, c, h, w)
+	})
+	d.m[key] = g
+	return g
+}
+
+// choice is one PBQP assignment for a layer: either a primitive (conv
+// layers) or a bare layout (wildcard layers).
+type choice struct {
+	prim   *conv.Primitive
+	layout tensor.Layout
+}
+
+func (c choice) inLayout() tensor.Layout {
+	if c.prim != nil {
+		return c.prim.In
+	}
+	return c.layout
+}
+
+func (c choice) outLayout() tensor.Layout {
+	if c.prim != nil {
+		return c.prim.Out
+	}
+	return c.layout
+}
+
+// problem is the assembled PBQP instance plus its back-mapping.
+type problem struct {
+	graph   *pbqp.Graph
+	choices [][]choice // per layer id
+}
+
+// build assembles the PBQP instance. convChoices gives the candidate
+// primitives per conv layer; layoutChoices the candidate layouts per
+// wildcard layer; overhead scales node costs (vendor-proxy dispatch
+// tax).
+func build(net *dnn.Graph, opts *Options, convChoices map[int][]*conv.Primitive,
+	layoutChoices []tensor.Layout, overhead float64) (*problem, error) {
+	pr := &problem{graph: pbqp.NewGraph(), choices: make([][]choice, net.NumLayers())}
+	dts := newDTCache(opts.Prof)
+	for _, l := range net.Layers {
+		var cs []choice
+		var costs []float64
+		if l.IsConv() {
+			prims := convChoices[l.ID]
+			if len(prims) == 0 {
+				return nil, fmt.Errorf("selector: no candidate primitive for layer %q %s", l.Name, l.Conv)
+			}
+			for _, p := range prims {
+				cs = append(cs, choice{prim: p})
+				costs = append(costs, opts.Prof.Primitive(p, l.Conv, opts.Threads)*overhead)
+			}
+		} else {
+			for _, lay := range layoutChoices {
+				cs = append(cs, choice{layout: lay})
+				costs = append(costs, 0)
+			}
+		}
+		pr.choices[l.ID] = cs
+		if id := pr.graph.AddNode(costs); id != l.ID {
+			return nil, fmt.Errorf("selector: node id mismatch %d != %d", id, l.ID)
+		}
+	}
+	for _, e := range net.Edges() {
+		u, v := e[0], e[1]
+		lu := net.Layers[u]
+		dt := dts.get(lu.OutC, lu.OutH, lu.OutW)
+		m := pbqp.NewMatrix(len(pr.choices[u]), len(pr.choices[v]))
+		for i, cu := range pr.choices[u] {
+			for j, cv := range pr.choices[v] {
+				m.Set(i, j, dt.Cost(cu.outLayout(), cv.inLayout()))
+			}
+		}
+		pr.graph.AddEdge(u, v, m)
+	}
+	return pr, nil
+}
+
+// finish solves the instance and materializes the legalized plan.
+func (pr *problem) finish(net *dnn.Graph, opts *Options, name string) (*Plan, error) {
+	start := time.Now()
+	sol := pr.graph.Solve(opts.Mode)
+	elapsed := time.Since(start)
+
+	plan := &Plan{
+		Net:         net,
+		Strategy:    name,
+		Threads:     opts.Threads,
+		Primitives:  map[int]*conv.Primitive{},
+		Layouts:     map[int]tensor.Layout{},
+		Conversions: map[[2]int][]tensor.Transform{},
+		Optimal:     sol.Optimal,
+		SolveTime:   elapsed,
+	}
+	dts := newDTCache(opts.Prof)
+	for _, l := range net.Layers {
+		ch := pr.choices[l.ID][sol.Selection[l.ID]]
+		plan.Layouts[l.ID] = ch.outLayout()
+		if l.IsConv() {
+			plan.Primitives[l.ID] = ch.prim
+			plan.NodeCost += opts.Prof.Primitive(ch.prim, l.Conv, opts.Threads)
+		}
+	}
+	// Legalization (§3): bisect every edge whose endpoint layouts
+	// disagree with the least-cost conversion chain from the DT closure.
+	for _, e := range net.Edges() {
+		u, v := e[0], e[1]
+		lu := net.Layers[u]
+		from := pr.choices[u][sol.Selection[u]].outLayout()
+		to := pr.choices[v][sol.Selection[v]].inLayout()
+		if from == to {
+			continue
+		}
+		dt := dts.get(lu.OutC, lu.OutH, lu.OutW)
+		chain, err := dt.Path(from, to)
+		if err != nil {
+			return nil, fmt.Errorf("selector: edge %s→%s: %w", net.Layers[u].Name, net.Layers[v].Name, err)
+		}
+		plan.Conversions[e] = chain
+		plan.EdgeCost += dt.Cost(from, to)
+	}
+	return plan, nil
+}
+
+// Select runs the paper's full PBQP strategy: every supporting
+// primitive is a candidate for every conv layer, wildcard layers range
+// over all layouts, and the solver finds the global optimum.
+func Select(net *dnn.Graph, opts Options) (*Plan, error) {
+	opts.defaults()
+	convChoices := map[int][]*conv.Primitive{}
+	for _, id := range net.ConvLayers() {
+		convChoices[id] = conv.Supporting(opts.Lib, net.Layers[id].Conv)
+	}
+	pr, err := build(net, &opts, convChoices, tensor.Layouts(), 1)
+	if err != nil {
+		return nil, err
+	}
+	return pr.finish(net, &opts, "pbqp")
+}

@@ -1,0 +1,353 @@
+package selector
+
+import (
+	"testing"
+
+	"pbqpdnn/internal/conv"
+	"pbqpdnn/internal/cost"
+	"pbqpdnn/internal/dnn"
+	"pbqpdnn/internal/dnn/models"
+	"pbqpdnn/internal/pbqp"
+	"pbqpdnn/internal/tensor"
+)
+
+func intelOpts(threads int) Options {
+	return Options{Prof: cost.NewModel(cost.IntelHaswell), Threads: threads}
+}
+
+func armOpts(threads int) Options {
+	return Options{Prof: cost.NewModel(cost.CortexA57), Threads: threads}
+}
+
+func mustNet(t *testing.T, name string) *dnn.Graph {
+	t.Helper()
+	g, err := models.Build(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+// checkLegal asserts the plan's structural soundness: every conv layer
+// has a primitive supporting its scenario, and every edge is
+// layout-consistent after conversions.
+func checkLegal(t *testing.T, plan *Plan) {
+	t.Helper()
+	net := plan.Net
+	for _, id := range net.ConvLayers() {
+		p := plan.Primitives[id]
+		if p == nil {
+			t.Fatalf("layer %q has no primitive", net.Layers[id].Name)
+		}
+		if !p.Supports(net.Layers[id].Conv) {
+			t.Fatalf("layer %q: %s does not support %s", net.Layers[id].Name, p.Name, net.Layers[id].Conv)
+		}
+		if plan.Layouts[id] != p.Out {
+			t.Fatalf("layer %q: plan layout %s != primitive out %s", net.Layers[id].Name, plan.Layouts[id], p.Out)
+		}
+	}
+	for _, e := range net.Edges() {
+		from := plan.Layouts[e[0]]
+		var to tensor.Layout
+		if p := plan.Primitives[e[1]]; p != nil {
+			to = p.In
+		} else {
+			to = plan.Layouts[e[1]]
+		}
+		chain := plan.Conversions[e]
+		cur := from
+		for _, tr := range chain {
+			if tr.From != cur {
+				t.Fatalf("edge %v: broken chain at %s (have %s)", e, tr.Name, cur)
+			}
+			cur = tr.To
+		}
+		if cur != to {
+			t.Fatalf("edge %v: ends at %s, consumer wants %s", e, cur, to)
+		}
+	}
+}
+
+func TestSelectAlexNetIsLegalAndOptimal(t *testing.T) {
+	net := mustNet(t, "alexnet")
+	plan, err := Select(net, intelOpts(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkLegal(t, plan)
+	if !plan.Optimal {
+		t.Error("AlexNet chain should be solved provably optimally (paper §5.4)")
+	}
+	if plan.TotalCost() <= 0 {
+		t.Error("plan must have positive predicted cost")
+	}
+}
+
+func TestSelectGoogleNetIsLegalAndOptimal(t *testing.T) {
+	net := mustNet(t, "googlenet")
+	plan, err := Select(net, intelOpts(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkLegal(t, plan)
+	// The paper reports the solver found the optimum for every network;
+	// inception DAGs reduce fully via RI/RII.
+	if !plan.Optimal {
+		t.Error("GoogleNet should be solved provably optimally")
+	}
+	if plan.SolveTime.Seconds() >= 1 {
+		t.Errorf("solve took %v, paper requires < 1s (§5.4)", plan.SolveTime)
+	}
+}
+
+// TestPBQPBeatsEveryBaseline is the paper's headline property: the
+// global optimum is at least as good as every other strategy, on every
+// platform and thread count.
+func TestPBQPBeatsEveryBaseline(t *testing.T) {
+	for _, netName := range []string{"alexnet", "vgg-b", "googlenet"} {
+		net := mustNet(t, netName)
+		for _, opts := range []Options{intelOpts(1), intelOpts(4), armOpts(1), armOpts(4)} {
+			best, err := Select(net, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rivals := map[string]*Plan{}
+			for _, fam := range conv.Families() {
+				if fam == conv.FamilySum2D {
+					continue
+				}
+				p, err := FamilyBest(net, fam, opts)
+				if err != nil {
+					t.Fatal(err)
+				}
+				rivals[fam.String()] = p
+			}
+			if p, err := LocalOptimal(net, tensor.CHW, opts); err == nil {
+				rivals["local-opt"] = p
+			} else {
+				t.Fatal(err)
+			}
+			if p, err := NoEdgeCost(net, opts); err == nil {
+				rivals["no-edge"] = p
+			} else {
+				t.Fatal(err)
+			}
+			if p, err := Baseline(net, opts); err == nil {
+				rivals["sum2d"] = p
+			} else {
+				t.Fatal(err)
+			}
+			for name, r := range rivals {
+				checkLegal(t, r)
+				if best.TotalCost() > r.TotalCost()*(1+1e-9) {
+					t.Errorf("%s/%s threads=%d: PBQP %g worse than %s %g",
+						netName, opts.Prof.(*cost.Model).M.Name, opts.Threads,
+						best.TotalCost(), name, r.TotalCost())
+				}
+			}
+		}
+	}
+}
+
+// TestFigure4SelectionShape reproduces the qualitative content of the
+// paper's Figure 4 (multithreaded AlexNet selections): the first layer
+// (K=11, strided) goes to the im2 family on both platforms; the
+// remaining four layers all go to Winograd; Intel selects 2D Winograd
+// variants while ARM mostly selects the low-memory 1D variants; and the
+// vector factors match the platforms' SIMD widths.
+func TestFigure4SelectionShape(t *testing.T) {
+	net := mustNet(t, "alexnet")
+	convs := net.ConvLayers()
+
+	intelPlan, err := Select(net, intelOpts(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	armPlan, err := Select(net, armOpts(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, plan := range []*Plan{intelPlan, armPlan} {
+		if fam := plan.Primitives[convs[0]].Family; fam != conv.FamilyIm2 {
+			t.Errorf("conv1 selected %s family, want im2 (Figure 4)", fam)
+		}
+		for i, id := range convs[1:] {
+			if fam := plan.Primitives[id].Family; fam != conv.FamilyWinograd {
+				t.Errorf("conv%d selected %s (%s), want winograd (Figure 4)",
+					i+2, plan.Primitives[id].Name, fam)
+			}
+		}
+	}
+
+	intel2D, arm1D := 0, 0
+	for _, id := range convs[1:] {
+		ip, ap := intelPlan.Primitives[id], armPlan.Primitives[id]
+		if ip.Wino2D {
+			intel2D++
+		}
+		if !ap.Wino2D {
+			arm1D++
+		}
+		if ip.VF != 8 {
+			t.Errorf("Intel selection %s has VF%d, want VF8 (AVX2)", ip.Name, ip.VF)
+		}
+		if ap.VF != 4 {
+			t.Errorf("ARM selection %s has VF%d, want VF4 (NEON)", ap.Name, ap.VF)
+		}
+	}
+	if intel2D != 4 {
+		t.Errorf("Intel selected %d/4 2D winograd layers, want 4 (Figure 4)", intel2D)
+	}
+	if arm1D < 2 {
+		t.Errorf("ARM selected %d/4 1D winograd layers, want majority (Figure 4: 3 of 4)", arm1D)
+	}
+}
+
+func TestBaselineIsAllSum2D(t *testing.T) {
+	net := mustNet(t, "alexnet")
+	plan, err := Baseline(net, intelOpts(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for id, p := range plan.Primitives {
+		if p.Name != "sum2d" {
+			t.Errorf("layer %d: baseline picked %s", id, p.Name)
+		}
+	}
+	if plan.EdgeCost != 0 {
+		t.Errorf("baseline should need no conversions, EdgeCost=%g", plan.EdgeCost)
+	}
+	if plan.Threads != 1 {
+		t.Error("baseline must be single-threaded")
+	}
+}
+
+func TestLocalOptimalStaysInLayout(t *testing.T) {
+	net := mustNet(t, "googlenet")
+	plan, err := LocalOptimal(net, tensor.CHW, intelOpts(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkLegal(t, plan)
+	for id, p := range plan.Primitives {
+		if p.In != tensor.CHW || p.Out != tensor.CHW {
+			t.Errorf("layer %d: %s leaves the canonical layout", id, p.Name)
+		}
+	}
+	if plan.EdgeCost != 0 {
+		t.Errorf("canonical strategy has no DT costs, got %g", plan.EdgeCost)
+	}
+}
+
+// TestNoEdgeCostAblation: ignoring DT costs during selection must never
+// beat the full formulation, and on DAG-shaped GoogleNet it must be
+// strictly worse — §5.8's experimental point.
+func TestNoEdgeCostAblation(t *testing.T) {
+	net := mustNet(t, "googlenet")
+	opts := armOpts(4)
+	full, err := Select(net, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	noEdge, err := NoEdgeCost(net, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkLegal(t, noEdge)
+	if noEdge.TotalCost() < full.TotalCost() {
+		t.Errorf("no-edge ablation %g beat full PBQP %g", noEdge.TotalCost(), full.TotalCost())
+	}
+}
+
+func TestVendorProxies(t *testing.T) {
+	net := mustNet(t, "alexnet")
+	intel := intelOpts(4)
+	caffe, err := CaffeProxy(net, intel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkLegal(t, caffe)
+	mkl, err := MKLDNNProxy(net, intel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkLegal(t, mkl)
+	armcl, err := ARMCLProxy(net, armOpts(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkLegal(t, armcl)
+
+	pbqpPlan, err := Select(net, intel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The paper's headline: PBQP beats the vendor proxies, and the
+	// vendor library beats naive Caffe.
+	if pbqpPlan.TotalCost() >= mkl.TotalCost() {
+		t.Errorf("PBQP (%g) should beat mkldnn proxy (%g)", pbqpPlan.TotalCost(), mkl.TotalCost())
+	}
+	if mkl.TotalCost() >= caffe.TotalCost() {
+		t.Errorf("mkldnn proxy (%g) should beat caffe proxy (%g)", mkl.TotalCost(), caffe.TotalCost())
+	}
+}
+
+func TestSelectWithExactModeAgrees(t *testing.T) {
+	net := mustNet(t, "alexnet")
+	opts := intelOpts(4)
+	h, err := Select(net, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts.Mode = pbqp.Exact
+	e, err := Select(net, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := h.TotalCost() - e.TotalCost(); d > 1e-12 || d < -1e-12 {
+		t.Errorf("heuristic %g != exact %g on a chain network", h.TotalCost(), e.TotalCost())
+	}
+}
+
+// TestSparsitySelection: the §8 extension — with a highly sparse
+// kernel, the selector switches some layer to a sparse primitive.
+func TestSparsitySelection(t *testing.T) {
+	b, x := dnn.NewBuilder("sparse-net", 64, 28, 28)
+	x = b.Conv(x, "c1", 64, 3, 1, 1)
+	g := func() *dnn.Graph { b.Softmax(x, "sm"); return b.Graph() }()
+	id := g.ConvLayers()[0]
+	opts := intelOpts(1)
+
+	dense, err := Select(g, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dense.Primitives[id].Sparse {
+		t.Error("dense scenario should not pick a sparse primitive")
+	}
+
+	g.Layers[id].Conv.Sparsity = 0.95
+	sparse, err := Select(g, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sparse.Primitives[id].Sparse {
+		t.Errorf("95%% sparse kernel should select a sparse primitive, got %s",
+			sparse.Primitives[id].Name)
+	}
+}
+
+// TestMinibatchSelection: the batch parameter scales costs but yields a
+// legal plan.
+func TestMinibatchSelection(t *testing.T) {
+	b, x := dnn.NewBuilder("batch-net", 32, 28, 28)
+	x = b.Conv(x, "c1", 32, 3, 1, 1)
+	g := func() *dnn.Graph { b.Softmax(x, "sm"); return b.Graph() }()
+	g.Layers[g.ConvLayers()[0]].Conv.Batch = 8
+	plan, err := Select(g, intelOpts(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkLegal(t, plan)
+}

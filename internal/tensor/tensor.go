@@ -1,0 +1,216 @@
+// Package tensor provides the dense float32 tensor substrate used by the
+// DNN primitive library. A tensor is a logical C×H×W volume (channels,
+// height, width) whose elements may be stored in any of several physical
+// data layouts. Primitives consume and produce tensors in specific
+// layouts; converting between layouts is the job of the transform
+// routines in this package, whose costs drive the paper's data-layout
+// transformation (DT) graph.
+package tensor
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Layout identifies a physical memory layout for a logical C×H×W tensor.
+// The first six values are the six permutations of the {C,H,W} axes, with
+// the last-named axis contiguous in memory (e.g. CHW is channel-major with
+// w innermost, the Caffe canonical layout). CHW4 and CHW8 are
+// vendor-style channel-blocked layouts: channels are grouped into blocks
+// of 4 or 8 that form the innermost dimension.
+type Layout uint8
+
+const (
+	// CHW is the canonical Caffe layout: c outermost, w innermost.
+	CHW Layout = iota
+	// CWH stores c outermost, h innermost.
+	CWH
+	// HCW stores h outermost, w innermost.
+	HCW
+	// HWC stores h outermost, c innermost (the "channels-last" layout).
+	HWC
+	// WCH stores w outermost, h innermost.
+	WCH
+	// WHC stores w outermost, c innermost.
+	WHC
+	// CHW4 blocks channels in groups of 4: [⌈C/4⌉][H][W][4].
+	CHW4
+	// CHW8 blocks channels in groups of 8: [⌈C/8⌉][H][W][8].
+	CHW8
+
+	numLayouts = 8
+)
+
+// Layouts lists every layout known to the package, in declaration order.
+func Layouts() []Layout {
+	return []Layout{CHW, CWH, HCW, HWC, WCH, WHC, CHW4, CHW8}
+}
+
+// String returns the conventional name of the layout.
+func (l Layout) String() string {
+	switch l {
+	case CHW:
+		return "CHW"
+	case CWH:
+		return "CWH"
+	case HCW:
+		return "HCW"
+	case HWC:
+		return "HWC"
+	case WCH:
+		return "WCH"
+	case WHC:
+		return "WHC"
+	case CHW4:
+		return "CHW4"
+	case CHW8:
+		return "CHW8"
+	}
+	return fmt.Sprintf("Layout(%d)", uint8(l))
+}
+
+// ParseLayout converts a layout name as produced by String back to a
+// Layout value.
+func ParseLayout(s string) (Layout, error) {
+	for _, l := range Layouts() {
+		if l.String() == s {
+			return l, nil
+		}
+	}
+	return 0, fmt.Errorf("tensor: unknown layout %q", s)
+}
+
+// BlockSize reports the channel block size of a blocked layout, or 0 for
+// the plain permutation layouts.
+func (l Layout) BlockSize() int {
+	switch l {
+	case CHW4:
+		return 4
+	case CHW8:
+		return 8
+	}
+	return 0
+}
+
+// Valid reports whether l is one of the known layouts.
+func (l Layout) Valid() bool { return l < numLayouts }
+
+// Tensor is a logical C×H×W volume of float32 data stored in a specific
+// physical layout. The zero value is not usable; construct tensors with
+// New.
+type Tensor struct {
+	C, H, W int
+	Layout  Layout
+	Data    []float32
+}
+
+// DataLen returns the number of float32 elements required to store a
+// logical c×h×w volume in layout l (blocked layouts round the channel
+// dimension up to a whole number of blocks).
+func DataLen(l Layout, c, h, w int) int {
+	if b := l.BlockSize(); b > 0 {
+		return ((c + b - 1) / b) * b * h * w
+	}
+	return c * h * w
+}
+
+// New allocates a zero-filled tensor with the given logical dimensions
+// and physical layout.
+func New(l Layout, c, h, w int) *Tensor {
+	if c <= 0 || h <= 0 || w <= 0 {
+		panic(fmt.Sprintf("tensor: invalid dims %d×%d×%d", c, h, w))
+	}
+	if !l.Valid() {
+		panic(fmt.Sprintf("tensor: invalid layout %d", l))
+	}
+	return &Tensor{C: c, H: h, W: w, Layout: l, Data: make([]float32, DataLen(l, c, h, w))}
+}
+
+// Index returns the offset of logical element (c,h,w) within Data.
+func (t *Tensor) Index(c, h, w int) int {
+	switch t.Layout {
+	case CHW:
+		return (c*t.H+h)*t.W + w
+	case CWH:
+		return (c*t.W+w)*t.H + h
+	case HCW:
+		return (h*t.C+c)*t.W + w
+	case HWC:
+		return (h*t.W+w)*t.C + c
+	case WCH:
+		return (w*t.C+c)*t.H + h
+	case WHC:
+		return (w*t.H+h)*t.C + c
+	case CHW4:
+		return ((c/4*t.H+h)*t.W+w)*4 + c%4
+	case CHW8:
+		return ((c/8*t.H+h)*t.W+w)*8 + c%8
+	}
+	panic("tensor: invalid layout")
+}
+
+// At returns the logical element (c,h,w).
+func (t *Tensor) At(c, h, w int) float32 { return t.Data[t.Index(c, h, w)] }
+
+// Set stores v at logical position (c,h,w).
+func (t *Tensor) Set(c, h, w int, v float32) { t.Data[t.Index(c, h, w)] = v }
+
+// Clone returns a deep copy of the tensor.
+func (t *Tensor) Clone() *Tensor {
+	c := *t
+	c.Data = make([]float32, len(t.Data))
+	copy(c.Data, t.Data)
+	return &c
+}
+
+// FillRandom fills the tensor with deterministic pseudo-random values in
+// [-1, 1) derived from seed.
+func (t *Tensor) FillRandom(seed int64) {
+	rng := rand.New(rand.NewSource(seed))
+	for c := 0; c < t.C; c++ {
+		for h := 0; h < t.H; h++ {
+			for w := 0; w < t.W; w++ {
+				t.Set(c, h, w, rng.Float32()*2-1)
+			}
+		}
+	}
+}
+
+// String summarizes the tensor shape and layout.
+func (t *Tensor) String() string {
+	return fmt.Sprintf("Tensor(%d×%d×%d %s)", t.C, t.H, t.W, t.Layout)
+}
+
+// MaxAbsDiff returns the largest absolute elementwise difference between
+// two tensors of identical logical shape, irrespective of their layouts.
+// It panics if shapes differ.
+func MaxAbsDiff(a, b *Tensor) float64 {
+	if a.C != b.C || a.H != b.H || a.W != b.W {
+		panic(fmt.Sprintf("tensor: shape mismatch %s vs %s", a, b))
+	}
+	var max float64
+	for c := 0; c < a.C; c++ {
+		for h := 0; h < a.H; h++ {
+			for w := 0; w < a.W; w++ {
+				d := math.Abs(float64(a.At(c, h, w)) - float64(b.At(c, h, w)))
+				if d > max {
+					max = d
+				}
+			}
+		}
+	}
+	return max
+}
+
+// AlmostEqual reports whether a and b agree elementwise within tol,
+// irrespective of their physical layouts.
+func AlmostEqual(a, b *Tensor, tol float64) bool {
+	if a.C != b.C || a.H != b.H || a.W != b.W {
+		return false
+	}
+	return MaxAbsDiff(a, b) <= tol
+}
+
+// Bytes returns the size of the tensor payload in bytes.
+func (t *Tensor) Bytes() int64 { return int64(len(t.Data)) * 4 }

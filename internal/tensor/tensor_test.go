@@ -1,0 +1,197 @@
+package tensor
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestLayoutString(t *testing.T) {
+	want := map[Layout]string{
+		CHW: "CHW", CWH: "CWH", HCW: "HCW", HWC: "HWC",
+		WCH: "WCH", WHC: "WHC", CHW4: "CHW4", CHW8: "CHW8",
+	}
+	for l, s := range want {
+		if l.String() != s {
+			t.Errorf("Layout(%d).String() = %q, want %q", l, l.String(), s)
+		}
+		got, err := ParseLayout(s)
+		if err != nil || got != l {
+			t.Errorf("ParseLayout(%q) = %v, %v; want %v", s, got, err, l)
+		}
+	}
+	if _, err := ParseLayout("XYZ"); err == nil {
+		t.Error("ParseLayout(XYZ) should fail")
+	}
+}
+
+func TestLayoutBlockSize(t *testing.T) {
+	for _, l := range Layouts() {
+		b := l.BlockSize()
+		switch l {
+		case CHW4:
+			if b != 4 {
+				t.Errorf("CHW4 block = %d", b)
+			}
+		case CHW8:
+			if b != 8 {
+				t.Errorf("CHW8 block = %d", b)
+			}
+		default:
+			if b != 0 {
+				t.Errorf("%s block = %d, want 0", l, b)
+			}
+		}
+	}
+}
+
+func TestDataLen(t *testing.T) {
+	if n := DataLen(CHW, 3, 5, 7); n != 105 {
+		t.Errorf("DataLen(CHW,3,5,7) = %d", n)
+	}
+	// Blocked layouts round channels up to a whole block.
+	if n := DataLen(CHW4, 3, 5, 7); n != 4*5*7 {
+		t.Errorf("DataLen(CHW4,3,5,7) = %d", n)
+	}
+	if n := DataLen(CHW8, 9, 2, 2); n != 16*2*2 {
+		t.Errorf("DataLen(CHW8,9,2,2) = %d", n)
+	}
+}
+
+// TestIndexBijective verifies that every layout's indexing function is a
+// bijection between logical coordinates and distinct storage offsets.
+func TestIndexBijective(t *testing.T) {
+	const c, h, w = 5, 4, 3
+	for _, l := range Layouts() {
+		tt := New(l, c, h, w)
+		seen := make(map[int][3]int)
+		for ci := 0; ci < c; ci++ {
+			for hi := 0; hi < h; hi++ {
+				for wi := 0; wi < w; wi++ {
+					idx := tt.Index(ci, hi, wi)
+					if idx < 0 || idx >= len(tt.Data) {
+						t.Fatalf("%s: index out of range for (%d,%d,%d): %d", l, ci, hi, wi, idx)
+					}
+					if prev, dup := seen[idx]; dup {
+						t.Fatalf("%s: offset %d reused by %v and (%d,%d,%d)", l, idx, prev, ci, hi, wi)
+					}
+					seen[idx] = [3]int{ci, hi, wi}
+				}
+			}
+		}
+	}
+}
+
+func TestSetAtRoundTrip(t *testing.T) {
+	for _, l := range Layouts() {
+		tt := New(l, 3, 4, 5)
+		val := float32(0)
+		for c := 0; c < 3; c++ {
+			for h := 0; h < 4; h++ {
+				for w := 0; w < 5; w++ {
+					tt.Set(c, h, w, val)
+					val++
+				}
+			}
+		}
+		val = 0
+		for c := 0; c < 3; c++ {
+			for h := 0; h < 4; h++ {
+				for w := 0; w < 5; w++ {
+					if got := tt.At(c, h, w); got != val {
+						t.Fatalf("%s: At(%d,%d,%d) = %v, want %v", l, c, h, w, got, val)
+					}
+					val++
+				}
+			}
+		}
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	a := New(CHW, 2, 2, 2)
+	a.FillRandom(1)
+	b := a.Clone()
+	b.Set(0, 0, 0, 99)
+	if a.At(0, 0, 0) == 99 {
+		t.Error("Clone shares storage with original")
+	}
+	if !AlmostEqual(a, a.Clone(), 0) {
+		t.Error("Clone should be elementwise equal")
+	}
+}
+
+func TestFillRandomDeterministic(t *testing.T) {
+	a := New(HWC, 3, 3, 3)
+	b := New(HWC, 3, 3, 3)
+	a.FillRandom(42)
+	b.FillRandom(42)
+	if !AlmostEqual(a, b, 0) {
+		t.Error("FillRandom with equal seeds should produce equal tensors")
+	}
+	b.FillRandom(43)
+	if AlmostEqual(a, b, 0) {
+		t.Error("FillRandom with different seeds should differ")
+	}
+}
+
+func TestMaxAbsDiff(t *testing.T) {
+	a := New(CHW, 1, 2, 2)
+	b := New(HWC, 1, 2, 2)
+	b.Set(0, 1, 1, 2.5)
+	if d := MaxAbsDiff(a, b); d != 2.5 {
+		t.Errorf("MaxAbsDiff = %v, want 2.5", d)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("MaxAbsDiff should panic on shape mismatch")
+		}
+	}()
+	MaxAbsDiff(a, New(CHW, 2, 2, 2))
+}
+
+func TestAlmostEqualShapeMismatch(t *testing.T) {
+	if AlmostEqual(New(CHW, 1, 1, 1), New(CHW, 1, 1, 2), 1e9) {
+		t.Error("AlmostEqual must reject shape mismatch")
+	}
+}
+
+func TestNewPanicsOnBadArgs(t *testing.T) {
+	for _, f := range []func(){
+		func() { New(CHW, 0, 1, 1) },
+		func() { New(CHW, 1, -1, 1) },
+		func() { New(Layout(200), 1, 1, 1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("New should panic on invalid arguments")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+// TestConvertPreservesValues: property test — Convert to any layout and
+// back preserves every element exactly.
+func TestConvertPreservesValues(t *testing.T) {
+	f := func(seed int64, li, lj uint8) bool {
+		src := New(Layouts()[int(li)%numLayouts], 3, 4, 5)
+		src.FillRandom(seed)
+		to := Layouts()[int(lj)%numLayouts]
+		round := Convert(Convert(src, to), src.Layout)
+		return AlmostEqual(src, round, 0)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 64}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBytes(t *testing.T) {
+	if b := New(CHW, 2, 3, 4).Bytes(); b != 2*3*4*4 {
+		t.Errorf("Bytes = %d", b)
+	}
+	if b := New(CHW8, 2, 3, 4).Bytes(); b != 8*3*4*4 {
+		t.Errorf("CHW8 Bytes = %d", b)
+	}
+}

@@ -1,0 +1,244 @@
+package tensor
+
+import "fmt"
+
+// Transform is a direct data-layout transformation routine: it rewrites a
+// tensor from one physical layout into another. The set of direct
+// transforms is deliberately *incomplete* — exactly as in the paper,
+// where a library ships conversion routines only between selected layout
+// pairs, and converting between other pairs requires a chain of direct
+// transforms found by shortest-path search over the DT graph.
+type Transform struct {
+	From, To Layout
+	Name     string
+	Run      func(src *Tensor) *Tensor
+}
+
+// Convert is the generic (reference) layout conversion: an element-wise
+// logical copy that works between any pair of layouts. The direct
+// transform routines below are specialized versions of this; Convert is
+// used as the test oracle and as the materializer of last resort.
+func Convert(src *Tensor, to Layout) *Tensor {
+	dst := New(to, src.C, src.H, src.W)
+	for c := 0; c < src.C; c++ {
+		for h := 0; h < src.H; h++ {
+			for w := 0; w < src.W; w++ {
+				dst.Set(c, h, w, src.At(c, h, w))
+			}
+		}
+	}
+	return dst
+}
+
+func mustBe(src *Tensor, l Layout) {
+	if src.Layout != l {
+		panic(fmt.Sprintf("tensor: transform expects %s input, got %s", l, src.Layout))
+	}
+}
+
+// chwToHWC converts CHW → HWC walking the destination in storage order so
+// writes are sequential.
+func chwToHWC(src *Tensor) *Tensor {
+	mustBe(src, CHW)
+	dst := New(HWC, src.C, src.H, src.W)
+	d := dst.Data
+	i := 0
+	for h := 0; h < src.H; h++ {
+		rowBase := h * src.W
+		for w := 0; w < src.W; w++ {
+			off := rowBase + w
+			plane := src.H * src.W
+			for c := 0; c < src.C; c++ {
+				d[i] = src.Data[c*plane+off]
+				i++
+			}
+		}
+	}
+	return dst
+}
+
+func hwcToCHW(src *Tensor) *Tensor {
+	mustBe(src, HWC)
+	dst := New(CHW, src.C, src.H, src.W)
+	d := dst.Data
+	plane := src.H * src.W
+	i := 0
+	for h := 0; h < src.H; h++ {
+		for w := 0; w < src.W; w++ {
+			off := h*src.W + w
+			for c := 0; c < src.C; c++ {
+				d[c*plane+off] = src.Data[i]
+				i++
+			}
+		}
+	}
+	return dst
+}
+
+func chwToHCW(src *Tensor) *Tensor {
+	mustBe(src, CHW)
+	dst := New(HCW, src.C, src.H, src.W)
+	for c := 0; c < src.C; c++ {
+		for h := 0; h < src.H; h++ {
+			srcRow := (c*src.H + h) * src.W
+			dstRow := (h*src.C + c) * src.W
+			copy(dst.Data[dstRow:dstRow+src.W], src.Data[srcRow:srcRow+src.W])
+		}
+	}
+	return dst
+}
+
+func hcwToCHW(src *Tensor) *Tensor {
+	mustBe(src, HCW)
+	dst := New(CHW, src.C, src.H, src.W)
+	for h := 0; h < src.H; h++ {
+		for c := 0; c < src.C; c++ {
+			srcRow := (h*src.C + c) * src.W
+			dstRow := (c*src.H + h) * src.W
+			copy(dst.Data[dstRow:dstRow+src.W], src.Data[srcRow:srcRow+src.W])
+		}
+	}
+	return dst
+}
+
+func chwToCWH(src *Tensor) *Tensor {
+	mustBe(src, CHW)
+	dst := New(CWH, src.C, src.H, src.W)
+	for c := 0; c < src.C; c++ {
+		cs := c * src.H * src.W
+		cd := c * src.W * src.H
+		for h := 0; h < src.H; h++ {
+			for w := 0; w < src.W; w++ {
+				dst.Data[cd+w*src.H+h] = src.Data[cs+h*src.W+w]
+			}
+		}
+	}
+	return dst
+}
+
+func cwhToCHW(src *Tensor) *Tensor {
+	mustBe(src, CWH)
+	dst := New(CHW, src.C, src.H, src.W)
+	for c := 0; c < src.C; c++ {
+		cs := c * src.W * src.H
+		cd := c * src.H * src.W
+		for w := 0; w < src.W; w++ {
+			for h := 0; h < src.H; h++ {
+				dst.Data[cd+h*src.W+w] = src.Data[cs+w*src.H+h]
+			}
+		}
+	}
+	return dst
+}
+
+func hwcToWHC(src *Tensor) *Tensor {
+	mustBe(src, HWC)
+	dst := New(WHC, src.C, src.H, src.W)
+	for h := 0; h < src.H; h++ {
+		for w := 0; w < src.W; w++ {
+			s := (h*src.W + w) * src.C
+			d := (w*src.H + h) * src.C
+			copy(dst.Data[d:d+src.C], src.Data[s:s+src.C])
+		}
+	}
+	return dst
+}
+
+func whcToHWC(src *Tensor) *Tensor {
+	mustBe(src, WHC)
+	dst := New(HWC, src.C, src.H, src.W)
+	for w := 0; w < src.W; w++ {
+		for h := 0; h < src.H; h++ {
+			s := (w*src.H + h) * src.C
+			d := (h*src.W + w) * src.C
+			copy(dst.Data[d:d+src.C], src.Data[s:s+src.C])
+		}
+	}
+	return dst
+}
+
+func cwhToWCH(src *Tensor) *Tensor {
+	mustBe(src, CWH)
+	dst := New(WCH, src.C, src.H, src.W)
+	for c := 0; c < src.C; c++ {
+		for w := 0; w < src.W; w++ {
+			s := (c*src.W + w) * src.H
+			d := (w*src.C + c) * src.H
+			copy(dst.Data[d:d+src.H], src.Data[s:s+src.H])
+		}
+	}
+	return dst
+}
+
+func wchToCWH(src *Tensor) *Tensor {
+	mustBe(src, WCH)
+	dst := New(CWH, src.C, src.H, src.W)
+	for w := 0; w < src.W; w++ {
+		for c := 0; c < src.C; c++ {
+			s := (w*src.C + c) * src.H
+			d := (c*src.W + w) * src.H
+			copy(dst.Data[d:d+src.H], src.Data[s:s+src.H])
+		}
+	}
+	return dst
+}
+
+func chwToCHW4(src *Tensor) *Tensor {
+	mustBe(src, CHW)
+	return Convert(src, CHW4)
+}
+
+func chw4ToCHW(src *Tensor) *Tensor {
+	mustBe(src, CHW4)
+	return Convert(src, CHW)
+}
+
+func chw4ToCHW8(src *Tensor) *Tensor {
+	mustBe(src, CHW4)
+	return Convert(src, CHW8)
+}
+
+func chw8ToCHW4(src *Tensor) *Tensor {
+	mustBe(src, CHW8)
+	return Convert(src, CHW4)
+}
+
+// hwcToCHW8 packs channels-last data directly into the vendor 8-blocked
+// layout, the packing step a JIT-style vendor library performs on entry.
+func hwcToCHW8(src *Tensor) *Tensor {
+	mustBe(src, HWC)
+	dst := New(CHW8, src.C, src.H, src.W)
+	for h := 0; h < src.H; h++ {
+		for w := 0; w < src.W; w++ {
+			s := (h*src.W + w) * src.C
+			for c := 0; c < src.C; c++ {
+				dst.Data[((c/8*src.H+h)*src.W+w)*8+c%8] = src.Data[s+c]
+			}
+		}
+	}
+	return dst
+}
+
+// DirectTransforms returns the library's direct layout-conversion
+// routines. The pair coverage is intentionally sparse: WCH is reachable
+// only through CWH, WHC only through HWC, and CHW8 cannot be unpacked
+// except via CHW4, so the DT graph genuinely requires multi-hop chains.
+func DirectTransforms() []Transform {
+	return []Transform{
+		{CHW, HWC, "chw2hwc", chwToHWC},
+		{HWC, CHW, "hwc2chw", hwcToCHW},
+		{CHW, HCW, "chw2hcw", chwToHCW},
+		{HCW, CHW, "hcw2chw", hcwToCHW},
+		{CHW, CWH, "chw2cwh", chwToCWH},
+		{CWH, CHW, "cwh2chw", cwhToCHW},
+		{HWC, WHC, "hwc2whc", hwcToWHC},
+		{WHC, HWC, "whc2hwc", whcToHWC},
+		{CWH, WCH, "cwh2wch", cwhToWCH},
+		{WCH, CWH, "wch2cwh", wchToCWH},
+		{CHW, CHW4, "chw2chw4", chwToCHW4},
+		{CHW4, CHW, "chw42chw", chw4ToCHW},
+		{CHW4, CHW8, "chw42chw8", chw4ToCHW8},
+		{CHW8, CHW4, "chw82chw4", chw8ToCHW4},
+		{HWC, CHW8, "hwc2chw8", hwcToCHW8},
+	}
+}

@@ -1,0 +1,92 @@
+package tensor
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// TestDirectTransformsMatchConvert checks every specialized transform
+// routine against the generic logical-copy oracle.
+func TestDirectTransformsMatchConvert(t *testing.T) {
+	shapes := [][3]int{{1, 1, 1}, {3, 4, 5}, {8, 2, 3}, {9, 3, 2}, {16, 5, 5}, {5, 7, 1}}
+	for _, tr := range DirectTransforms() {
+		for _, s := range shapes {
+			src := New(tr.From, s[0], s[1], s[2])
+			src.FillRandom(int64(s[0]*100 + s[1]*10 + s[2]))
+			got := tr.Run(src)
+			if got.Layout != tr.To {
+				t.Fatalf("%s: output layout %s, want %s", tr.Name, got.Layout, tr.To)
+			}
+			want := Convert(src, tr.To)
+			if !AlmostEqual(got, want, 0) {
+				t.Errorf("%s on %v: output differs from reference", tr.Name, s)
+			}
+		}
+	}
+}
+
+func TestDirectTransformsRejectWrongLayout(t *testing.T) {
+	for _, tr := range DirectTransforms() {
+		wrong := tr.From + 1
+		if !Layout(wrong).Valid() {
+			wrong = 0
+		}
+		if Layout(wrong) == tr.From {
+			continue
+		}
+		src := New(Layout(wrong), 2, 2, 2)
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: should panic on %s input", tr.Name, src.Layout)
+				}
+			}()
+			tr.Run(src)
+		}()
+	}
+}
+
+// TestTransformChainRoundTrip: property test — applying a forward
+// transform and its inverse (when the library has one) is the identity.
+func TestTransformChainRoundTrip(t *testing.T) {
+	byPair := map[[2]Layout]Transform{}
+	for _, tr := range DirectTransforms() {
+		byPair[[2]Layout{tr.From, tr.To}] = tr
+	}
+	f := func(seed int64) bool {
+		for _, tr := range DirectTransforms() {
+			inv, ok := byPair[[2]Layout{tr.To, tr.From}]
+			if !ok {
+				continue
+			}
+			src := New(tr.From, 4, 3, 5)
+			src.FillRandom(seed)
+			if !AlmostEqual(src, inv.Run(tr.Run(src)), 0) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 32}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestTransformCoverageIsSparse pins the design property that the direct
+// transform set is incomplete, so the DT graph requires chains.
+func TestTransformCoverageIsSparse(t *testing.T) {
+	have := map[[2]Layout]bool{}
+	for _, tr := range DirectTransforms() {
+		have[[2]Layout{tr.From, tr.To}] = true
+	}
+	n := len(Layouts())
+	if len(have) >= n*(n-1) {
+		t.Fatalf("direct transform set is complete (%d pairs); DT chains would never be exercised", len(have))
+	}
+	// Specific holes the DT graph must bridge with chains.
+	for _, gap := range [][2]Layout{{CHW, WCH}, {CHW8, CHW}, {WHC, CHW}, {HWC, WCH}} {
+		if have[gap] {
+			t.Errorf("expected no direct transform %s→%s", gap[0], gap[1])
+		}
+	}
+}
