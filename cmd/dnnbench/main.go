@@ -9,12 +9,18 @@
 //	dnnbench -exp fig6
 //	dnnbench -exp table3
 //	dnnbench -exp trends
+//	dnnbench -exp minibatch -threads 8 -batch 1,4,32
+//
+// The -threads and -batch flags size the batched execution engine the
+// minibatch experiment measures.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"log"
+	"strconv"
+	"strings"
 
 	"pbqpdnn/internal/cost"
 	"pbqpdnn/internal/experiments"
@@ -25,7 +31,17 @@ func main() {
 	log.SetPrefix("dnnbench: ")
 	exp := flag.String("exp", "all",
 		"experiment: table1, table2, table3, fig2, fig4, fig5, fig6, fig7a, fig7b, solver, sparsity, minibatch, trends, all")
+	threads := flag.Int("threads", 4, "execution thread budget for the minibatch experiment's batched engine")
+	batch := flag.String("batch", "1,2,4,8,16", "comma-separated minibatch sizes for the minibatch experiment")
 	flag.Parse()
+
+	batches, err := parseBatches(*batch)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if *threads < 1 {
+		log.Fatalf("-threads must be ≥ 1, got %d", *threads)
+	}
 
 	runners := map[string]func() error{
 		"table1": func() error {
@@ -87,7 +103,7 @@ func main() {
 			return nil
 		},
 		"minibatch": func() error {
-			pts, err := experiments.MinibatchSweep()
+			pts, err := experiments.MinibatchSweepOpts(*threads, batches)
 			if err != nil {
 				return err
 			}
@@ -129,6 +145,26 @@ func main() {
 	if err := run(); err != nil {
 		log.Fatal(err)
 	}
+}
+
+// parseBatches parses the -batch flag's comma-separated size list.
+func parseBatches(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		n, err := strconv.Atoi(part)
+		if err != nil || n < 1 {
+			return nil, fmt.Errorf("-batch: %q is not a positive integer", part)
+		}
+		out = append(out, n)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("-batch: empty size list")
+	}
+	return out, nil
 }
 
 func figure(title string, gen func() ([]*experiments.NetworkResult, error)) func() error {

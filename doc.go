@@ -5,9 +5,16 @@
 // per network layer while accounting for data-layout transformation
 // costs.
 //
-// See README.md for the architecture overview, DESIGN.md for the system
-// inventory and experiment index, and EXPERIMENTS.md for the
-// paper-versus-reproduction record. The benchmark harness in
-// bench_test.go regenerates every table and figure of the paper's
-// evaluation.
+// Beyond the paper, the runtime grew a batched, branch-parallel
+// execution engine (internal/exec.Engine): a dependency-counting DAG
+// scheduler over a worker pool, a size-keyed buffer arena, and
+// layout-specialized operator fast paths, verified against the
+// sequential reference executor on AlexNet, VGG, GoogleNet and
+// ResNet-18.
+//
+// See README.md for the architecture overview and how to run the
+// dnnbench command, DESIGN.md for the system inventory and experiment
+// index, and EXPERIMENTS.md for the paper-versus-reproduction record.
+// The benchmark harness in bench_test.go regenerates every table and
+// figure of the paper's evaluation.
 package pbqpdnn

@@ -1,0 +1,3 @@
+module pbqpdnn
+
+go 1.24

@@ -36,6 +36,11 @@ func (b *Builder) shape(id int) (c, h, w int) {
 	return l.OutC, l.OutH, l.OutW
 }
 
+// Shape returns the propagated output shape of an already-added layer,
+// letting model builders size shape-dependent layers (global pooling,
+// projection shortcuts) without tracking dimensions by hand.
+func (b *Builder) Shape(id int) (c, h, w int) { return b.shape(id) }
+
 // Conv appends a convolution of m filters, k×k taps, given stride and
 // padding, fed by layer `from`.
 func (b *Builder) Conv(from int, name string, m, k, stride, pad int) int {
@@ -99,6 +104,23 @@ func (b *Builder) Concat(name string, from ...int) int {
 		totalC += c
 	}
 	return b.add(&Layer{Name: name, Kind: KindConcat, OutC: totalC, OutH: h0, OutW: w0}, from...)
+}
+
+// Add appends an elementwise sum of the given layers (a residual
+// shortcut junction), which must agree on shape.
+func (b *Builder) Add(name string, from ...int) int {
+	if len(from) < 2 {
+		panic(fmt.Sprintf("dnn: add %q needs ≥ 2 inputs", name))
+	}
+	c0, h0, w0 := b.shape(from[0])
+	for _, f := range from[1:] {
+		c, h, w := b.shape(f)
+		if c != c0 || h != h0 || w != w0 {
+			panic(fmt.Sprintf("dnn: add %q: shape mismatch %dx%dx%d vs %dx%dx%d",
+				name, c, h, w, c0, h0, w0))
+		}
+	}
+	return b.add(&Layer{Name: name, Kind: KindAdd, OutC: c0, OutH: h0, OutW: w0}, from...)
 }
 
 // FC appends a fully-connected layer of n outputs.

@@ -40,6 +40,8 @@ const (
 	KindDropout
 	// KindSoftmax is the output distribution.
 	KindSoftmax
+	// KindAdd sums its inputs elementwise (residual shortcuts).
+	KindAdd
 )
 
 // String names the kind.
@@ -65,6 +67,8 @@ func (k Kind) String() string {
 		return "dropout"
 	case KindSoftmax:
 		return "softmax"
+	case KindAdd:
+		return "add"
 	}
 	return fmt.Sprintf("Kind(%d)", uint8(k))
 }
@@ -180,6 +184,17 @@ func (g *Graph) Validate() error {
 		case KindConcat:
 			if len(g.preds[l.ID]) < 2 {
 				return fmt.Errorf("dnn: concat layer %q has %d inputs", l.Name, len(g.preds[l.ID]))
+			}
+		case KindAdd:
+			if len(g.preds[l.ID]) < 2 {
+				return fmt.Errorf("dnn: add layer %q has %d inputs", l.Name, len(g.preds[l.ID]))
+			}
+			for _, p := range g.preds[l.ID] {
+				pl := g.Layers[p]
+				if pl.OutC != l.OutC || pl.OutH != l.OutH || pl.OutW != l.OutW {
+					return fmt.Errorf("dnn: add layer %q input %q shape %d×%d×%d != %d×%d×%d",
+						l.Name, pl.Name, pl.OutC, pl.OutH, pl.OutW, l.OutC, l.OutH, l.OutW)
+				}
 			}
 		default:
 			if len(g.preds[l.ID]) != 1 {

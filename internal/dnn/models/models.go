@@ -11,9 +11,11 @@ import (
 	"pbqpdnn/internal/dnn"
 )
 
-// Names lists the available model builders.
+// Names lists the available model builders. The first six are the
+// paper's evaluation networks (§5.2); resnet-18 is a post-paper
+// workload exercising residual (elementwise-add) shortcuts.
 func Names() []string {
-	return []string{"alexnet", "vgg-b", "vgg-c", "vgg-d", "vgg-e", "googlenet"}
+	return []string{"alexnet", "vgg-b", "vgg-c", "vgg-d", "vgg-e", "googlenet", "resnet-18"}
 }
 
 // Build returns the named network, or an error for unknown names.
@@ -31,6 +33,8 @@ func Build(name string) (*dnn.Graph, error) {
 		return VGG('E'), nil
 	case "googlenet":
 		return GoogleNet(), nil
+	case "resnet-18":
+		return ResNet18(), nil
 	}
 	return nil, fmt.Errorf("models: unknown network %q (have %v)", name, Names())
 }
@@ -172,6 +176,55 @@ func GoogleNet() *dnn.Graph {
 	x = b.AvgPool(x, "pool5/7x7_s1", 7, 1, 0)
 	x = b.Dropout(x, "pool5/drop_7x7_s1")
 	x = b.FC(x, "loss3/classifier", 1000)
+	b.Softmax(x, "prob")
+	return b.Graph()
+}
+
+// basicBlock appends one ResNet basic block (two 3×3 convolutions with
+// a shortcut add). With stride > 1 or a channel change, the shortcut is
+// a 1×1 strided projection convolution; otherwise it is the identity.
+// Batch normalization is folded away — inference weights are fabricated
+// anyway, and layer runtime does not depend on weight values.
+func basicBlock(b *dnn.Builder, x int, name string, m, stride int) int {
+	short := x
+	if c, _, _ := b.Shape(x); stride != 1 || c != m {
+		short = b.Conv(x, name+"/proj", m, 1, stride, 0)
+	}
+	y := b.Conv(x, name+"/conv1", m, 3, stride, 1)
+	y = b.ReLU(y, name+"/relu1")
+	y = b.Conv(y, name+"/conv2", m, 3, 1, 1)
+	y = b.Add(name+"/add", y, short)
+	return b.ReLU(y, name+"/relu2")
+}
+
+// ResNet18 is the 18-layer residual network of He et al. (CVPR 2016),
+// inference path: a 7×7/2 stem, four stages of two basic blocks each
+// (64, 128, 256, 512 maps; stages 2–4 downsample by 2 with projection
+// shortcuts), global average pooling and a 1000-way classifier. It is
+// not part of the paper's evaluation set; it exercises the residual
+// add junctions the batched executor schedules as a DAG.
+func ResNet18() *dnn.Graph {
+	b, x := dnn.NewBuilder("resnet-18", 3, 224, 224)
+	x = b.Conv(x, "conv1", 64, 7, 2, 3)
+	x = b.ReLU(x, "conv1/relu")
+	// Caffe ceil-mode pooling: 3×3/2 unpadded over 112 already yields
+	// the canonical 56×56 stage-2 extent.
+	x = b.MaxPool(x, "pool1", 3, 2, 0)
+
+	maps := []int{64, 128, 256, 512}
+	for stage, m := range maps {
+		for blk := 0; blk < 2; blk++ {
+			stride := 1
+			if stage > 0 && blk == 0 {
+				stride = 2
+			}
+			x = basicBlock(b, x, fmt.Sprintf("res%d_%d", stage+2, blk+1), m, stride)
+		}
+	}
+
+	_, h, _ := b.Shape(x)
+	x = b.AvgPool(x, "pool5", h, 1, 0)
+	x = b.FC(x, "fc1000", 1000)
 	b.Softmax(x, "prob")
 	return b.Graph()
 }

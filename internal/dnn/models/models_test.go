@@ -166,3 +166,42 @@ func TestInceptionBranchNames(t *testing.T) {
 		t.Errorf("found %d/%d expected 4e branch layers", found, len(want))
 	}
 }
+
+func TestResNet18Structure(t *testing.T) {
+	g := ResNet18()
+	// 1 stem + 16 block convs + 3 projection shortcuts.
+	if got := len(g.ConvLayers()); got != 20 {
+		t.Errorf("ResNet-18 has %d convs, want 20", got)
+	}
+	adds := 0
+	for _, l := range g.Layers {
+		if l.Kind == dnn.KindAdd {
+			adds++
+			if len(g.Preds(l.ID)) != 2 {
+				t.Errorf("%s has %d preds, want 2", l.Name, len(g.Preds(l.ID)))
+			}
+		}
+	}
+	if adds != 8 {
+		t.Errorf("ResNet-18 has %d add junctions, want 8", adds)
+	}
+	// Stage outputs halve spatially and double in channels.
+	want := map[string][3]int{
+		"res2_2/relu2": {64, 56, 56},
+		"res3_1/relu2": {128, 28, 28},
+		"res4_1/relu2": {256, 14, 14},
+		"res5_2/relu2": {512, 7, 7},
+	}
+	for _, l := range g.Layers {
+		if s, ok := want[l.Name]; ok {
+			if l.OutC != s[0] || l.OutH != s[1] || l.OutW != s[2] {
+				t.Errorf("%s shape %d×%d×%d, want %d×%d×%d",
+					l.Name, l.OutC, l.OutH, l.OutW, s[0], s[1], s[2])
+			}
+			delete(want, l.Name)
+		}
+	}
+	for name := range want {
+		t.Errorf("missing layer %q", name)
+	}
+}

@@ -1,0 +1,107 @@
+package exec
+
+import (
+	"sync"
+
+	"pbqpdnn/internal/tensor"
+)
+
+// arena is a size-keyed recycling pool for intermediate tensor buffers.
+// The batched executor produces one tensor per (image, layer) pair;
+// without recycling, a GoogLeNet minibatch allocates hundreds of
+// megabytes of short-lived garbage per run. The arena keys free buffers
+// by exact element count — layer shapes repeat across images and runs,
+// so hit rates approach 100% after the first image.
+//
+// Buffers are zeroed on checkout: operators only write logical
+// elements, and the padding lanes of blocked layouts (CHW4/CHW8) must
+// stay zero for downstream primitives that read whole blocks.
+type arena struct {
+	mu   sync.Mutex
+	free map[int][][]float32
+
+	// maxPerSize caps each free list's depth. Buffers released to the
+	// arena include conv-primitive outputs and conversion temporaries
+	// that were allocated fresh (not drawn from the arena), so without
+	// a cap a long-lived engine's pooled inventory would ratchet up on
+	// every run; beyond the cap, released buffers are dropped for the
+	// GC to reclaim.
+	maxPerSize int
+
+	// gets and hits count checkouts and recycled checkouts (for tests
+	// and tuning; reads outside the lock are for diagnostics only).
+	gets, hits int64
+}
+
+// defaultArenaDepth bounds each size class at a small multiple of any
+// plausible in-flight tensor count per shape.
+const defaultArenaDepth = 16
+
+func newArena() *arena {
+	return &arena{free: make(map[int][][]float32), maxPerSize: defaultArenaDepth}
+}
+
+// get returns a zeroed buffer of exactly n elements, recycling a
+// previously released one when available.
+func (a *arena) get(n int) []float32 {
+	return a.getZeroed(n, true)
+}
+
+// getZeroed returns a buffer of exactly n elements, optionally zeroed.
+// Callers may skip zeroing only when they overwrite every element —
+// the executor does so for non-blocked layouts, where every stored
+// element is a logical element the operator writes.
+func (a *arena) getZeroed(n int, zero bool) []float32 {
+	a.mu.Lock()
+	a.gets++
+	if bufs := a.free[n]; len(bufs) > 0 {
+		buf := bufs[len(bufs)-1]
+		a.free[n] = bufs[:len(bufs)-1]
+		a.hits++
+		a.mu.Unlock()
+		if zero {
+			clear(buf)
+		}
+		return buf
+	}
+	a.mu.Unlock()
+	return make([]float32, n)
+}
+
+// put releases a buffer back to the pool, dropping it when the size
+// class is already at capacity. The caller must not retain any
+// reference to it.
+func (a *arena) put(buf []float32) {
+	if buf == nil {
+		return
+	}
+	a.mu.Lock()
+	if len(a.free[len(buf)]) < a.maxPerSize {
+		a.free[len(buf)] = append(a.free[len(buf)], buf)
+	}
+	a.mu.Unlock()
+}
+
+// putTensor releases a tensor's backing buffer back to the pool.
+func (a *arena) putTensor(t *tensor.Tensor) {
+	if t != nil {
+		a.put(t.Data)
+	}
+}
+
+// newTensor returns a tensor backed by an arena buffer, sized for the
+// layer's output. Blocked layouts are zeroed — their padding lanes
+// must hold zeros and no operator writes them — while plain layouts
+// skip the memset because every element is a logical element the
+// operator overwrites.
+func (a *arena) newTensor(l tensor.Layout, c, h, w int) *tensor.Tensor {
+	zero := l.BlockSize() > 0
+	return tensor.NewWith(l, c, h, w, a.getZeroed(tensor.DataLen(l, c, h, w), zero))
+}
+
+// stats reports total and recycled checkouts.
+func (a *arena) stats() (gets, hits int64) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.gets, a.hits
+}

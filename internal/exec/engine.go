@@ -1,0 +1,370 @@
+package exec
+
+// This file implements the batched, branch-parallel execution engine.
+// Where Run (exec.go) walks the network one layer at a time with a
+// fresh allocation per operator — the correctness oracle — the Engine
+// is the production path: a dependency-counting DAG scheduler
+// dispatches ready layers onto a worker pool sized by the plan's
+// Threads budget (so independent inception branches, residual
+// shortcuts, and minibatch images run concurrently), a size-keyed
+// arena recycles intermediate buffers, and the wildcard operators take
+// the layout-specialized fast paths in fastpath.go.
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"pbqpdnn/internal/dnn"
+	"pbqpdnn/internal/selector"
+	"pbqpdnn/internal/tensor"
+)
+
+// Engine executes one legalized plan repeatedly. Construction
+// precomputes the schedule (topological order, dependency and consumer
+// counts) so per-run work is only the layer computations themselves.
+// An Engine is safe for concurrent use: per-run state lives on the
+// call stack and the shared arena is internally synchronized. The plan
+// and weights must not be mutated while the Engine is in use.
+//
+// Threading model: the worker pool has plan.Threads workers and
+// primitives run single-threaded inside a task — inter-layer (and
+// inter-image) parallelism replaces the intra-primitive parallelism
+// Run uses. When the DAG leaves a worker alone (a chain network at
+// batch 1), the scheduler hands that task the full thread budget so no
+// part of the budget idles.
+type Engine struct {
+	plan    *selector.Plan
+	w       *Weights
+	workers int
+
+	order    []int   // topological layer order
+	preds    [][]int // predecessor ids per layer (graph order)
+	succs    [][]int // successor ids per layer (graph order)
+	outputID int     // the layer whose tensor Run/RunBatch return
+
+	arena *arena
+}
+
+// NewEngine validates the plan and precomputes the schedule.
+func NewEngine(plan *selector.Plan, w *Weights) (*Engine, error) {
+	if err := plan.Check(); err != nil {
+		return nil, fmt.Errorf("exec: %w", err)
+	}
+	net := plan.Net
+	order, err := net.TopoOrder()
+	if err != nil {
+		return nil, err
+	}
+	// The plan's Threads value is a budget, not a mandate: running more
+	// CPU-bound tasks than the runtime has processors only interleaves
+	// half-finished convolutions on the same core and thrashes its
+	// caches, so the pool is capped at GOMAXPROCS.
+	workers := plan.Threads
+	if workers < 1 {
+		workers = 1
+	}
+	if procs := runtime.GOMAXPROCS(0); workers > procs {
+		workers = procs
+	}
+	e := &Engine{
+		plan:     plan,
+		w:        w,
+		workers:  workers,
+		order:    order,
+		preds:    make([][]int, net.NumLayers()),
+		succs:    make([][]int, net.NumLayers()),
+		outputID: order[len(order)-1],
+		arena:    newArena(),
+	}
+	for _, l := range net.Layers {
+		e.preds[l.ID] = net.Preds(l.ID)
+		e.succs[l.ID] = net.Succs(l.ID)
+	}
+	return e, nil
+}
+
+// Run executes the plan on a single image. It is equivalent to
+// RunBatch with a batch of one.
+func (e *Engine) Run(input *tensor.Tensor) (*tensor.Tensor, error) {
+	outs, err := e.RunBatch([]*tensor.Tensor{input})
+	if err != nil {
+		return nil, err
+	}
+	return outs[0], nil
+}
+
+// RunBatch executes the plan on an N-image minibatch, reusing the one
+// legalized plan (and the engine's buffer arena) across all images.
+// Every (image, layer) pair is an independently schedulable task;
+// tasks from different images interleave freely on the worker pool, so
+// the minibatch dimension parallelizes even for chain networks. The
+// returned slice holds each image's output in input order. Outputs
+// honor Run's no-alias contract: they never share storage with the
+// caller's inputs, and they are never recycled into the arena.
+func (e *Engine) RunBatch(inputs []*tensor.Tensor) ([]*tensor.Tensor, error) {
+	if len(inputs) == 0 {
+		return nil, fmt.Errorf("exec: empty batch")
+	}
+	net := e.plan.Net
+	n := net.NumLayers()
+	il := net.Layers[e.order[0]]
+	for _, in := range inputs {
+		if in.C != il.OutC || in.H != il.OutH || in.W != il.OutW {
+			return nil, fmt.Errorf("exec: input %s does not match network input %d×%d×%d",
+				in, il.OutC, il.OutH, il.OutW)
+		}
+	}
+
+	total := len(inputs) * n
+	st := &batchState{
+		results: make([][]*tensor.Tensor, len(inputs)),
+		deps:    make([][]int32, len(inputs)),
+		refs:    make([][]int32, len(inputs)),
+		tasks:   make(chan task, total),
+		stop:    make(chan struct{}),
+		total:   int64(total),
+	}
+	for img := range inputs {
+		st.results[img] = make([]*tensor.Tensor, n)
+		st.deps[img] = make([]int32, n)
+		st.refs[img] = make([]int32, n)
+		for id := 0; id < n; id++ {
+			st.deps[img][id] = int32(len(e.preds[id]))
+			st.refs[img][id] = int32(len(e.succs[id]))
+		}
+		// The caller keeps the batch output; never recycle it.
+		st.refs[img][e.outputID]++
+	}
+	// Seed the queue: the input layer of every image is ready at once —
+	// this is what lets a 4-worker pool overlap 4 images of a chain
+	// network from the first dispatch.
+	for img := range inputs {
+		for _, id := range e.order {
+			if st.deps[img][id] == 0 {
+				st.tasks <- task{img: img, layer: id}
+			}
+		}
+	}
+
+	var wg sync.WaitGroup
+	for i := 0; i < e.workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-st.stop:
+					return
+				case t := <-st.tasks:
+					e.runTask(st, inputs, t)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if err := st.loadErr(); err != nil {
+		return nil, err
+	}
+	outs := make([]*tensor.Tensor, len(inputs))
+	for img := range inputs {
+		outs[img] = st.results[img][e.outputID]
+	}
+	return outs, nil
+}
+
+// task identifies one unit of schedulable work: one layer of one image.
+type task struct {
+	img, layer int
+}
+
+// batchState is the per-RunBatch scheduler state.
+type batchState struct {
+	results [][]*tensor.Tensor
+	deps    [][]int32 // unfinished predecessors per (image, layer)
+	refs    [][]int32 // unfinished consumers per (image, layer)
+
+	tasks chan task     // buffered to the task total: sends never block
+	stop  chan struct{} // closed on completion or first error
+
+	total     int64
+	completed int64
+	running   int32
+
+	errOnce sync.Once
+	err     atomic.Value // error
+	done    sync.Once
+}
+
+func (st *batchState) fail(err error) {
+	st.errOnce.Do(func() { st.err.Store(err) })
+	st.done.Do(func() { close(st.stop) })
+}
+
+func (st *batchState) loadErr() error {
+	if v := st.err.Load(); v != nil {
+		return v.(error)
+	}
+	return nil
+}
+
+// runTask executes one (image, layer) unit: legalize the incoming
+// edges, apply the operator, recycle dead tensors, and unlock
+// successors.
+func (e *Engine) runTask(st *batchState, inputs []*tensor.Tensor, t task) {
+	atomic.AddInt32(&st.running, 1)
+	defer atomic.AddInt32(&st.running, -1)
+
+	out, err := e.compute(st, inputs, t)
+	if err != nil {
+		st.fail(err)
+		return
+	}
+	l := e.plan.Net.Layers[t.layer]
+	if out.C != l.OutC || out.H != l.OutH || out.W != l.OutW {
+		st.fail(fmt.Errorf("exec: layer %q produced %s, want %d×%d×%d",
+			l.Name, out, l.OutC, l.OutH, l.OutW))
+		return
+	}
+	st.results[t.img][t.layer] = out
+
+	// Release predecessors whose last consumer this task was.
+	for _, p := range e.preds[t.layer] {
+		if atomic.AddInt32(&st.refs[t.img][p], -1) == 0 {
+			e.arena.putTensor(st.results[t.img][p])
+			st.results[t.img][p] = nil
+		}
+	}
+	// A layer nothing consumes (only the batch output, normally) still
+	// holds its caller reference; nothing to release here.
+
+	// Unlock successors that just became ready.
+	for _, s := range e.succs[t.layer] {
+		if atomic.AddInt32(&st.deps[t.img][s], -1) == 0 {
+			st.tasks <- task{img: t.img, layer: s}
+		}
+	}
+	if atomic.AddInt64(&st.completed, 1) == st.total {
+		st.done.Do(func() { close(st.stop) })
+	}
+}
+
+// fetchConverted returns pred's tensor legalized for the edge
+// (pred → id), plus the chain temporary to recycle after the operator
+// runs (nil when the edge needed no conversion).
+func (e *Engine) fetchConverted(st *batchState, t task, pred int) (in, temp *tensor.Tensor) {
+	tns := st.results[t.img][pred]
+	for _, tr := range e.plan.Conversions[[2]int{pred, t.layer}] {
+		next := tr.Run(tns)
+		if tns != st.results[t.img][pred] {
+			e.arena.putTensor(tns)
+		}
+		tns = next
+	}
+	if tns != st.results[t.img][pred] {
+		temp = tns
+	}
+	return tns, temp
+}
+
+// primThreads decides the intra-primitive thread budget for one task:
+// normally 1 (the pool itself is the parallelism), but a task running
+// alone with an empty queue inherits the whole budget so chain
+// segments of the DAG do not serialize onto a single worker.
+func (e *Engine) primThreads(st *batchState) int {
+	if e.workers > 1 && atomic.LoadInt32(&st.running) == 1 && len(st.tasks) == 0 {
+		return e.workers
+	}
+	return 1
+}
+
+// compute applies one layer's operator and returns its output tensor.
+func (e *Engine) compute(st *batchState, inputs []*tensor.Tensor, t task) (*tensor.Tensor, error) {
+	net := e.plan.Net
+	l := net.Layers[t.layer]
+	ar := e.arena
+
+	switch l.Kind {
+	case dnn.KindInput:
+		// Copy-on-identity into an engine-owned buffer: outputs and
+		// intermediates must never alias the caller's input.
+		layout := e.plan.Layouts[t.layer]
+		in := inputs[t.img]
+		out := ar.newTensor(layout, l.OutC, l.OutH, l.OutW)
+		if in.Layout == layout {
+			copy(out.Data, in.Data)
+		} else {
+			tensor.ConvertInto(out, in)
+		}
+		return out, nil
+
+	case dnn.KindConv:
+		in, temp := e.fetchConverted(st, t, e.preds[t.layer][0])
+		p := e.plan.Primitives[t.layer]
+		if in.Layout != p.In {
+			return nil, fmt.Errorf("exec: layer %q: got %s input, primitive %s wants %s",
+				l.Name, in.Layout, p.Name, p.In)
+		}
+		out := p.Run(in, e.w.Kernels[t.layer], l.Conv, e.primThreads(st))
+		ar.putTensor(temp)
+		return out, nil
+
+	case dnn.KindReLU, dnn.KindLRN, dnn.KindMaxPool, dnn.KindAvgPool,
+		dnn.KindDropout, dnn.KindSoftmax, dnn.KindFC:
+		in, temp := e.fetchConverted(st, t, e.preds[t.layer][0])
+		out := ar.newTensor(e.plan.Layouts[t.layer], l.OutC, l.OutH, l.OutW)
+		switch l.Kind {
+		case dnn.KindReLU:
+			reluInto(out, in)
+		case dnn.KindLRN:
+			lrnInto(out, in)
+		case dnn.KindMaxPool:
+			poolInto(out, in, l, true)
+		case dnn.KindAvgPool:
+			poolInto(out, in, l, false)
+		case dnn.KindDropout:
+			copyInto(out, in)
+		case dnn.KindSoftmax:
+			softmaxInto(out, in)
+		case dnn.KindFC:
+			fcInto(out, in, e.w.FC[t.layer], l.FCOut)
+		}
+		ar.putTensor(temp)
+		return out, nil
+
+	case dnn.KindConcat, dnn.KindAdd:
+		ins := make([]*tensor.Tensor, 0, len(e.preds[t.layer]))
+		var temps []*tensor.Tensor
+		for _, p := range e.preds[t.layer] {
+			in, temp := e.fetchConverted(st, t, p)
+			ins = append(ins, in)
+			if temp != nil {
+				temps = append(temps, temp)
+			}
+		}
+		out := ar.newTensor(e.plan.Layouts[t.layer], l.OutC, l.OutH, l.OutW)
+		if l.Kind == dnn.KindConcat {
+			concatInto(out, ins)
+		} else {
+			addInto(out, ins)
+		}
+		for _, temp := range temps {
+			ar.putTensor(temp)
+		}
+		return out, nil
+	}
+	return nil, fmt.Errorf("exec: unsupported layer kind %s", l.Kind)
+}
+
+// RunBatch executes the plan on a minibatch with a freshly constructed
+// engine — the convenience entry point mirroring Run. Callers that
+// execute a plan repeatedly should construct one Engine and reuse it,
+// keeping the arena warm across calls.
+func RunBatch(plan *selector.Plan, inputs []*tensor.Tensor, w *Weights) ([]*tensor.Tensor, error) {
+	e, err := NewEngine(plan, w)
+	if err != nil {
+		return nil, err
+	}
+	return e.RunBatch(inputs)
+}

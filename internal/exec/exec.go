@@ -68,6 +68,13 @@ func fillRandom(dst []float32, seed int64) {
 // Run executes the plan on the given input (which must match the
 // network's input shape; its layout is converted as needed). It returns
 // the network output tensor.
+//
+// No-alias contract: the returned tensor — and every intermediate Run
+// produces — never shares backing storage with the caller's input.
+// Identity-shaped layers (dropout, and an input layer whose layout
+// already matches the plan) copy rather than alias, so mutating the
+// returned output can never corrupt caller-owned tensors, and Run never
+// mutates its input. RunBatch and Engine honor the same contract.
 func Run(plan *selector.Plan, input *tensor.Tensor, w *Weights) (*tensor.Tensor, error) {
 	net := plan.Net
 	order, err := net.TopoOrder()
@@ -92,13 +99,16 @@ func Run(plan *selector.Plan, input *tensor.Tensor, w *Weights) (*tensor.Tensor,
 		var out *tensor.Tensor
 		switch l.Kind {
 		case dnn.KindInput:
-			out = input
-			if out.C != l.OutC || out.H != l.OutH || out.W != l.OutW {
+			if input.C != l.OutC || input.H != l.OutH || input.W != l.OutW {
 				return nil, fmt.Errorf("exec: input %s does not match network input %d×%d×%d",
-					out, l.OutC, l.OutH, l.OutW)
+					input, l.OutC, l.OutH, l.OutW)
 			}
-			if out.Layout != plan.Layouts[id] {
-				out = tensor.Convert(out, plan.Layouts[id])
+			if input.Layout != plan.Layouts[id] {
+				out = tensor.Convert(input, plan.Layouts[id])
+			} else {
+				// Copy-on-identity: downstream tensors must never alias
+				// the caller's input.
+				out = input.Clone()
 			}
 		case dnn.KindConv:
 			in := fetch(net.Preds(id)[0], id)
@@ -125,7 +135,16 @@ func Run(plan *selector.Plan, input *tensor.Tensor, w *Weights) (*tensor.Tensor,
 		case dnn.KindFC:
 			out = fc(fetch(net.Preds(id)[0], id), w.FC[id], l.FCOut)
 		case dnn.KindDropout:
-			out = fetch(net.Preds(id)[0], id) // inference identity
+			// Inference identity, but copy-on-identity: aliasing the
+			// predecessor's tensor would let a mutation of this layer's
+			// output corrupt it (and, transitively, the caller's data).
+			out = fetch(net.Preds(id)[0], id).Clone()
+		case dnn.KindAdd:
+			ins := make([]*tensor.Tensor, 0, len(net.Preds(id)))
+			for _, p := range net.Preds(id) {
+				ins = append(ins, fetch(p, id))
+			}
+			out = add(ins, plan.Layouts[id])
 		case dnn.KindSoftmax:
 			out = softmax(fetch(net.Preds(id)[0], id))
 		default:
@@ -253,6 +272,23 @@ func concat(ins []*tensor.Tensor, layout tensor.Layout) *tensor.Tensor {
 			}
 		}
 		base += t.C
+	}
+	return out
+}
+
+// add sums the inputs elementwise (residual shortcut junction).
+func add(ins []*tensor.Tensor, layout tensor.Layout) *tensor.Tensor {
+	out := tensor.New(layout, ins[0].C, ins[0].H, ins[0].W)
+	for c := 0; c < out.C; c++ {
+		for h := 0; h < out.H; h++ {
+			for w := 0; w < out.W; w++ {
+				var acc float32
+				for _, t := range ins {
+					acc += t.At(c, h, w)
+				}
+				out.Set(c, h, w, acc)
+			}
+		}
 	}
 	return out
 }

@@ -1,0 +1,9 @@
+//go:build !race
+
+package exec
+
+// raceEnabled reports whether the race detector is compiled in. The
+// full-model equivalence tests consult it: race instrumentation slows
+// whole-network inference by an order of magnitude, so the heaviest
+// models only run without it.
+const raceEnabled = false

@@ -3,11 +3,14 @@ package experiments
 import (
 	"fmt"
 	"strings"
+	"time"
 
 	"pbqpdnn/internal/conv"
 	"pbqpdnn/internal/cost"
 	"pbqpdnn/internal/dnn"
+	"pbqpdnn/internal/exec"
 	"pbqpdnn/internal/selector"
+	"pbqpdnn/internal/tensor"
 )
 
 // This file implements the paper's §8 future-work experiments, which
@@ -92,38 +95,98 @@ func denseLibrary() []*conv.Primitive {
 	return out
 }
 
-// MinibatchPoint is one row of the §8 minibatch sweep.
+// MinibatchPoint is one row of the §8 minibatch sweep. TotalMS and
+// PerImageMS are the cost model's predictions for the
+// batch-parameterized plan; WallTotalMS and WallPerImageMS are
+// measured wall-clock times of the real batched execution engine
+// (exec.RunBatch) reusing one legalized plan across the minibatch.
 type MinibatchPoint struct {
-	Batch      int
-	TotalMS    float64
-	PerImageMS float64
+	Batch          int
+	TotalMS        float64
+	PerImageMS     float64
+	WallTotalMS    float64
+	WallPerImageMS float64
 }
 
-// MinibatchSweep scales the batch parameter and reports per-image
-// amortization of the selected plans.
+// batchedNet is the sweep's workload: a two-convolution stack at a
+// mid-network size. batch parameterizes the cost model only; execution
+// always processes per-image tensors.
+func batchedNet(batch int) *dnn.Graph {
+	b, x := dnn.NewBuilder("batched-net", 64, 28, 28)
+	x = b.Conv(x, "c1", 64, 3, 1, 1)
+	x = b.Conv(x, "c2", 64, 3, 1, 1)
+	x = b.Softmax(x, "sm")
+	g := b.Graph()
+	for _, id := range g.ConvLayers() {
+		g.Layers[id].Conv.Batch = batch
+	}
+	return g
+}
+
+// MinibatchSweep runs MinibatchSweepOpts at the paper-style defaults
+// (4 threads, batches 1–16).
 func MinibatchSweep() ([]MinibatchPoint, error) {
-	var pts []MinibatchPoint
+	return MinibatchSweepOpts(4, []int{1, 2, 4, 8, 16})
+}
+
+// MinibatchSweepOpts scales the batch parameter and reports per-image
+// amortization: predicted by the cost model (plans re-selected per
+// batch-parameterized graph) and measured by executing the real
+// batched engine on the minibatch. One engine — and thus one warm
+// buffer arena — serves all batch sizes, mirroring a serving process.
+func MinibatchSweepOpts(threads int, batches []int) ([]MinibatchPoint, error) {
 	prof := cost.NewModel(cost.IntelHaswell)
-	for _, batch := range []int{1, 2, 4, 8, 16} {
-		b, x := dnn.NewBuilder("batched-net", 64, 28, 28)
-		x = b.Conv(x, "c1", 64, 3, 1, 1)
-		x = b.Conv(x, "c2", 64, 3, 1, 1)
-		x = b.Softmax(x, "sm")
-		g := b.Graph()
-		for _, id := range g.ConvLayers() {
-			g.Layers[id].Conv.Batch = batch
-		}
-		plan, err := selector.Select(g, selector.Options{Prof: prof, Threads: 4})
+
+	// The executed plan: batch-free graph (execution is per-image),
+	// selected once and reused across every batch size.
+	execNet := batchedNet(0)
+	execPlan, err := selector.Select(execNet, selector.Options{Prof: prof, Threads: threads})
+	if err != nil {
+		return nil, err
+	}
+	w := exec.NewWeights(execNet)
+	eng, err := exec.NewEngine(execPlan, w)
+	if err != nil {
+		return nil, err
+	}
+	warm := makeBatch(execNet, 1)
+	if _, err := eng.RunBatch(warm); err != nil { // warm the arena
+		return nil, err
+	}
+
+	var pts []MinibatchPoint
+	for _, batch := range batches {
+		g := batchedNet(batch)
+		plan, err := selector.Select(g, selector.Options{Prof: prof, Threads: threads})
 		if err != nil {
 			return nil, err
 		}
+		inputs := makeBatch(execNet, batch)
+		start := time.Now()
+		if _, err := eng.RunBatch(inputs); err != nil {
+			return nil, err
+		}
+		wall := time.Since(start).Seconds() * 1e3
 		pts = append(pts, MinibatchPoint{
-			Batch:      batch,
-			TotalMS:    plan.TotalCost() * 1e3,
-			PerImageMS: plan.TotalCost() * 1e3 / float64(batch),
+			Batch:          batch,
+			TotalMS:        plan.TotalCost() * 1e3,
+			PerImageMS:     plan.TotalCost() * 1e3 / float64(batch),
+			WallTotalMS:    wall,
+			WallPerImageMS: wall / float64(batch),
 		})
 	}
 	return pts, nil
+}
+
+// makeBatch fabricates n deterministic input images for the network.
+func makeBatch(g *dnn.Graph, n int) []*tensor.Tensor {
+	l := g.Layers[0]
+	ins := make([]*tensor.Tensor, n)
+	for i := range ins {
+		ins[i] = tensor.New(tensor.CHW, l.OutC, l.OutH, l.OutW)
+		ins[i].FillRandom(int64(i + 1))
+	}
+	return ins
 }
 
 // FormatSparsitySweep renders the sweep.
@@ -142,10 +205,12 @@ func FormatSparsitySweep(pts []SparsityPoint) string {
 // FormatMinibatchSweep renders the sweep.
 func FormatMinibatchSweep(pts []MinibatchPoint) string {
 	var b strings.Builder
-	b.WriteString("== §8 extension: minibatch scaling (Intel model, 4 threads) ==\n")
-	fmt.Fprintf(&b, "%-7s %-11s %s\n", "batch", "total ms", "per-image ms")
+	b.WriteString("== §8 extension: minibatch scaling (Intel model + measured batched engine) ==\n")
+	fmt.Fprintf(&b, "%-7s %-11s %-14s %-11s %s\n",
+		"batch", "model ms", "model ms/img", "wall ms", "wall ms/img")
 	for _, p := range pts {
-		fmt.Fprintf(&b, "%-7d %-11.3f %.3f\n", p.Batch, p.TotalMS, p.PerImageMS)
+		fmt.Fprintf(&b, "%-7d %-11.3f %-14.3f %-11.3f %.3f\n",
+			p.Batch, p.TotalMS, p.PerImageMS, p.WallTotalMS, p.WallPerImageMS)
 	}
 	return b.String()
 }

@@ -50,6 +50,53 @@ type Plan struct {
 // TotalCost is the predicted whole-network execution time in seconds.
 func (p *Plan) TotalCost() float64 { return p.NodeCost + p.EdgeCost }
 
+// Check verifies the plan's structural integrity for execution: every
+// conv layer has a primitive whose layouts agree with the plan, and
+// every edge's conversion chain actually connects the producer's
+// output layout to the consumer's input layout. Executors (notably the
+// batched engine, which reuses one plan across a whole minibatch)
+// call it once up front so a malformed plan fails fast instead of
+// producing garbage mid-schedule. A Plan is immutable after
+// construction and safe for concurrent executors.
+func (p *Plan) Check() error {
+	for _, l := range p.Net.Layers {
+		if _, ok := p.Layouts[l.ID]; !ok {
+			return fmt.Errorf("selector: plan for %q has no layout for layer %q", p.Net.Name, l.Name)
+		}
+		if l.IsConv() {
+			prim := p.Primitives[l.ID]
+			if prim == nil {
+				return fmt.Errorf("selector: plan for %q has no primitive for conv layer %q", p.Net.Name, l.Name)
+			}
+			if prim.Out != p.Layouts[l.ID] {
+				return fmt.Errorf("selector: layer %q: primitive %s produces %s, plan records %s",
+					l.Name, prim.Name, prim.Out, p.Layouts[l.ID])
+			}
+		}
+	}
+	for _, e := range p.Net.Edges() {
+		u, v := e[0], e[1]
+		from := p.Layouts[u]
+		to := p.Layouts[v]
+		if prim, ok := p.Primitives[v]; ok {
+			to = prim.In
+		}
+		cur := from
+		for _, tr := range p.Conversions[e] {
+			if tr.From != cur {
+				return fmt.Errorf("selector: edge %s→%s: transform %s expects %s, chain carries %s",
+					p.Net.Layers[u].Name, p.Net.Layers[v].Name, tr.Name, tr.From, cur)
+			}
+			cur = tr.To
+		}
+		if cur != to {
+			return fmt.Errorf("selector: edge %s→%s: chain legalizes %s→%s, consumer wants %s",
+				p.Net.Layers[u].Name, p.Net.Layers[v].Name, from, cur, to)
+		}
+	}
+	return nil
+}
+
 // Options configures a selection run.
 type Options struct {
 	// Lib is the primitive library (conv.Library() by default).

@@ -127,6 +127,25 @@ func New(l Layout, c, h, w int) *Tensor {
 	return &Tensor{C: c, H: h, W: w, Layout: l, Data: make([]float32, DataLen(l, c, h, w))}
 }
 
+// NewWith wraps an existing buffer as a tensor with the given logical
+// dimensions and physical layout, without allocating. The buffer must
+// have exactly DataLen(l, c, h, w) elements; callers that recycle
+// buffers (the executor's arena) are responsible for zeroing them
+// first, since blocked layouts carry padding lanes that must stay zero.
+func NewWith(l Layout, c, h, w int, data []float32) *Tensor {
+	if c <= 0 || h <= 0 || w <= 0 {
+		panic(fmt.Sprintf("tensor: invalid dims %d×%d×%d", c, h, w))
+	}
+	if !l.Valid() {
+		panic(fmt.Sprintf("tensor: invalid layout %d", l))
+	}
+	if want := DataLen(l, c, h, w); len(data) != want {
+		panic(fmt.Sprintf("tensor: buffer has %d elements, want %d for %d×%d×%d %s",
+			len(data), want, c, h, w, l))
+	}
+	return &Tensor{C: c, H: h, W: w, Layout: l, Data: data}
+}
+
 // Index returns the offset of logical element (c,h,w) within Data.
 func (t *Tensor) Index(c, h, w int) int {
 	switch t.Layout {
@@ -201,6 +220,47 @@ func MaxAbsDiff(a, b *Tensor) float64 {
 		}
 	}
 	return max
+}
+
+// MaxRelDiff returns the largest elementwise relative difference
+// |a−b| / max(1, |a|, |b|) between two tensors of identical logical
+// shape, irrespective of their layouts. The max(1, …) denominator makes
+// the measure behave like an absolute tolerance for small magnitudes
+// (softmax probabilities) and a relative one for large activations. It
+// panics if shapes differ.
+func MaxRelDiff(a, b *Tensor) float64 {
+	if a.C != b.C || a.H != b.H || a.W != b.W {
+		panic(fmt.Sprintf("tensor: shape mismatch %s vs %s", a, b))
+	}
+	var max float64
+	for c := 0; c < a.C; c++ {
+		for h := 0; h < a.H; h++ {
+			for w := 0; w < a.W; w++ {
+				va, vb := float64(a.At(c, h, w)), float64(b.At(c, h, w))
+				den := 1.0
+				if m := math.Abs(va); m > den {
+					den = m
+				}
+				if m := math.Abs(vb); m > den {
+					den = m
+				}
+				if d := math.Abs(va-vb) / den; d > max {
+					max = d
+				}
+			}
+		}
+	}
+	return max
+}
+
+// WithinRel reports whether a and b agree elementwise within the given
+// relative tolerance (as measured by MaxRelDiff), irrespective of their
+// physical layouts.
+func WithinRel(a, b *Tensor, tol float64) bool {
+	if a.C != b.C || a.H != b.H || a.W != b.W {
+		return false
+	}
+	return MaxRelDiff(a, b) <= tol
 }
 
 // AlmostEqual reports whether a and b agree elementwise within tol,

@@ -20,6 +20,18 @@ type Transform struct {
 // used as the test oracle and as the materializer of last resort.
 func Convert(src *Tensor, to Layout) *Tensor {
 	dst := New(to, src.C, src.H, src.W)
+	ConvertInto(dst, src)
+	return dst
+}
+
+// ConvertInto copies src's logical elements into dst, which must have
+// the same logical shape (any layout). Callers providing recycled
+// destination buffers in a blocked layout are responsible for their
+// padding lanes, which this copy does not touch.
+func ConvertInto(dst, src *Tensor) {
+	if dst.C != src.C || dst.H != src.H || dst.W != src.W {
+		panic(fmt.Sprintf("tensor: shape mismatch %s vs %s", dst, src))
+	}
 	for c := 0; c < src.C; c++ {
 		for h := 0; h < src.H; h++ {
 			for w := 0; w < src.W; w++ {
@@ -27,7 +39,6 @@ func Convert(src *Tensor, to Layout) *Tensor {
 			}
 		}
 	}
-	return dst
 }
 
 func mustBe(src *Tensor, l Layout) {
