@@ -10,9 +10,13 @@
 //	dnnbench -exp table3
 //	dnnbench -exp trends
 //	dnnbench -exp minibatch -threads 8 -batch 1,4,32
+//	dnnbench -dump-program -net googlenet -strategy pbqp
 //
 // The -threads and -batch flags size the batched execution engine the
-// minibatch experiment measures.
+// minibatch experiment measures. -dump-program compiles the chosen
+// network's plan once and prints the executable Program IR — the
+// instruction stream the engine runs, with its static memory plan and
+// stats (instructions, slots, peak resident bytes).
 package main
 
 import (
@@ -22,8 +26,13 @@ import (
 	"strconv"
 	"strings"
 
+	"pbqpdnn/internal/conv"
 	"pbqpdnn/internal/cost"
+	"pbqpdnn/internal/dnn/models"
 	"pbqpdnn/internal/experiments"
+	"pbqpdnn/internal/program"
+	"pbqpdnn/internal/selector"
+	"pbqpdnn/internal/tensor"
 )
 
 func main() {
@@ -33,7 +42,18 @@ func main() {
 		"experiment: table1, table2, table3, fig2, fig4, fig5, fig6, fig7a, fig7b, solver, sparsity, minibatch, trends, all")
 	threads := flag.Int("threads", 4, "execution thread budget for the minibatch experiment's batched engine")
 	batch := flag.String("batch", "1,2,4,8,16", "comma-separated minibatch sizes for the minibatch experiment")
+	dump := flag.Bool("dump-program", false, "compile -net under -strategy and print the Program IR (instructions + memory plan), then exit")
+	netName := flag.String("net", "googlenet", "network for -dump-program (alexnet, vgg-b/c/d/e, googlenet, resnet-18)")
+	strategy := flag.String("strategy", "pbqp",
+		"selection strategy for -dump-program: pbqp, baseline, local-opt, no-edge-cost, mkldnn, armcl, caffe, direct, im2, kn2, winograd, fft")
 	flag.Parse()
+
+	if *dump {
+		if err := dumpProgram(*netName, *strategy, *threads); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
 
 	batches, err := parseBatches(*batch)
 	if err != nil {
@@ -145,6 +165,47 @@ func main() {
 	if err := run(); err != nil {
 		log.Fatal(err)
 	}
+}
+
+// dumpProgram compiles one network's plan under the chosen strategy
+// and prints the executable Program IR with its static memory plan.
+func dumpProgram(netName, strategy string, threads int) error {
+	g, err := models.Build(netName)
+	if err != nil {
+		return err
+	}
+	opts := selector.Options{Prof: cost.NewModel(cost.IntelHaswell), Threads: threads}
+	builders := map[string]func() (*selector.Plan, error){
+		"pbqp":         func() (*selector.Plan, error) { return selector.Select(g, opts) },
+		"baseline":     func() (*selector.Plan, error) { return selector.Baseline(g, opts) },
+		"local-opt":    func() (*selector.Plan, error) { return selector.LocalOptimal(g, tensor.CHW, opts) },
+		"no-edge-cost": func() (*selector.Plan, error) { return selector.NoEdgeCost(g, opts) },
+		"mkldnn":       func() (*selector.Plan, error) { return selector.MKLDNNProxy(g, opts) },
+		"armcl":        func() (*selector.Plan, error) { return selector.ARMCLProxy(g, opts) },
+		"caffe":        func() (*selector.Plan, error) { return selector.CaffeProxy(g, opts) },
+	}
+	families := map[string]conv.Family{
+		"direct": conv.FamilyDirect, "im2": conv.FamilyIm2, "kn2": conv.FamilyKn2,
+		"winograd": conv.FamilyWinograd, "fft": conv.FamilyFFT,
+	}
+	build, ok := builders[strategy]
+	if !ok {
+		fam, okf := families[strategy]
+		if !okf {
+			return fmt.Errorf("unknown strategy %q", strategy)
+		}
+		build = func() (*selector.Plan, error) { return selector.FamilyBest(g, fam, opts) }
+	}
+	plan, err := build()
+	if err != nil {
+		return err
+	}
+	prog, err := program.Compile(plan)
+	if err != nil {
+		return err
+	}
+	fmt.Print(prog.Source())
+	return nil
 }
 
 // parseBatches parses the -batch flag's comma-separated size list.

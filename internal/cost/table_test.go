@@ -3,6 +3,7 @@ package cost
 import (
 	"bytes"
 	"math"
+	"reflect"
 	"strings"
 	"testing"
 
@@ -86,10 +87,35 @@ func TestTableJSONRoundTrip(t *testing.T) {
 	if loaded.NumEntries() != tab.NumEntries() {
 		t.Errorf("entries %d != %d after round trip", loaded.NumEntries(), tab.NumEntries())
 	}
-	s := net.Layers[net.ConvLayers()[0]].Conv
-	p, _ := conv.ByName(conv.Library(), "im2col-ab")
-	if loaded.Primitive(p, s, 4) != tab.Primitive(p, s, 4) {
-		t.Error("node cost changed across round trip")
+	// The §4 ship-the-table deployment story requires bit-identical
+	// costs on the target: every node and transform entry must survive
+	// the JSON round trip exactly (Go's encoder emits the shortest
+	// representation that round-trips each float64).
+	if !reflect.DeepEqual(loaded.Nodes, tab.Nodes) {
+		t.Error("node costs changed across round trip")
+	}
+	if !reflect.DeepEqual(loaded.Transforms, tab.Transforms) {
+		t.Error("transform costs changed across round trip")
+	}
+	// And the Profiler view over the loaded table answers identically.
+	for _, id := range net.ConvLayers() {
+		s := net.Layers[id].Conv
+		for _, p := range conv.Library() {
+			if !p.Supports(s) {
+				continue
+			}
+			if loaded.Primitive(p, s, 4) != tab.Primitive(p, s, 4) {
+				t.Errorf("node cost for %s on %s changed across round trip", p.Name, s)
+			}
+		}
+	}
+	for _, l := range net.Layers {
+		for _, tr := range tensor.DirectTransforms() {
+			if loaded.Transform(tr, l.OutC, l.OutH, l.OutW) != tab.Transform(tr, l.OutC, l.OutH, l.OutW) {
+				t.Errorf("transform cost for %s at %d×%d×%d changed across round trip",
+					tr.Name, l.OutC, l.OutH, l.OutW)
+			}
+		}
 	}
 }
 

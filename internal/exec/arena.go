@@ -1,31 +1,26 @@
 package exec
 
-import (
-	"sync"
+import "sync"
 
-	"pbqpdnn/internal/tensor"
-)
-
-// arena is a size-keyed recycling pool for intermediate tensor buffers.
-// The batched executor produces one tensor per (image, layer) pair;
-// without recycling, a GoogLeNet minibatch allocates hundreds of
-// megabytes of short-lived garbage per run. The arena keys free buffers
-// by exact element count — layer shapes repeat across images and runs,
-// so hit rates approach 100% after the first image.
+// arena is a size-keyed recycling pool for the engine's slot-frame
+// buffers. Every RunBatch checks one frame per image out of the pool —
+// one buffer per slot of the compiled program's static memory plan —
+// and returns the buffers when the batch completes, so steady-state
+// runs allocate nothing for wildcard intermediates. Slot capacities
+// repeat across images and runs, so hit rates approach 100% after the
+// first batch.
 //
-// Buffers are zeroed on checkout: operators only write logical
-// elements, and the padding lanes of blocked layouts (CHW4/CHW8) must
-// stay zero for downstream primitives that read whole blocks.
+// Buffers are handed out as-is, with no zeroing: blocked-layout slot
+// tenants clear their view on entry (their padding lanes must stay
+// zero), and plain-layout kernels overwrite every element.
 type arena struct {
 	mu   sync.Mutex
 	free map[int][][]float32
 
-	// maxPerSize caps each free list's depth. Buffers released to the
-	// arena include conv-primitive outputs and conversion temporaries
-	// that were allocated fresh (not drawn from the arena), so without
-	// a cap a long-lived engine's pooled inventory would ratchet up on
-	// every run; beyond the cap, released buffers are dropped for the
-	// GC to reclaim.
+	// maxPerSize caps each free list's depth: an oversized batch checks
+	// out more frames than the cap and drops the excess on release for
+	// the GC to reclaim, so a long-lived engine's pooled inventory
+	// cannot ratchet up without bound.
 	maxPerSize int
 
 	// gets and hits count checkouts and recycled checkouts (for tests
@@ -34,24 +29,16 @@ type arena struct {
 }
 
 // defaultArenaDepth bounds each size class at a small multiple of any
-// plausible in-flight tensor count per shape.
+// plausible concurrent frame count per slot capacity.
 const defaultArenaDepth = 16
 
 func newArena() *arena {
 	return &arena{free: make(map[int][][]float32), maxPerSize: defaultArenaDepth}
 }
 
-// get returns a zeroed buffer of exactly n elements, recycling a
-// previously released one when available.
+// get returns a buffer of exactly n elements, recycling a previously
+// released one when available. The contents are unspecified.
 func (a *arena) get(n int) []float32 {
-	return a.getZeroed(n, true)
-}
-
-// getZeroed returns a buffer of exactly n elements, optionally zeroed.
-// Callers may skip zeroing only when they overwrite every element —
-// the executor does so for non-blocked layouts, where every stored
-// element is a logical element the operator writes.
-func (a *arena) getZeroed(n int, zero bool) []float32 {
 	a.mu.Lock()
 	a.gets++
 	if bufs := a.free[n]; len(bufs) > 0 {
@@ -59,9 +46,6 @@ func (a *arena) getZeroed(n int, zero bool) []float32 {
 		a.free[n] = bufs[:len(bufs)-1]
 		a.hits++
 		a.mu.Unlock()
-		if zero {
-			clear(buf)
-		}
 		return buf
 	}
 	a.mu.Unlock()
@@ -80,23 +64,6 @@ func (a *arena) put(buf []float32) {
 		a.free[len(buf)] = append(a.free[len(buf)], buf)
 	}
 	a.mu.Unlock()
-}
-
-// putTensor releases a tensor's backing buffer back to the pool.
-func (a *arena) putTensor(t *tensor.Tensor) {
-	if t != nil {
-		a.put(t.Data)
-	}
-}
-
-// newTensor returns a tensor backed by an arena buffer, sized for the
-// layer's output. Blocked layouts are zeroed — their padding lanes
-// must hold zeros and no operator writes them — while plain layouts
-// skip the memset because every element is a logical element the
-// operator overwrites.
-func (a *arena) newTensor(l tensor.Layout, c, h, w int) *tensor.Tensor {
-	zero := l.BlockSize() > 0
-	return tensor.NewWith(l, c, h, w, a.getZeroed(tensor.DataLen(l, c, h, w), zero))
 }
 
 // stats reports total and recycled checkouts.

@@ -1,48 +1,22 @@
 package exec
 
 import (
-	"fmt"
-	"sort"
-	"strings"
-
+	"pbqpdnn/internal/program"
 	"pbqpdnn/internal/selector"
 )
 
 // GenerateProgram emits the plan as a readable call-sequence program,
 // the textual analogue of the paper's "simple code generator which
-// emitted calls to primitive operations in our library" (§5.2). The
-// output lists, in topological order, every primitive invocation and
-// every legalizing layout transform.
+// emitted calls to primitive operations in our library" (§5.2). It is
+// a pretty-printer over the compiled Program IR — the very instruction
+// stream the batched engine executes — so the listing shows, in
+// execution order, every primitive invocation, every fused legalizing
+// layout conversion, and the static memory plan (slot assignments,
+// in-place execution, peak resident footprint).
 func GenerateProgram(plan *selector.Plan) (string, error) {
-	net := plan.Net
-	order, err := net.TopoOrder()
+	prog, err := program.Compile(plan)
 	if err != nil {
 		return "", err
 	}
-	var b strings.Builder
-	fmt.Fprintf(&b, "// program for %s (strategy=%s threads=%d)\n", net.Name, plan.Strategy, plan.Threads)
-	fmt.Fprintf(&b, "// predicted cost: %.3f ms (nodes %.3f + transforms %.3f)\n",
-		plan.TotalCost()*1e3, plan.NodeCost*1e3, plan.EdgeCost*1e3)
-	for _, id := range order {
-		l := net.Layers[id]
-		// Emit conversions feeding this layer, in a stable order.
-		preds := append([]int(nil), net.Preds(id)...)
-		sort.Ints(preds)
-		for _, p := range preds {
-			for _, tr := range plan.Conversions[[2]int{p, id}] {
-				fmt.Fprintf(&b, "t_%s = %s(t_%s)\n", tr.To, tr.Name, tr.From)
-			}
-		}
-		if prim, ok := plan.Primitives[id]; ok {
-			fmt.Fprintf(&b, "%s = %s(%s)  // %s, %s→%s\n",
-				l.Name, prim.Name, net.Layers[preds[0]].Name, l.Conv, prim.In, prim.Out)
-			continue
-		}
-		var args []string
-		for _, p := range preds {
-			args = append(args, net.Layers[p].Name)
-		}
-		fmt.Fprintf(&b, "%s = %s(%s)  // %s\n", l.Name, l.Kind, strings.Join(args, ", "), plan.Layouts[id])
-	}
-	return b.String(), nil
+	return prog.Source(), nil
 }

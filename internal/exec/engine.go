@@ -3,12 +3,16 @@ package exec
 // This file implements the batched, branch-parallel execution engine.
 // Where Run (exec.go) walks the network one layer at a time with a
 // fresh allocation per operator — the correctness oracle — the Engine
-// is the production path: a dependency-counting DAG scheduler
-// dispatches ready layers onto a worker pool sized by the plan's
-// Threads budget (so independent inception branches, residual
-// shortcuts, and minibatch images run concurrently), a size-keyed
-// arena recycles intermediate buffers, and the wildcard operators take
-// the layout-specialized fast paths in fastpath.go.
+// is the production path. Construction compiles the legalized plan into
+// the Program IR (internal/program): a topologically ordered
+// instruction stream whose kernels, dependency counts and buffer slots
+// are all resolved once, so per-run work is only the layer computations
+// themselves. A dependency-counting DAG scheduler dispatches ready
+// instructions onto a worker pool sized by the plan's Threads budget
+// (so independent inception branches, residual shortcuts, and minibatch
+// images run concurrently), and each image's intermediates live in a
+// statically planned slot frame checked out of the engine's arena —
+// there is no per-task map traffic, type switching, or refcounting.
 
 import (
 	"fmt"
@@ -16,46 +20,54 @@ import (
 	"sync"
 	"sync/atomic"
 
-	"pbqpdnn/internal/dnn"
+	"pbqpdnn/internal/program"
 	"pbqpdnn/internal/selector"
 	"pbqpdnn/internal/tensor"
 )
 
-// Engine executes one legalized plan repeatedly. Construction
-// precomputes the schedule (topological order, dependency and consumer
-// counts) so per-run work is only the layer computations themselves.
-// An Engine is safe for concurrent use: per-run state lives on the
-// call stack and the shared arena is internally synchronized. The plan
-// and weights must not be mutated while the Engine is in use.
+// Engine executes one compiled program repeatedly. An Engine is safe
+// for concurrent use: per-run state lives in per-image frames and the
+// shared arena is internally synchronized. The plan and weights must
+// not be mutated while the Engine is in use.
 //
 // Threading model: the worker pool has plan.Threads workers and
-// primitives run single-threaded inside a task — inter-layer (and
+// primitives run single-threaded inside a task — inter-instruction (and
 // inter-image) parallelism replaces the intra-primitive parallelism
 // Run uses. When the DAG leaves a worker alone (a chain network at
 // batch 1), the scheduler hands that task the full thread budget so no
 // part of the budget idles.
 type Engine struct {
-	plan    *selector.Plan
+	prog    *program.Program
 	w       *Weights
 	workers int
 
-	order    []int   // topological layer order
-	preds    [][]int // predecessor ids per layer (graph order)
-	succs    [][]int // successor ids per layer (graph order)
-	outputID int     // the layer whose tensor Run/RunBatch return
+	// kerns holds one bound kernel per instruction: the primitive call,
+	// fast-path operator, or fused conversion, with weights and
+	// destination policy resolved at construction.
+	kerns []kernelFn
 
 	arena *arena
 }
 
-// NewEngine validates the plan and precomputes the schedule.
+// kernelFn executes one instruction for one image and returns the
+// produced value. input is the image's caller-provided tensor (used by
+// the OpInput kernel only).
+type kernelFn func(fr *frame, input *tensor.Tensor, threads int) (*tensor.Tensor, error)
+
+// frame is one image's execution state: the value table, the remaining
+// dependency counts, and the slot buffers of the static memory plan.
+type frame struct {
+	vals []*tensor.Tensor
+	deps []int32
+	bufs [][]float32 // per planned slot, arena-owned
+}
+
+// NewEngine compiles the plan into the Program IR and binds every
+// instruction's kernel.
 func NewEngine(plan *selector.Plan, w *Weights) (*Engine, error) {
-	if err := plan.Check(); err != nil {
-		return nil, fmt.Errorf("exec: %w", err)
-	}
-	net := plan.Net
-	order, err := net.TopoOrder()
+	prog, err := program.Compile(plan)
 	if err != nil {
-		return nil, err
+		return nil, fmt.Errorf("exec: %w", err)
 	}
 	// The plan's Threads value is a budget, not a mandate: running more
 	// CPU-bound tasks than the runtime has processors only interleaves
@@ -69,23 +81,202 @@ func NewEngine(plan *selector.Plan, w *Weights) (*Engine, error) {
 		workers = procs
 	}
 	e := &Engine{
-		plan:     plan,
-		w:        w,
-		workers:  workers,
-		order:    order,
-		preds:    make([][]int, net.NumLayers()),
-		succs:    make([][]int, net.NumLayers()),
-		outputID: order[len(order)-1],
-		arena:    newArena(),
+		prog:    prog,
+		w:       w,
+		workers: workers,
+		arena:   newArena(),
 	}
-	for _, l := range net.Layers {
-		e.preds[l.ID] = net.Preds(l.ID)
-		e.succs[l.ID] = net.Succs(l.ID)
+	if err := e.bindKernels(); err != nil {
+		return nil, err
 	}
 	return e, nil
 }
 
-// Run executes the plan on a single image. It is equivalent to
+// Program exposes the compiled IR (for stats reporting and tests).
+func (e *Engine) Program() *program.Program { return e.prog }
+
+// dst materializes the destination tensor for an out-of-place
+// instruction: the tenant view of its planned slot, or a fresh
+// caller-owned allocation for the network output. Blocked-layout slot
+// tenants clear the buffer first — their padding lanes must hold zeros
+// and their kernels write only logical elements; plain layouts skip the
+// memset because every physical element is a logical element the
+// kernel overwrites.
+func (e *Engine) dst(fr *frame, ins *program.Instr) *tensor.Tensor {
+	if ins.Slot == program.NoSlot {
+		return tensor.New(ins.Layout, ins.C, ins.H, ins.W)
+	}
+	buf := fr.bufs[ins.Slot][:ins.DataLen()]
+	if ins.Layout.BlockSize() > 0 {
+		clear(buf)
+	}
+	return tensor.NewWith(ins.Layout, ins.C, ins.H, ins.W, buf)
+}
+
+// out materializes any instruction's destination, honoring in-place
+// donation: an in-place instruction writes straight into its donor's
+// tensor, which the memory planner proved dead.
+func (e *Engine) out(fr *frame, ins *program.Instr) *tensor.Tensor {
+	if ins.Donor >= 0 {
+		return fr.vals[ins.Args[ins.Donor]]
+	}
+	return e.dst(fr, ins)
+}
+
+// bindKernels resolves every instruction to a closure over its
+// pre-fetched primitive, weights, and geometry — the one type switch,
+// paid at construction instead of per task.
+func (e *Engine) bindKernels() error {
+	e.kerns = make([]kernelFn, len(e.prog.Instrs))
+	for i := range e.prog.Instrs {
+		ins := &e.prog.Instrs[i]
+		l := ins.Layer
+		switch ins.Op {
+		case program.OpInput:
+			e.kerns[i] = func(fr *frame, input *tensor.Tensor, _ int) (*tensor.Tensor, error) {
+				// Copy-on-identity into engine-owned storage: outputs and
+				// intermediates must never alias the caller's input.
+				// ConvertInto degenerates to a straight copy when the
+				// caller's layout already matches the plan's.
+				out := e.out(fr, ins)
+				tensor.ConvertInto(out, input)
+				return out, nil
+			}
+
+		case program.OpConv:
+			prim, sc := ins.Prim, l.Conv
+			k := e.w.Kernels[l.ID]
+			if k == nil {
+				return fmt.Errorf("exec: no weights for conv layer %q", l.Name)
+			}
+			e.kerns[i] = func(fr *frame, _ *tensor.Tensor, threads int) (*tensor.Tensor, error) {
+				in := fr.vals[ins.Args[0]]
+				if in.Layout != prim.In {
+					return nil, fmt.Errorf("exec: layer %q: got %s input, primitive %s wants %s",
+						l.Name, in.Layout, prim.Name, prim.In)
+				}
+				out := prim.Run(in, k, sc, threads)
+				if out.C != l.OutC || out.H != l.OutH || out.W != l.OutW {
+					return nil, fmt.Errorf("exec: layer %q produced %s, want %d×%d×%d",
+						l.Name, out, l.OutC, l.OutH, l.OutW)
+				}
+				return out, nil
+			}
+
+		case program.OpConvert:
+			// The whole legalization chain is a layout permutation, so it
+			// fuses into one specialized ConvertInto with no chain
+			// temporaries. (The plan priced the chain hop by hop, so its
+			// edge cost is an upper bound on this fused execution.)
+			e.kerns[i] = func(fr *frame, _ *tensor.Tensor, _ int) (*tensor.Tensor, error) {
+				out := e.out(fr, ins)
+				tensor.ConvertInto(out, fr.vals[ins.Args[0]])
+				return out, nil
+			}
+
+		case program.OpReLU:
+			e.kerns[i] = func(fr *frame, _ *tensor.Tensor, _ int) (*tensor.Tensor, error) {
+				out := e.out(fr, ins)
+				program.ReLUInto(out, fr.vals[ins.Args[0]])
+				return out, nil
+			}
+
+		case program.OpDropout:
+			if ins.Alias {
+				e.kerns[i] = func(fr *frame, _ *tensor.Tensor, _ int) (*tensor.Tensor, error) {
+					return fr.vals[ins.Args[0]], nil
+				}
+				break
+			}
+			e.kerns[i] = func(fr *frame, _ *tensor.Tensor, _ int) (*tensor.Tensor, error) {
+				out := e.out(fr, ins)
+				program.CopyInto(out, fr.vals[ins.Args[0]])
+				return out, nil
+			}
+
+		case program.OpLRN:
+			e.kerns[i] = func(fr *frame, _ *tensor.Tensor, _ int) (*tensor.Tensor, error) {
+				out := e.out(fr, ins)
+				program.LRNInto(out, fr.vals[ins.Args[0]])
+				return out, nil
+			}
+
+		case program.OpMaxPool, program.OpAvgPool:
+			isMax := ins.Op == program.OpMaxPool
+			e.kerns[i] = func(fr *frame, _ *tensor.Tensor, _ int) (*tensor.Tensor, error) {
+				out := e.out(fr, ins)
+				program.PoolInto(out, fr.vals[ins.Args[0]], l, isMax)
+				return out, nil
+			}
+
+		case program.OpSoftmax:
+			e.kerns[i] = func(fr *frame, _ *tensor.Tensor, _ int) (*tensor.Tensor, error) {
+				out := e.out(fr, ins)
+				program.SoftmaxInto(out, fr.vals[ins.Args[0]])
+				return out, nil
+			}
+
+		case program.OpFC:
+			mat := e.w.FC[l.ID]
+			if mat == nil {
+				return fmt.Errorf("exec: no weights for fc layer %q", l.Name)
+			}
+			outN := l.FCOut
+			e.kerns[i] = func(fr *frame, _ *tensor.Tensor, _ int) (*tensor.Tensor, error) {
+				out := e.out(fr, ins)
+				program.FCInto(out, fr.vals[ins.Args[0]], mat, outN)
+				return out, nil
+			}
+
+		case program.OpConcat, program.OpAdd:
+			isConcat := ins.Op == program.OpConcat
+			e.kerns[i] = func(fr *frame, _ *tensor.Tensor, _ int) (*tensor.Tensor, error) {
+				ins2 := make([]*tensor.Tensor, len(ins.Args))
+				for k, a := range ins.Args {
+					ins2[k] = fr.vals[a]
+				}
+				out := e.out(fr, ins)
+				if isConcat {
+					program.ConcatInto(out, ins2)
+				} else {
+					program.AddInto(out, ins2)
+				}
+				return out, nil
+			}
+
+		default:
+			return fmt.Errorf("exec: unsupported instruction %s", ins.Op)
+		}
+	}
+	return nil
+}
+
+// newFrame checks one image's frame out of the arena: slot buffers at
+// the planned capacities plus fresh value/dependency tables.
+func (e *Engine) newFrame() *frame {
+	n := len(e.prog.Instrs)
+	fr := &frame{
+		vals: make([]*tensor.Tensor, n),
+		deps: make([]int32, n),
+		bufs: make([][]float32, len(e.prog.SlotCap)),
+	}
+	for i := range e.prog.Instrs {
+		fr.deps[i] = int32(e.prog.Instrs[i].NumDeps)
+	}
+	for s, cap := range e.prog.SlotCap {
+		fr.bufs[s] = e.arena.get(cap)
+	}
+	return fr
+}
+
+// releaseFrame returns the frame's slot buffers to the arena.
+func (e *Engine) releaseFrame(fr *frame) {
+	for _, buf := range fr.bufs {
+		e.arena.put(buf)
+	}
+}
+
+// Run executes the program on a single image. It is equivalent to
 // RunBatch with a batch of one.
 func (e *Engine) Run(input *tensor.Tensor) (*tensor.Tensor, error) {
 	outs, err := e.RunBatch([]*tensor.Tensor{input})
@@ -95,21 +286,21 @@ func (e *Engine) Run(input *tensor.Tensor) (*tensor.Tensor, error) {
 	return outs[0], nil
 }
 
-// RunBatch executes the plan on an N-image minibatch, reusing the one
-// legalized plan (and the engine's buffer arena) across all images.
-// Every (image, layer) pair is an independently schedulable task;
-// tasks from different images interleave freely on the worker pool, so
-// the minibatch dimension parallelizes even for chain networks. The
-// returned slice holds each image's output in input order. Outputs
-// honor Run's no-alias contract: they never share storage with the
-// caller's inputs, and they are never recycled into the arena.
+// RunBatch executes the program on an N-image minibatch, reusing the
+// one compiled program (and the engine's buffer arena) across all
+// images. Every (image, instruction) pair is an independently
+// schedulable task; tasks from different images interleave freely on
+// the worker pool, so the minibatch dimension parallelizes even for
+// chain networks. The returned slice holds each image's output in input
+// order. Outputs honor Run's no-alias contract: they never share
+// storage with the caller's inputs, and they are never recycled —
+// the compiled output instruction is always a fresh allocation.
 func (e *Engine) RunBatch(inputs []*tensor.Tensor) ([]*tensor.Tensor, error) {
 	if len(inputs) == 0 {
 		return nil, fmt.Errorf("exec: empty batch")
 	}
-	net := e.plan.Net
-	n := net.NumLayers()
-	il := net.Layers[e.order[0]]
+	// The first instruction is the topologically first layer: the input.
+	il := e.prog.Instrs[0].Layer
 	for _, in := range inputs {
 		if in.C != il.OutC || in.H != il.OutH || in.W != il.OutW {
 			return nil, fmt.Errorf("exec: input %s does not match network input %d×%d×%d",
@@ -117,33 +308,24 @@ func (e *Engine) RunBatch(inputs []*tensor.Tensor) ([]*tensor.Tensor, error) {
 		}
 	}
 
-	total := len(inputs) * n
+	n := len(e.prog.Instrs)
 	st := &batchState{
-		results: make([][]*tensor.Tensor, len(inputs)),
-		deps:    make([][]int32, len(inputs)),
-		refs:    make([][]int32, len(inputs)),
-		tasks:   make(chan task, total),
-		stop:    make(chan struct{}),
-		total:   int64(total),
+		inputs: inputs,
+		frames: make([]*frame, len(inputs)),
+		tasks:  make(chan task, len(inputs)*n),
+		stop:   make(chan struct{}),
+		total:  int64(len(inputs) * n),
 	}
 	for img := range inputs {
-		st.results[img] = make([]*tensor.Tensor, n)
-		st.deps[img] = make([]int32, n)
-		st.refs[img] = make([]int32, n)
-		for id := 0; id < n; id++ {
-			st.deps[img][id] = int32(len(e.preds[id]))
-			st.refs[img][id] = int32(len(e.succs[id]))
-		}
-		// The caller keeps the batch output; never recycle it.
-		st.refs[img][e.outputID]++
+		st.frames[img] = e.newFrame()
 	}
-	// Seed the queue: the input layer of every image is ready at once —
-	// this is what lets a 4-worker pool overlap 4 images of a chain
-	// network from the first dispatch.
+	// Seed the queue: the input instruction of every image is ready at
+	// once — this is what lets a 4-worker pool overlap 4 images of a
+	// chain network from the first dispatch.
 	for img := range inputs {
-		for _, id := range e.order {
-			if st.deps[img][id] == 0 {
-				st.tasks <- task{img: img, layer: id}
+		for i := range e.prog.Instrs {
+			if e.prog.Instrs[i].NumDeps == 0 {
+				st.tasks <- task{img: img, instr: i}
 			}
 		}
 	}
@@ -158,32 +340,36 @@ func (e *Engine) RunBatch(inputs []*tensor.Tensor) ([]*tensor.Tensor, error) {
 				case <-st.stop:
 					return
 				case t := <-st.tasks:
-					e.runTask(st, inputs, t)
+					e.runTask(st, t)
 				}
 			}
 		}()
 	}
 	wg.Wait()
 	if err := st.loadErr(); err != nil {
+		for _, fr := range st.frames {
+			e.releaseFrame(fr)
+		}
 		return nil, err
 	}
 	outs := make([]*tensor.Tensor, len(inputs))
 	for img := range inputs {
-		outs[img] = st.results[img][e.outputID]
+		outs[img] = st.frames[img].vals[e.prog.Output]
+		e.releaseFrame(st.frames[img])
 	}
 	return outs, nil
 }
 
-// task identifies one unit of schedulable work: one layer of one image.
+// task identifies one unit of schedulable work: one instruction of one
+// image.
 type task struct {
-	img, layer int
+	img, instr int
 }
 
 // batchState is the per-RunBatch scheduler state.
 type batchState struct {
-	results [][]*tensor.Tensor
-	deps    [][]int32 // unfinished predecessors per (image, layer)
-	refs    [][]int32 // unfinished consumers per (image, layer)
+	inputs []*tensor.Tensor
+	frames []*frame
 
 	tasks chan task     // buffered to the task total: sends never block
 	stop  chan struct{} // closed on completion or first error
@@ -209,63 +395,30 @@ func (st *batchState) loadErr() error {
 	return nil
 }
 
-// runTask executes one (image, layer) unit: legalize the incoming
-// edges, apply the operator, recycle dead tensors, and unlock
-// successors.
-func (e *Engine) runTask(st *batchState, inputs []*tensor.Tensor, t task) {
+// runTask executes one (image, instruction) unit and unlocks
+// successors. The heavy lifting — conversions, destination policy,
+// kernel dispatch — was all resolved at compile time; nothing here
+// consults a map or switches on a type.
+func (e *Engine) runTask(st *batchState, t task) {
 	atomic.AddInt32(&st.running, 1)
 	defer atomic.AddInt32(&st.running, -1)
 
-	out, err := e.compute(st, inputs, t)
+	fr := st.frames[t.img]
+	out, err := e.kerns[t.instr](fr, st.inputs[t.img], e.primThreads(st))
 	if err != nil {
 		st.fail(err)
 		return
 	}
-	l := e.plan.Net.Layers[t.layer]
-	if out.C != l.OutC || out.H != l.OutH || out.W != l.OutW {
-		st.fail(fmt.Errorf("exec: layer %q produced %s, want %d×%d×%d",
-			l.Name, out, l.OutC, l.OutH, l.OutW))
-		return
-	}
-	st.results[t.img][t.layer] = out
+	fr.vals[t.instr] = out
 
-	// Release predecessors whose last consumer this task was.
-	for _, p := range e.preds[t.layer] {
-		if atomic.AddInt32(&st.refs[t.img][p], -1) == 0 {
-			e.arena.putTensor(st.results[t.img][p])
-			st.results[t.img][p] = nil
-		}
-	}
-	// A layer nothing consumes (only the batch output, normally) still
-	// holds its caller reference; nothing to release here.
-
-	// Unlock successors that just became ready.
-	for _, s := range e.succs[t.layer] {
-		if atomic.AddInt32(&st.deps[t.img][s], -1) == 0 {
-			st.tasks <- task{img: t.img, layer: s}
+	for _, s := range e.prog.Instrs[t.instr].Succs {
+		if atomic.AddInt32(&fr.deps[s], -1) == 0 {
+			st.tasks <- task{img: t.img, instr: s}
 		}
 	}
 	if atomic.AddInt64(&st.completed, 1) == st.total {
 		st.done.Do(func() { close(st.stop) })
 	}
-}
-
-// fetchConverted returns pred's tensor legalized for the edge
-// (pred → id), plus the chain temporary to recycle after the operator
-// runs (nil when the edge needed no conversion).
-func (e *Engine) fetchConverted(st *batchState, t task, pred int) (in, temp *tensor.Tensor) {
-	tns := st.results[t.img][pred]
-	for _, tr := range e.plan.Conversions[[2]int{pred, t.layer}] {
-		next := tr.Run(tns)
-		if tns != st.results[t.img][pred] {
-			e.arena.putTensor(tns)
-		}
-		tns = next
-	}
-	if tns != st.results[t.img][pred] {
-		temp = tns
-	}
-	return tns, temp
 }
 
 // primThreads decides the intra-primitive thread budget for one task:
@@ -279,88 +432,10 @@ func (e *Engine) primThreads(st *batchState) int {
 	return 1
 }
 
-// compute applies one layer's operator and returns its output tensor.
-func (e *Engine) compute(st *batchState, inputs []*tensor.Tensor, t task) (*tensor.Tensor, error) {
-	net := e.plan.Net
-	l := net.Layers[t.layer]
-	ar := e.arena
-
-	switch l.Kind {
-	case dnn.KindInput:
-		// Copy-on-identity into an engine-owned buffer: outputs and
-		// intermediates must never alias the caller's input.
-		layout := e.plan.Layouts[t.layer]
-		in := inputs[t.img]
-		out := ar.newTensor(layout, l.OutC, l.OutH, l.OutW)
-		if in.Layout == layout {
-			copy(out.Data, in.Data)
-		} else {
-			tensor.ConvertInto(out, in)
-		}
-		return out, nil
-
-	case dnn.KindConv:
-		in, temp := e.fetchConverted(st, t, e.preds[t.layer][0])
-		p := e.plan.Primitives[t.layer]
-		if in.Layout != p.In {
-			return nil, fmt.Errorf("exec: layer %q: got %s input, primitive %s wants %s",
-				l.Name, in.Layout, p.Name, p.In)
-		}
-		out := p.Run(in, e.w.Kernels[t.layer], l.Conv, e.primThreads(st))
-		ar.putTensor(temp)
-		return out, nil
-
-	case dnn.KindReLU, dnn.KindLRN, dnn.KindMaxPool, dnn.KindAvgPool,
-		dnn.KindDropout, dnn.KindSoftmax, dnn.KindFC:
-		in, temp := e.fetchConverted(st, t, e.preds[t.layer][0])
-		out := ar.newTensor(e.plan.Layouts[t.layer], l.OutC, l.OutH, l.OutW)
-		switch l.Kind {
-		case dnn.KindReLU:
-			reluInto(out, in)
-		case dnn.KindLRN:
-			lrnInto(out, in)
-		case dnn.KindMaxPool:
-			poolInto(out, in, l, true)
-		case dnn.KindAvgPool:
-			poolInto(out, in, l, false)
-		case dnn.KindDropout:
-			copyInto(out, in)
-		case dnn.KindSoftmax:
-			softmaxInto(out, in)
-		case dnn.KindFC:
-			fcInto(out, in, e.w.FC[t.layer], l.FCOut)
-		}
-		ar.putTensor(temp)
-		return out, nil
-
-	case dnn.KindConcat, dnn.KindAdd:
-		ins := make([]*tensor.Tensor, 0, len(e.preds[t.layer]))
-		var temps []*tensor.Tensor
-		for _, p := range e.preds[t.layer] {
-			in, temp := e.fetchConverted(st, t, p)
-			ins = append(ins, in)
-			if temp != nil {
-				temps = append(temps, temp)
-			}
-		}
-		out := ar.newTensor(e.plan.Layouts[t.layer], l.OutC, l.OutH, l.OutW)
-		if l.Kind == dnn.KindConcat {
-			concatInto(out, ins)
-		} else {
-			addInto(out, ins)
-		}
-		for _, temp := range temps {
-			ar.putTensor(temp)
-		}
-		return out, nil
-	}
-	return nil, fmt.Errorf("exec: unsupported layer kind %s", l.Kind)
-}
-
 // RunBatch executes the plan on a minibatch with a freshly constructed
 // engine — the convenience entry point mirroring Run. Callers that
 // execute a plan repeatedly should construct one Engine and reuse it,
-// keeping the arena warm across calls.
+// keeping the compiled program and its arena warm across calls.
 func RunBatch(plan *selector.Plan, inputs []*tensor.Tensor, w *Weights) ([]*tensor.Tensor, error) {
 	e, err := NewEngine(plan, w)
 	if err != nil {

@@ -7,6 +7,7 @@ import (
 	"pbqpdnn/internal/cost"
 	"pbqpdnn/internal/dnn"
 	"pbqpdnn/internal/dnn/models"
+	"pbqpdnn/internal/program"
 	"pbqpdnn/internal/selector"
 	"pbqpdnn/internal/tensor"
 )
@@ -77,6 +78,23 @@ func TestEngineMatchesReferenceTiny(t *testing.T) {
 	}
 }
 
+// TestEngineConcatDeclaredOrder: concat argument order is channel
+// order — a graph whose concat lists a higher-id branch first must
+// execute in that declared order, not in layer-id order (regression:
+// the IR compiler once sorted predecessors by id, silently permuting
+// channels).
+func TestEngineConcatDeclaredOrder(t *testing.T) {
+	b, x := dnn.NewBuilder("swapped-cat", 3, 12, 12)
+	a := b.Conv(x, "branch-a", 4, 3, 1, 1)
+	c := b.Conv(x, "branch-b", 6, 3, 1, 1)
+	x = b.Concat("cat", c, a) // declared order: higher-id branch first
+	b.Softmax(x, "prob")
+	net := b.Graph()
+	for _, threads := range []int{1, 4} {
+		testEngineAgainstReference(t, net, threads, []*tensor.Tensor{newInput(net, 31)})
+	}
+}
+
 // vggStyle is a scaled-down VGG configuration: homogeneous 3×3
 // convolution blocks with 2×2/2 pools and an FC tail.
 func vggStyle() *dnn.Graph {
@@ -144,20 +162,18 @@ func TestEngineMatchesReferenceVGGAndResNetStyle(t *testing.T) {
 }
 
 // TestEngineMatchesReferenceFullModels is the acceptance gate: the
-// batched, branch-parallel engine must match Reference within 1e-4
-// relative tolerance on the real full-size AlexNet and GoogLeNet (and,
-// when the race detector is off, ResNet-18; full-size VGG is opt-in
-// via DNNEXEC_FULL=1 — its reference execution alone runs minutes).
+// compiled, batched, branch-parallel engine must match Reference within
+// 1e-4 relative tolerance on the real full-size AlexNet, GoogLeNet and
+// ResNet-18 — under the race detector too, where the parallel safety of
+// the static slot plan is actually exercised. (Full-size VGG is opt-in
+// via DNNEXEC_FULL=1 — its reference execution alone runs minutes.)
 // Batch slots repeat one image so the whole-model oracle runs once;
 // distinct-image batch purity is covered by the tiny/scaled harnesses.
 func TestEngineMatchesReferenceFullModels(t *testing.T) {
 	if testing.Short() {
 		t.Skip("full-size model execution in -short mode")
 	}
-	names := []string{"alexnet", "googlenet"}
-	if !raceEnabled {
-		names = append(names, "resnet-18")
-	}
+	names := []string{"alexnet", "googlenet", "resnet-18"}
 	if os.Getenv("DNNEXEC_FULL") != "" {
 		names = append(names, "vgg-b", "vgg-e")
 	}
@@ -372,21 +388,25 @@ func TestArenaRecyclesAcrossRuns(t *testing.T) {
 	}
 }
 
-func TestArenaZeroesRecycledBuffers(t *testing.T) {
+// TestArenaRecyclesExactSizes: checkout is keyed by exact element
+// count and recycles released buffers verbatim (the arena does not
+// zero — blocked-layout slot tenants clear their view on entry).
+func TestArenaRecyclesExactSizes(t *testing.T) {
 	a := newArena()
 	buf := a.get(16)
-	for i := range buf {
-		buf[i] = 42
+	if len(buf) != 16 {
+		t.Fatalf("got %d elements, want 16", len(buf))
 	}
 	a.put(buf)
-	got := a.get(16)
-	for i, v := range got {
-		if v != 0 {
-			t.Fatalf("recycled buffer not zeroed at %d: %v", i, v)
-		}
+	if got := a.get(24); len(got) != 24 {
+		t.Fatalf("got %d elements, want 24", len(got))
 	}
-	if gets, hits := a.stats(); gets != 2 || hits != 1 {
-		t.Errorf("stats = %d gets, %d hits; want 2, 1", gets, hits)
+	got := a.get(16)
+	if &got[0] != &buf[0] {
+		t.Error("same-size checkout did not recycle the released buffer")
+	}
+	if gets, hits := a.stats(); gets != 3 || hits != 1 {
+		t.Errorf("stats = %d gets, %d hits; want 3, 1", gets, hits)
 	}
 }
 
@@ -435,15 +455,15 @@ func TestFastPathsMatchOracleOperators(t *testing.T) {
 		in := randomTensor(l, C, H, W, int64(100+l))
 
 		dst := tensor.New(l, C, H, W)
-		reluInto(dst, in)
+		program.ReLUInto(dst, in)
 		assertOpMatch(t, "relu", l, dst, relu(in))
 
 		dst = tensor.New(l, C, H, W)
-		lrnInto(dst, in)
+		program.LRNInto(dst, in)
 		assertOpMatch(t, "lrn", l, dst, lrn(in))
 
 		dst = tensor.New(l, C, H, W)
-		softmaxInto(dst, in)
+		program.SoftmaxInto(dst, in)
 		assertOpMatch(t, "softmax", l, dst, softmax(in))
 
 		for _, pl := range []*dnn.Layer{
@@ -454,7 +474,7 @@ func TestFastPathsMatchOracleOperators(t *testing.T) {
 			pl.OutC, pl.OutH, pl.OutW = C, poolDim(H, pl), poolDim(W, pl)
 			for _, isMax := range []bool{true, false} {
 				dst = tensor.New(l, pl.OutC, pl.OutH, pl.OutW)
-				poolInto(dst, in, pl, isMax)
+				program.PoolInto(dst, in, pl, isMax)
 				assertOpMatch(t, "pool", l, dst, pool(in, pl, isMax))
 			}
 		}
@@ -463,20 +483,48 @@ func TestFastPathsMatchOracleOperators(t *testing.T) {
 			randomTensor(l, 3, H, W, 201), randomTensor(l, 2, H, W, 202), randomTensor(l, 4, H, W, 203),
 		}
 		dst = tensor.New(l, 9, H, W)
-		concatInto(dst, ins)
+		program.ConcatInto(dst, ins)
 		assertOpMatch(t, "concat", l, dst, concat(ins, l))
 
 		addIns := []*tensor.Tensor{in, randomTensor(l, C, H, W, 204)}
 		dst = tensor.New(l, C, H, W)
-		addInto(dst, addIns)
+		program.AddInto(dst, addIns)
 		assertOpMatch(t, "add", l, dst, add(addIns, l))
 
 		const outN = 5
 		mat := make([]float32, outN*C*H*W)
 		fillRandom(mat, 77)
 		dst = tensor.New(l, outN, 1, 1)
-		fcInto(dst, in, mat, outN)
+		program.FCInto(dst, in, mat, outN)
 		assertOpMatch(t, "fc", l, dst, fc(in, mat, outN))
+	}
+}
+
+// TestInPlaceKernelsTolerateAliasing pins the in-place contract the
+// memory planner relies on: ReLU, dropout-copy, two-input add and
+// softmax must produce identical results when dst aliases their (first)
+// input.
+func TestInPlaceKernelsTolerateAliasing(t *testing.T) {
+	const C, H, W = 6, 9, 7
+	for _, l := range tensor.Layouts() {
+		in := randomTensor(l, C, H, W, 300+int64(l))
+
+		dst := in.Clone()
+		program.ReLUInto(dst, dst)
+		assertOpMatch(t, "relu-inplace", l, dst, relu(in))
+
+		dst = in.Clone()
+		program.CopyInto(dst, dst)
+		assertOpMatch(t, "copy-inplace", l, dst, in)
+
+		other := randomTensor(l, C, H, W, 305)
+		dst = in.Clone()
+		program.AddInto(dst, []*tensor.Tensor{dst, other})
+		assertOpMatch(t, "add-inplace", l, dst, add([]*tensor.Tensor{in, other}, l))
+
+		dst = in.Clone()
+		program.SoftmaxInto(dst, dst)
+		assertOpMatch(t, "softmax-inplace", l, dst, softmax(in))
 	}
 }
 
@@ -491,13 +539,13 @@ func TestFastPathsMixedLayoutInputs(t *testing.T) {
 	a := randomTensor(tensor.CHW, 3, 5, 4, 301)
 	bb := tensor.Convert(randomTensor(tensor.CHW, 2, 5, 4, 302), tensor.HWC)
 	dst := tensor.New(tensor.CHW, 5, 5, 4)
-	concatInto(dst, []*tensor.Tensor{a, bb})
+	program.ConcatInto(dst, []*tensor.Tensor{a, bb})
 	want := concat([]*tensor.Tensor{a, bb}, tensor.CHW)
 	assertOpMatch(t, "concat-mixed", tensor.CHW, dst, want)
 
 	c := tensor.Convert(randomTensor(tensor.CHW, 3, 5, 4, 303), tensor.WHC)
 	dst = tensor.New(tensor.CHW, 3, 5, 4)
-	addInto(dst, []*tensor.Tensor{a, c})
+	program.AddInto(dst, []*tensor.Tensor{a, c})
 	wantAdd := add([]*tensor.Tensor{a, c}, tensor.CHW)
 	assertOpMatch(t, "add-mixed", tensor.CHW, dst, wantAdd)
 }

@@ -1,4 +1,22 @@
-package exec
+package program
+
+// This file holds the compiled executor's layer operators, moved here
+// from the exec package so the Program IR owns everything an
+// instruction needs short of the weights. Unlike the oracle operators
+// in exec — which go through At/Set logical indexing so they are
+// obviously correct in every layout — these write into caller-provided
+// destination tensors (slot-backed, recycled, or in-place aliases of an
+// input) and carry layout-specialized fast paths that walk contiguous
+// slabs for the CHW and HWC layouts. Every fast path is tested against
+// its oracle counterpart across layouts in the exec package's tests.
+//
+// In-place contract: ReLUInto, CopyInto and AddInto tolerate dst
+// sharing storage with their (first) input — they read each element
+// before overwriting it and never read across elements. SoftmaxInto is
+// likewise alias-safe (the max/sum passes complete before any write).
+// LRNInto, PoolInto, ConcatInto and FCInto must NOT be run in place:
+// they read neighborhoods or reshape, so writes would corrupt pending
+// reads.
 
 import (
 	"math"
@@ -7,18 +25,10 @@ import (
 	"pbqpdnn/internal/tensor"
 )
 
-// This file holds the batched executor's layer operators. Unlike the
-// oracle operators in exec.go — which go through At/Set logical
-// indexing so they are obviously correct in every layout — these write
-// into caller-provided (arena-recycled) destination tensors and carry
-// layout-specialized fast paths that walk contiguous slabs for the CHW
-// and HWC layouts. Every fast path is tested against its oracle
-// counterpart across layouts in engine_test.go.
-
-// reluInto clamps negatives elementwise. Layout-independent: dst and in
+// ReLUInto clamps negatives elementwise. Layout-independent: dst and in
 // share a layout, and the padding lanes of blocked layouts hold zeros,
 // which relu maps to zero.
-func reluInto(dst, in *tensor.Tensor) {
+func ReLUInto(dst, in *tensor.Tensor) {
 	for i, v := range in.Data {
 		if v < 0 {
 			dst.Data[i] = 0
@@ -28,16 +38,17 @@ func reluInto(dst, in *tensor.Tensor) {
 	}
 }
 
-// copyInto copies in's payload into dst (dropout identity). dst and in
+// CopyInto copies in's payload into dst (dropout identity). dst and in
 // share layout and shape, so the physical slabs correspond 1:1.
-func copyInto(dst, in *tensor.Tensor) {
+func CopyInto(dst, in *tensor.Tensor) {
 	copy(dst.Data, in.Data)
 }
 
-// addInto sums the inputs elementwise. When every input shares dst's
+// AddInto sums the inputs elementwise. When every input shares dst's
 // layout — the legalized plan guarantees it — the physical slabs
-// correspond and the sum runs over contiguous memory.
-func addInto(dst *tensor.Tensor, ins []*tensor.Tensor) {
+// correspond and the sum runs over contiguous memory. dst may alias
+// ins[0] (in-place accumulation) but no other input.
+func AddInto(dst *tensor.Tensor, ins []*tensor.Tensor) {
 	same := true
 	for _, t := range ins {
 		if t.Layout != dst.Layout {
@@ -67,11 +78,11 @@ func addInto(dst *tensor.Tensor, ins []*tensor.Tensor) {
 	}
 }
 
-// poolInto pools in into dst with the layer's geometry, specializing
+// PoolInto pools in into dst with the layer's geometry, specializing
 // the channel-planar CHW layout (window walks one contiguous plane per
 // channel) and the channels-last HWC layout (window cells are
 // contiguous C-runs).
-func poolInto(dst, in *tensor.Tensor, l *dnn.Layer, isMax bool) {
+func PoolInto(dst, in *tensor.Tensor, l *dnn.Layer, isMax bool) {
 	switch {
 	case in.Layout == tensor.CHW && dst.Layout == tensor.CHW:
 		poolCHW(dst, in, l, isMax)
@@ -217,11 +228,11 @@ func poolGeneric(dst, in *tensor.Tensor, l *dnn.Layer, isMax bool) {
 	}
 }
 
-// lrnInto applies across-channel LRN with the oracle's fixed AlexNet
+// LRNInto applies across-channel LRN with the oracle's fixed AlexNet
 // parameters, specializing CHW (channel stride is the plane size, so
 // the squared-sum window slides along a strided but directly-indexed
 // column).
-func lrnInto(dst, in *tensor.Tensor) {
+func LRNInto(dst, in *tensor.Tensor) {
 	const (
 		size  = 5
 		alpha = 1e-4
@@ -260,10 +271,10 @@ func lrnInto(dst, in *tensor.Tensor) {
 	}
 }
 
-// concatInto concatenates the inputs along channels. In CHW the inputs'
+// ConcatInto concatenates the inputs along channels. In CHW the inputs'
 // payloads are whole contiguous slabs laid end to end; in HWC each
 // pixel's destination row is the inputs' C-runs laid end to end.
-func concatInto(dst *tensor.Tensor, ins []*tensor.Tensor) {
+func ConcatInto(dst *tensor.Tensor, ins []*tensor.Tensor) {
 	same := true
 	for _, t := range ins {
 		if t.Layout != dst.Layout {
@@ -301,10 +312,10 @@ func concatInto(dst *tensor.Tensor, ins []*tensor.Tensor) {
 	}
 }
 
-// fcInto applies a dense layer. In CHW the logical flatten order equals
+// FCInto applies a dense layer. In CHW the logical flatten order equals
 // the storage order, so the input payload is used directly with no
 // copy. The 1×1-spatial output indexes as Data[o] in every layout.
-func fcInto(dst, in *tensor.Tensor, mat []float32, outN int) {
+func FCInto(dst, in *tensor.Tensor, mat []float32, outN int) {
 	inN := in.C * in.H * in.W
 	var flat []float32
 	if in.Layout == tensor.CHW {
@@ -331,10 +342,10 @@ func fcInto(dst, in *tensor.Tensor, mat []float32, outN int) {
 	}
 }
 
-// softmaxInto normalizes across channels at each spatial position,
+// SoftmaxInto normalizes across channels at each spatial position,
 // specializing HWC (each pixel is one contiguous C-run) and CHW (the
 // channel column has a fixed plane stride).
-func softmaxInto(dst, in *tensor.Tensor) {
+func SoftmaxInto(dst, in *tensor.Tensor) {
 	switch {
 	case in.Layout == tensor.HWC && dst.Layout == tensor.HWC:
 		C := in.C

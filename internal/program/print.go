@@ -1,0 +1,101 @@
+package program
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Source renders the program as the readable call-sequence listing the
+// paper's §5.2 code generator would emit — one line per instruction,
+// in execution order, annotated with the memory plan. The same
+// instruction stream the engine executes produces this listing, so the
+// printout can never drift from what actually runs.
+func (p *Program) Source() string {
+	var b strings.Builder
+	plan := p.Plan
+	fmt.Fprintf(&b, "// program for %s (strategy=%s threads=%d)\n",
+		plan.Net.Name, plan.Strategy, plan.Threads)
+	fmt.Fprintf(&b, "// predicted cost: %.3f ms (nodes %.3f + transforms %.3f)\n",
+		plan.TotalCost()*1e3, plan.NodeCost*1e3, plan.EdgeCost*1e3)
+	s := p.Stats
+	fmt.Fprintf(&b, "// %d instructions (%d conversions, %d in-place), %d slots\n",
+		s.Instructions, s.Conversions, s.InPlace, s.Slots)
+	fmt.Fprintf(&b, "// peak resident %s/image on the sequential schedule (slots %s + dynamic %s; unplanned would hold %s)\n",
+		fmtBytes(s.PeakBytes), fmtBytes(s.SlotBytes), fmtBytes(s.DynamicPeakBytes), fmtBytes(s.NaiveBytes))
+	for i := range p.Instrs {
+		ins := &p.Instrs[i]
+		fmt.Fprintf(&b, "%s = %s  // %s\n", ins.Name, p.call(ins), p.annotate(ins))
+	}
+	fmt.Fprintf(&b, "// memory plan: %d slots, %s/image\n", len(p.SlotCap), fmtBytes(s.SlotBytes))
+	for slot, cap := range p.SlotCap {
+		var tenants []string
+		for i := range p.Instrs {
+			if p.Instrs[i].Slot == slot {
+				tenants = append(tenants, p.Instrs[i].Name)
+			}
+		}
+		fmt.Fprintf(&b, "//   slot %2d: %9d B  %s\n", slot, int64(cap)*4, strings.Join(tenants, ", "))
+	}
+	return b.String()
+}
+
+// call renders an instruction's right-hand side.
+func (p *Program) call(ins *Instr) string {
+	switch ins.Op {
+	case OpInput:
+		return "input()"
+	case OpConv:
+		return fmt.Sprintf("%s(%s)", ins.Prim.Name, p.Instrs[ins.Args[0]].Name)
+	case OpConvert:
+		// A fused chain renders as nested direct-transform calls.
+		arg := p.Instrs[ins.Args[0]].Name
+		for _, tr := range ins.Chain {
+			arg = fmt.Sprintf("%s(%s)", tr.Name, arg)
+		}
+		return arg
+	default:
+		names := make([]string, len(ins.Args))
+		for i, a := range ins.Args {
+			names[i] = p.Instrs[a].Name
+		}
+		return fmt.Sprintf("%s(%s)", ins.Op, strings.Join(names, ", "))
+	}
+}
+
+// annotate renders an instruction's trailing comment: operator detail,
+// value shape and layout, and where its output lives.
+func (p *Program) annotate(ins *Instr) string {
+	var parts []string
+	switch ins.Op {
+	case OpConv:
+		parts = append(parts, fmt.Sprintf("%s, %s→%s", ins.Layer.Conv, ins.Prim.In, ins.Prim.Out))
+	case OpConvert:
+		parts = append(parts, fmt.Sprintf("%s→%s", ins.Chain[0].From, ins.Layout))
+	default:
+		parts = append(parts, ins.Layout.String())
+	}
+	parts = append(parts, fmt.Sprintf("%d×%d×%d", ins.C, ins.H, ins.W))
+	switch {
+	case ins.Alias:
+		parts = append(parts, fmt.Sprintf("alias of %s", p.Instrs[ins.Args[ins.Donor]].Name))
+	case ins.Donor >= 0:
+		parts = append(parts, fmt.Sprintf("in-place over %s", p.Instrs[ins.Args[ins.Donor]].Name))
+	case ins.ID == p.Output:
+		parts = append(parts, "fresh (caller-owned)")
+	case ins.Slot == NoSlot:
+		parts = append(parts, "dynamic")
+	default:
+		parts = append(parts, fmt.Sprintf("slot %d", ins.Slot))
+	}
+	return strings.Join(parts, ", ")
+}
+
+func fmtBytes(n int64) string {
+	switch {
+	case n >= 1<<20:
+		return fmt.Sprintf("%.1f MB", float64(n)/(1<<20))
+	case n >= 1<<10:
+		return fmt.Sprintf("%.1f KB", float64(n)/(1<<10))
+	}
+	return fmt.Sprintf("%d B", n)
+}

@@ -162,10 +162,14 @@ func (c choice) outLayout() tensor.Layout {
 	return c.layout
 }
 
-// problem is the assembled PBQP instance plus its back-mapping.
+// problem is the assembled PBQP instance plus its back-mapping. It
+// carries the DT-closure cache from assembly into legalization, so
+// finish never recomputes the per-shape closures build already paid
+// for.
 type problem struct {
 	graph   *pbqp.Graph
 	choices [][]choice // per layer id
+	dts     *dtCache
 }
 
 // build assembles the PBQP instance. convChoices gives the candidate
@@ -174,8 +178,12 @@ type problem struct {
 // tax).
 func build(net *dnn.Graph, opts *Options, convChoices map[int][]*conv.Primitive,
 	layoutChoices []tensor.Layout, overhead float64) (*problem, error) {
-	pr := &problem{graph: pbqp.NewGraph(), choices: make([][]choice, net.NumLayers())}
-	dts := newDTCache(opts.Prof)
+	pr := &problem{
+		graph:   pbqp.NewGraph(),
+		choices: make([][]choice, net.NumLayers()),
+		dts:     newDTCache(opts.Prof),
+	}
+	dts := pr.dts
 	for _, l := range net.Layers {
 		var cs []choice
 		var costs []float64
@@ -230,7 +238,7 @@ func (pr *problem) finish(net *dnn.Graph, opts *Options, name string) (*Plan, er
 		Optimal:     sol.Optimal,
 		SolveTime:   elapsed,
 	}
-	dts := newDTCache(opts.Prof)
+	dts := pr.dts
 	for _, l := range net.Layers {
 		ch := pr.choices[l.ID][sol.Selection[l.ID]]
 		plan.Layouts[l.ID] = ch.outLayout()

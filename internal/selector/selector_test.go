@@ -351,3 +351,38 @@ func TestMinibatchSelection(t *testing.T) {
 	}
 	checkLegal(t, plan)
 }
+
+// countingProfiler counts Transform pricing calls to pin the DT-cache
+// sharing between PBQP assembly and legalization.
+type countingProfiler struct {
+	inner      cost.Profiler
+	transforms map[[4]int]int // (from, to, c, h·w) → calls — keyed per (transform, shape)
+}
+
+func (c *countingProfiler) Primitive(p *conv.Primitive, s conv.Scenario, threads int) float64 {
+	return c.inner.Primitive(p, s, threads)
+}
+
+func (c *countingProfiler) Transform(tr tensor.Transform, cc, h, w int) float64 {
+	c.transforms[[4]int{int(tr.From), int(tr.To), cc, h*1000 + w}]++
+	return c.inner.Transform(tr, cc, h, w)
+}
+
+// TestDTCacheSharedAcrossBuildAndFinish: the DT closures built while
+// assembling the PBQP instance are reused during legalization, so every
+// (transform, shape) pair is priced exactly once per selection run.
+func TestDTCacheSharedAcrossBuildAndFinish(t *testing.T) {
+	g := mustNet(t, "alexnet")
+	prof := &countingProfiler{inner: cost.NewModel(cost.IntelHaswell), transforms: map[[4]int]int{}}
+	if _, err := Select(g, Options{Prof: prof, Threads: 4}); err != nil {
+		t.Fatal(err)
+	}
+	if len(prof.transforms) == 0 {
+		t.Fatal("profiler saw no transform pricing at all")
+	}
+	for key, n := range prof.transforms {
+		if n > 1 {
+			t.Errorf("transform/shape %v priced %d times; the DT cache should be shared", key, n)
+		}
+	}
+}

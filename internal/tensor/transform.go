@@ -14,10 +14,9 @@ type Transform struct {
 	Run      func(src *Tensor) *Tensor
 }
 
-// Convert is the generic (reference) layout conversion: an element-wise
-// logical copy that works between any pair of layouts. The direct
-// transform routines below are specialized versions of this; Convert is
-// used as the test oracle and as the materializer of last resort.
+// Convert converts a tensor into the given layout, allocating the
+// destination. The copy itself is ConvertInto, which dispatches to a
+// specialized routine when one exists for the layout pair.
 func Convert(src *Tensor, to Layout) *Tensor {
 	dst := New(to, src.C, src.H, src.W)
 	ConvertInto(dst, src)
@@ -25,13 +24,55 @@ func Convert(src *Tensor, to Layout) *Tensor {
 }
 
 // ConvertInto copies src's logical elements into dst, which must have
-// the same logical shape (any layout). Callers providing recycled
-// destination buffers in a blocked layout are responsible for their
-// padding lanes, which this copy does not touch.
+// the same logical shape (any layout). Layout pairs covered by the
+// transform library take a specialized slab-walking path; any other
+// pair falls back to the generic element-wise logical copy. Callers
+// providing recycled destination buffers in a blocked layout are
+// responsible for their padding lanes, which this copy does not touch.
 func ConvertInto(dst, src *Tensor) {
 	if dst.C != src.C || dst.H != src.H || dst.W != src.W {
 		panic(fmt.Sprintf("tensor: shape mismatch %s vs %s", dst, src))
 	}
+	if dst.Layout == src.Layout {
+		copy(dst.Data, src.Data)
+		return
+	}
+	switch {
+	case src.Layout == CHW && dst.Layout == HWC:
+		chwIntoHWC(dst, src)
+	case src.Layout == HWC && dst.Layout == CHW:
+		hwcIntoCHW(dst, src)
+	case src.Layout == CHW && dst.Layout == HCW:
+		chwIntoHCW(dst, src)
+	case src.Layout == HCW && dst.Layout == CHW:
+		hcwIntoCHW(dst, src)
+	case src.Layout == CHW && dst.Layout == CWH:
+		chwIntoCWH(dst, src)
+	case src.Layout == CWH && dst.Layout == CHW:
+		cwhIntoCHW(dst, src)
+	case src.Layout == HWC && dst.Layout == WHC:
+		hwcIntoWHC(dst, src)
+	case src.Layout == WHC && dst.Layout == HWC:
+		whcIntoHWC(dst, src)
+	case src.Layout == CWH && dst.Layout == WCH:
+		cwhIntoWCH(dst, src)
+	case src.Layout == WCH && dst.Layout == CWH:
+		wchIntoCWH(dst, src)
+	case src.Layout == CHW && dst.Layout.BlockSize() > 0:
+		chwIntoBlocked(dst, src)
+	case src.Layout.BlockSize() > 0 && dst.Layout == CHW:
+		blockedIntoCHW(dst, src)
+	case src.Layout == HWC && dst.Layout == CHW8:
+		hwcIntoCHW8(dst, src)
+	default:
+		convertIntoGeneric(dst, src)
+	}
+}
+
+// convertIntoGeneric is the element-wise logical copy that works between
+// any pair of layouts — the correctness oracle for the specialized
+// routines above, and the materializer of last resort.
+func convertIntoGeneric(dst, src *Tensor) {
 	for c := 0; c < src.C; c++ {
 		for h := 0; h < src.H; h++ {
 			for w := 0; w < src.W; w++ {
@@ -47,30 +88,25 @@ func mustBe(src *Tensor, l Layout) {
 	}
 }
 
-// chwToHWC converts CHW → HWC walking the destination in storage order so
-// writes are sequential.
-func chwToHWC(src *Tensor) *Tensor {
-	mustBe(src, CHW)
-	dst := New(HWC, src.C, src.H, src.W)
+// chwIntoHWC walks the destination in storage order so writes are
+// sequential.
+func chwIntoHWC(dst, src *Tensor) {
 	d := dst.Data
+	plane := src.H * src.W
 	i := 0
 	for h := 0; h < src.H; h++ {
 		rowBase := h * src.W
 		for w := 0; w < src.W; w++ {
 			off := rowBase + w
-			plane := src.H * src.W
 			for c := 0; c < src.C; c++ {
 				d[i] = src.Data[c*plane+off]
 				i++
 			}
 		}
 	}
-	return dst
 }
 
-func hwcToCHW(src *Tensor) *Tensor {
-	mustBe(src, HWC)
-	dst := New(CHW, src.C, src.H, src.W)
+func hwcIntoCHW(dst, src *Tensor) {
 	d := dst.Data
 	plane := src.H * src.W
 	i := 0
@@ -83,12 +119,9 @@ func hwcToCHW(src *Tensor) *Tensor {
 			}
 		}
 	}
-	return dst
 }
 
-func chwToHCW(src *Tensor) *Tensor {
-	mustBe(src, CHW)
-	dst := New(HCW, src.C, src.H, src.W)
+func chwIntoHCW(dst, src *Tensor) {
 	for c := 0; c < src.C; c++ {
 		for h := 0; h < src.H; h++ {
 			srcRow := (c*src.H + h) * src.W
@@ -96,12 +129,9 @@ func chwToHCW(src *Tensor) *Tensor {
 			copy(dst.Data[dstRow:dstRow+src.W], src.Data[srcRow:srcRow+src.W])
 		}
 	}
-	return dst
 }
 
-func hcwToCHW(src *Tensor) *Tensor {
-	mustBe(src, HCW)
-	dst := New(CHW, src.C, src.H, src.W)
+func hcwIntoCHW(dst, src *Tensor) {
 	for h := 0; h < src.H; h++ {
 		for c := 0; c < src.C; c++ {
 			srcRow := (h*src.C + c) * src.W
@@ -109,12 +139,9 @@ func hcwToCHW(src *Tensor) *Tensor {
 			copy(dst.Data[dstRow:dstRow+src.W], src.Data[srcRow:srcRow+src.W])
 		}
 	}
-	return dst
 }
 
-func chwToCWH(src *Tensor) *Tensor {
-	mustBe(src, CHW)
-	dst := New(CWH, src.C, src.H, src.W)
+func chwIntoCWH(dst, src *Tensor) {
 	for c := 0; c < src.C; c++ {
 		cs := c * src.H * src.W
 		cd := c * src.W * src.H
@@ -124,12 +151,9 @@ func chwToCWH(src *Tensor) *Tensor {
 			}
 		}
 	}
-	return dst
 }
 
-func cwhToCHW(src *Tensor) *Tensor {
-	mustBe(src, CWH)
-	dst := New(CHW, src.C, src.H, src.W)
+func cwhIntoCHW(dst, src *Tensor) {
 	for c := 0; c < src.C; c++ {
 		cs := c * src.W * src.H
 		cd := c * src.H * src.W
@@ -139,12 +163,9 @@ func cwhToCHW(src *Tensor) *Tensor {
 			}
 		}
 	}
-	return dst
 }
 
-func hwcToWHC(src *Tensor) *Tensor {
-	mustBe(src, HWC)
-	dst := New(WHC, src.C, src.H, src.W)
+func hwcIntoWHC(dst, src *Tensor) {
 	for h := 0; h < src.H; h++ {
 		for w := 0; w < src.W; w++ {
 			s := (h*src.W + w) * src.C
@@ -152,12 +173,9 @@ func hwcToWHC(src *Tensor) *Tensor {
 			copy(dst.Data[d:d+src.C], src.Data[s:s+src.C])
 		}
 	}
-	return dst
 }
 
-func whcToHWC(src *Tensor) *Tensor {
-	mustBe(src, WHC)
-	dst := New(HWC, src.C, src.H, src.W)
+func whcIntoHWC(dst, src *Tensor) {
 	for w := 0; w < src.W; w++ {
 		for h := 0; h < src.H; h++ {
 			s := (w*src.H + h) * src.C
@@ -165,12 +183,9 @@ func whcToHWC(src *Tensor) *Tensor {
 			copy(dst.Data[d:d+src.C], src.Data[s:s+src.C])
 		}
 	}
-	return dst
 }
 
-func cwhToWCH(src *Tensor) *Tensor {
-	mustBe(src, CWH)
-	dst := New(WCH, src.C, src.H, src.W)
+func cwhIntoWCH(dst, src *Tensor) {
 	for c := 0; c < src.C; c++ {
 		for w := 0; w < src.W; w++ {
 			s := (c*src.W + w) * src.H
@@ -178,12 +193,9 @@ func cwhToWCH(src *Tensor) *Tensor {
 			copy(dst.Data[d:d+src.H], src.Data[s:s+src.H])
 		}
 	}
-	return dst
 }
 
-func wchToCWH(src *Tensor) *Tensor {
-	mustBe(src, WCH)
-	dst := New(CWH, src.C, src.H, src.W)
+func wchIntoCWH(dst, src *Tensor) {
 	for w := 0; w < src.W; w++ {
 		for c := 0; c < src.C; c++ {
 			s := (w*src.C + c) * src.H
@@ -191,34 +203,47 @@ func wchToCWH(src *Tensor) *Tensor {
 			copy(dst.Data[d:d+src.H], src.Data[s:s+src.H])
 		}
 	}
-	return dst
 }
 
-func chwToCHW4(src *Tensor) *Tensor {
-	mustBe(src, CHW)
-	return Convert(src, CHW4)
+// chwIntoBlocked packs canonical CHW into a channel-blocked layout,
+// reading contiguous source rows and scattering them across block
+// lanes. Padding lanes of dst are not touched.
+func chwIntoBlocked(dst, src *Tensor) {
+	b := dst.Layout.BlockSize()
+	for c := 0; c < src.C; c++ {
+		lane := c % b
+		blockBase := (c / b) * src.H * src.W * b
+		for h := 0; h < src.H; h++ {
+			srcRow := (c*src.H + h) * src.W
+			dstRow := blockBase + h*src.W*b + lane
+			for w := 0; w < src.W; w++ {
+				dst.Data[dstRow+w*b] = src.Data[srcRow+w]
+			}
+		}
+	}
 }
 
-func chw4ToCHW(src *Tensor) *Tensor {
-	mustBe(src, CHW4)
-	return Convert(src, CHW)
+// blockedIntoCHW unpacks a channel-blocked layout into canonical CHW,
+// writing contiguous destination rows.
+func blockedIntoCHW(dst, src *Tensor) {
+	b := src.Layout.BlockSize()
+	for c := 0; c < src.C; c++ {
+		lane := c % b
+		blockBase := (c / b) * src.H * src.W * b
+		for h := 0; h < src.H; h++ {
+			srcRow := blockBase + h*src.W*b + lane
+			dstRow := (c*src.H + h) * src.W
+			for w := 0; w < src.W; w++ {
+				dst.Data[dstRow+w] = src.Data[srcRow+w*b]
+			}
+		}
+	}
 }
 
-func chw4ToCHW8(src *Tensor) *Tensor {
-	mustBe(src, CHW4)
-	return Convert(src, CHW8)
-}
-
-func chw8ToCHW4(src *Tensor) *Tensor {
-	mustBe(src, CHW8)
-	return Convert(src, CHW4)
-}
-
-// hwcToCHW8 packs channels-last data directly into the vendor 8-blocked
-// layout, the packing step a JIT-style vendor library performs on entry.
-func hwcToCHW8(src *Tensor) *Tensor {
-	mustBe(src, HWC)
-	dst := New(CHW8, src.C, src.H, src.W)
+// hwcIntoCHW8 packs channels-last data directly into the vendor
+// 8-blocked layout, the packing step a JIT-style vendor library performs
+// on entry.
+func hwcIntoCHW8(dst, src *Tensor) {
 	for h := 0; h < src.H; h++ {
 		for w := 0; w < src.W; w++ {
 			s := (h*src.W + w) * src.C
@@ -227,7 +252,16 @@ func hwcToCHW8(src *Tensor) *Tensor {
 			}
 		}
 	}
-	return dst
+}
+
+// direct converts a library routine's (from, to) pair into a Transform
+// Run function: assert the input layout, then convert through the
+// specialized ConvertInto dispatch above.
+func direct(from, to Layout) func(src *Tensor) *Tensor {
+	return func(src *Tensor) *Tensor {
+		mustBe(src, from)
+		return Convert(src, to)
+	}
 }
 
 // DirectTransforms returns the library's direct layout-conversion
@@ -236,20 +270,20 @@ func hwcToCHW8(src *Tensor) *Tensor {
 // except via CHW4, so the DT graph genuinely requires multi-hop chains.
 func DirectTransforms() []Transform {
 	return []Transform{
-		{CHW, HWC, "chw2hwc", chwToHWC},
-		{HWC, CHW, "hwc2chw", hwcToCHW},
-		{CHW, HCW, "chw2hcw", chwToHCW},
-		{HCW, CHW, "hcw2chw", hcwToCHW},
-		{CHW, CWH, "chw2cwh", chwToCWH},
-		{CWH, CHW, "cwh2chw", cwhToCHW},
-		{HWC, WHC, "hwc2whc", hwcToWHC},
-		{WHC, HWC, "whc2hwc", whcToHWC},
-		{CWH, WCH, "cwh2wch", cwhToWCH},
-		{WCH, CWH, "wch2cwh", wchToCWH},
-		{CHW, CHW4, "chw2chw4", chwToCHW4},
-		{CHW4, CHW, "chw42chw", chw4ToCHW},
-		{CHW4, CHW8, "chw42chw8", chw4ToCHW8},
-		{CHW8, CHW4, "chw82chw4", chw8ToCHW4},
-		{HWC, CHW8, "hwc2chw8", hwcToCHW8},
+		{CHW, HWC, "chw2hwc", direct(CHW, HWC)},
+		{HWC, CHW, "hwc2chw", direct(HWC, CHW)},
+		{CHW, HCW, "chw2hcw", direct(CHW, HCW)},
+		{HCW, CHW, "hcw2chw", direct(HCW, CHW)},
+		{CHW, CWH, "chw2cwh", direct(CHW, CWH)},
+		{CWH, CHW, "cwh2chw", direct(CWH, CHW)},
+		{HWC, WHC, "hwc2whc", direct(HWC, WHC)},
+		{WHC, HWC, "whc2hwc", direct(WHC, HWC)},
+		{CWH, WCH, "cwh2wch", direct(CWH, WCH)},
+		{WCH, CWH, "wch2cwh", direct(WCH, CWH)},
+		{CHW, CHW4, "chw2chw4", direct(CHW, CHW4)},
+		{CHW4, CHW, "chw42chw", direct(CHW4, CHW)},
+		{CHW4, CHW8, "chw42chw8", direct(CHW4, CHW8)},
+		{CHW8, CHW4, "chw82chw4", direct(CHW8, CHW4)},
+		{HWC, CHW8, "hwc2chw8", direct(HWC, CHW8)},
 	}
 }

@@ -5,6 +5,15 @@ import (
 	"testing/quick"
 )
 
+// genericConvert is the element-wise logical-copy oracle, kept separate
+// from ConvertInto's specialized dispatch so the tests below are not
+// circular.
+func genericConvert(src *Tensor, to Layout) *Tensor {
+	dst := New(to, src.C, src.H, src.W)
+	convertIntoGeneric(dst, src)
+	return dst
+}
+
 // TestDirectTransformsMatchConvert checks every specialized transform
 // routine against the generic logical-copy oracle.
 func TestDirectTransformsMatchConvert(t *testing.T) {
@@ -17,9 +26,37 @@ func TestDirectTransformsMatchConvert(t *testing.T) {
 			if got.Layout != tr.To {
 				t.Fatalf("%s: output layout %s, want %s", tr.Name, got.Layout, tr.To)
 			}
-			want := Convert(src, tr.To)
+			want := genericConvert(src, tr.To)
 			if !AlmostEqual(got, want, 0) {
 				t.Errorf("%s on %v: output differs from reference", tr.Name, s)
+			}
+		}
+	}
+}
+
+// TestConvertIntoMatchesGenericAllPairs checks the specialized
+// ConvertInto dispatch against the generic oracle for every ordered
+// layout pair (the executor's compiled programs lean on ConvertInto for
+// input legalization and fused conversion chains).
+func TestConvertIntoMatchesGenericAllPairs(t *testing.T) {
+	shapes := [][3]int{{1, 1, 1}, {3, 4, 5}, {8, 2, 3}, {9, 3, 2}, {17, 5, 5}}
+	for _, from := range Layouts() {
+		for _, to := range Layouts() {
+			for _, s := range shapes {
+				src := New(from, s[0], s[1], s[2])
+				src.FillRandom(int64(100*int(from) + 10*int(to) + s[0]))
+				got := Convert(src, to)
+				want := genericConvert(src, to)
+				if !AlmostEqual(got, want, 0) {
+					t.Errorf("ConvertInto %s→%s on %v differs from generic copy", from, to, s)
+				}
+				// Padding lanes of blocked destinations must stay zero.
+				for i, v := range got.Data {
+					if v != want.Data[i] {
+						t.Errorf("%s→%s on %v: physical element %d is %v, want %v", from, to, s, i, v, want.Data[i])
+						break
+					}
+				}
 			}
 		}
 	}
