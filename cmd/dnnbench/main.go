@@ -10,19 +10,25 @@
 //	dnnbench -exp table3
 //	dnnbench -exp trends
 //	dnnbench -exp minibatch -threads 8 -batch 1,4,32
+//	dnnbench -exp minibatch -json
 //	dnnbench -dump-program -net googlenet -strategy pbqp
 //
 // The -threads and -batch flags size the batched execution engine the
-// minibatch experiment measures. -dump-program compiles the chosen
-// network's plan once and prints the executable Program IR — the
-// instruction stream the engine runs, with its static memory plan and
-// stats (instructions, slots, peak resident bytes).
+// minibatch experiment measures; -json switches the minibatch
+// experiment to machine-readable output (one record per batch size
+// with net, threads, and measured ns/op) so the perf trajectory can be
+// tracked across commits. -dump-program compiles the chosen network's
+// plan once and prints the executable Program IR — the instruction
+// stream the engine runs, with its static memory plan and stats
+// (instructions, slots, peak resident bytes).
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
+	"os"
 	"strconv"
 	"strings"
 
@@ -42,6 +48,7 @@ func main() {
 		"experiment: table1, table2, table3, fig2, fig4, fig5, fig6, fig7a, fig7b, solver, sparsity, minibatch, trends, all")
 	threads := flag.Int("threads", 4, "execution thread budget for the minibatch experiment's batched engine")
 	batch := flag.String("batch", "1,2,4,8,16", "comma-separated minibatch sizes for the minibatch experiment")
+	jsonOut := flag.Bool("json", false, "emit machine-readable JSON records (supported by -exp minibatch)")
 	dump := flag.Bool("dump-program", false, "compile -net under -strategy and print the Program IR (instructions + memory plan), then exit")
 	netName := flag.String("net", "googlenet", "network for -dump-program (alexnet, vgg-b/c/d/e, googlenet, resnet-18)")
 	strategy := flag.String("strategy", "pbqp",
@@ -127,6 +134,9 @@ func main() {
 			if err != nil {
 				return err
 			}
+			if *jsonOut {
+				return writeBenchJSON(pts, *threads)
+			}
 			fmt.Print(experiments.FormatMinibatchSweep(pts))
 			return nil
 		},
@@ -149,6 +159,9 @@ func main() {
 	order := []string{"table1", "fig2", "fig4", "fig5", "fig6", "fig7a", "fig7b",
 		"table2", "table3", "solver", "sparsity", "minibatch", "trends"}
 
+	if *jsonOut && *exp != "minibatch" {
+		log.Fatalf("-json is supported for -exp minibatch (got -exp %s)", *exp)
+	}
 	if *exp == "all" {
 		for _, name := range order {
 			if err := runners[name](); err != nil {
@@ -165,6 +178,41 @@ func main() {
 	if err := run(); err != nil {
 		log.Fatal(err)
 	}
+}
+
+// benchRecord is one machine-readable measurement: the schema perf
+// tracking scripts diff across commits.
+type benchRecord struct {
+	Benchmark  string  `json:"benchmark"`
+	Net        string  `json:"net"`
+	Batch      int     `json:"batch"`
+	Threads    int     `json:"threads"`
+	NsPerOp    float64 `json:"ns_per_op"` // wall ns per image through the batched engine
+	TotalNs    float64 `json:"total_ns"`  // wall ns for the whole minibatch
+	ModelMSOp  float64 `json:"model_ms_per_image"`
+	ModelMSTot float64 `json:"model_ms_total"`
+}
+
+// writeBenchJSON emits the minibatch sweep as one JSON array of
+// records: benchmark name, net, batch, threads, measured ns/op, plus
+// the cost model's predictions for drift comparison.
+func writeBenchJSON(pts []experiments.MinibatchPoint, threads int) error {
+	recs := make([]benchRecord, len(pts))
+	for i, p := range pts {
+		recs[i] = benchRecord{
+			Benchmark:  "minibatch",
+			Net:        "batched-net",
+			Batch:      p.Batch,
+			Threads:    threads,
+			NsPerOp:    p.WallPerImageMS * 1e6,
+			TotalNs:    p.WallTotalMS * 1e6,
+			ModelMSOp:  p.PerImageMS,
+			ModelMSTot: p.TotalMS,
+		}
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	return enc.Encode(recs)
 }
 
 // dumpProgram compiles one network's plan under the chosen strategy

@@ -1,0 +1,202 @@
+// Command dnnserver serves PBQP-optimized networks over HTTP with
+// dynamic batching: every hosted model is selected and compiled exactly
+// once at startup, then concurrent requests are collected into
+// minibatches that share one compiled-program dispatch
+// (exec.Engine.RunBatch).
+//
+// Serve:
+//
+//	dnnserver -models smallnet,alexnet -addr :8080
+//	curl localhost:8080/models
+//	curl -d '{"data":[...]}' localhost:8080/v1/models/smallnet/infer
+//	curl localhost:8080/stats
+//
+// Load generation (the EXPERIMENTS.md acceptance run) drives N
+// closed-loop clients in process — first through the dynamic batcher,
+// then through a naive goroutine-per-request Engine.Run baseline — and
+// prints achieved batch sizes and latency percentiles side by side:
+//
+//	dnnserver -loadgen -models smallnet -clients 16 -requests 16
+//
+// Selection uses the analytic Intel Haswell cost model unless -costs
+// points at a serialized cost table (see examples/deploy for the §4
+// profile-once-ship-the-table deployment story).
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"expvar"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"pbqpdnn/internal/cost"
+	"pbqpdnn/internal/dnn/models"
+	"pbqpdnn/internal/serve"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("dnnserver: ")
+
+	addr := flag.String("addr", ":8080", "HTTP listen address")
+	modelList := flag.String("models", "smallnet",
+		fmt.Sprintf("comma-separated models to host (from %v)",
+			append(models.Names(), models.DemoNames()...)))
+	threads := flag.Int("threads", 0, "selection thread budget per engine (0 = GOMAXPROCS)")
+	costsPath := flag.String("costs", "", "optional serialized cost table (JSON) to drive selection instead of the analytic model")
+
+	maxBatch := flag.Int("max-batch", 8, "flush a minibatch at this many pending requests")
+	maxWait := flag.Duration("max-wait", 2*time.Millisecond, "flush a partial minibatch once its oldest request has waited this long")
+	queueCap := flag.Int("queue", 0, "admission queue bound; overflow is rejected with 429 (0 = 4×max-batch)")
+	inflight := flag.Int("inflight", 1, "concurrent engine dispatches per model")
+
+	loadgen := flag.Bool("loadgen", false, "run the in-process load generator instead of serving, then exit")
+	clients := flag.Int("clients", 16, "loadgen: concurrent clients")
+	requests := flag.Int("requests", 16, "loadgen: requests per client")
+	interval := flag.Duration("interval", 0,
+		"loadgen: per-client arrival period for open-loop load (0 = closed loop); offered rps = clients/interval")
+	deadline := flag.Duration("deadline", 0,
+		"loadgen: per-request completion budget (0 = none); the batcher enforces it, the naive baseline is merely judged by it")
+	jsonOut := flag.Bool("json", false, "loadgen: emit machine-readable JSON instead of the table")
+	flag.Parse()
+
+	cfg := serve.Config{
+		Threads: *threads,
+		Batch: serve.BatchOptions{
+			MaxBatch:    *maxBatch,
+			MaxWait:     *maxWait,
+			QueueCap:    *queueCap,
+			MaxInFlight: *inflight,
+		},
+	}
+	if *costsPath != "" {
+		f, err := os.Open(*costsPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		table, err := cost.LoadTable(f)
+		f.Close()
+		if err != nil {
+			log.Fatalf("loading cost table %s: %v", *costsPath, err)
+		}
+		cfg.Prof = table
+	}
+
+	names := strings.Split(*modelList, ",")
+	for i := range names {
+		names[i] = strings.TrimSpace(names[i])
+	}
+	if *loadgen {
+		// Loadgen drives exactly one model; don't pay selection and
+		// compilation for the rest of the list.
+		names = names[:1]
+	}
+	start := time.Now()
+	reg, err := serve.NewRegistry(names, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, name := range reg.Names() {
+		m, _ := reg.Get(name)
+		log.Printf("loaded %s: %d layers, input %d×%d×%d, pbqp optimal=%v",
+			name, m.Net.NumLayers(), m.InC, m.InH, m.InW, m.Plan.Optimal)
+	}
+	log.Printf("registry ready in %v", time.Since(start).Round(time.Millisecond))
+
+	if *loadgen {
+		o := serve.LoadOptions{
+			Clients: *clients, PerClient: *requests,
+			Interval: *interval, Deadline: *deadline,
+		}
+		if err := runLoadgen(reg, names[0], o, *jsonOut); err != nil {
+			log.Fatal(err)
+		}
+		reg.Close()
+		return
+	}
+
+	serve.PublishExpvar(reg)
+	mux := http.NewServeMux()
+	mux.Handle("/", serve.NewServer(reg))
+	mux.Handle("GET /debug/vars", expvar.Handler())
+	srv := &http.Server{Addr: *addr, Handler: mux}
+
+	// Graceful drain: stop accepting connections, finish in-flight
+	// HTTP requests, then drain every model's admitted batches.
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		sig := make(chan os.Signal, 1)
+		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+		<-sig
+		log.Print("shutting down: draining in-flight requests")
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			log.Printf("shutdown: %v", err)
+		}
+		reg.Close()
+	}()
+
+	log.Printf("serving %v on %s", reg.Names(), *addr)
+	if err := srv.ListenAndServe(); !errors.Is(err, http.ErrServerClosed) {
+		log.Fatal(err)
+	}
+	<-done
+}
+
+// runLoadgen runs the acceptance comparison: dynamic batching versus a
+// naive goroutine-per-request baseline on the same compiled engine.
+func runLoadgen(reg *serve.Registry, model string, o serve.LoadOptions, jsonOut bool) error {
+	m, ok := reg.Get(model)
+	if !ok {
+		return fmt.Errorf("model %q not hosted", model)
+	}
+	if o.Interval > 0 {
+		log.Printf("open-loop: offering %.0f req/s for ~%v%s",
+			float64(o.Clients)/o.Interval.Seconds(),
+			(time.Duration(o.PerClient) * o.Interval).Round(time.Millisecond),
+			deadlineNote(o.Deadline))
+	}
+	batched, err := serve.LoadTest(m, o)
+	if err != nil {
+		return err
+	}
+	naive, err := serve.NaiveLoadTest(m, o)
+	if err != nil {
+		return err
+	}
+	if jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(map[string]serve.LoadReport{"batched": batched, "naive": naive})
+	}
+	fmt.Print(serve.FormatLoadComparison(model, batched, naive))
+	if batched.Served == 0 || naive.Served == 0 {
+		fmt.Printf("\nno latency comparison: served batched %d, naive %d — "+
+			"lower the offered load or raise -deadline\n", batched.Served, naive.Served)
+		return nil
+	}
+	fmt.Printf("\nmean latency (served): batched %v vs naive %v (%.2f× better), mean batch %.2f\n",
+		batched.MeanLatency.Round(10*time.Microsecond),
+		naive.MeanLatency.Round(10*time.Microsecond),
+		float64(naive.MeanLatency)/float64(batched.MeanLatency),
+		batched.MeanBatch)
+	return nil
+}
+
+func deadlineNote(d time.Duration) string {
+	if d <= 0 {
+		return ""
+	}
+	return fmt.Sprintf(", %v deadline per request", d)
+}

@@ -11,11 +11,20 @@ import (
 	"pbqpdnn/internal/dnn"
 )
 
-// Names lists the available model builders. The first six are the
-// paper's evaluation networks (§5.2); resnet-18 is a post-paper
-// workload exercising residual (elementwise-add) shortcuts.
+// Names lists the evaluation networks. The first six are the paper's
+// (§5.2); resnet-18 is a post-paper workload exercising residual
+// (elementwise-add) shortcuts. Experiments and benchmarks that iterate
+// Names regenerate paper artifacts, so the demo-scale serving
+// workloads live in DemoNames instead — Build accepts both.
 func Names() []string {
 	return []string{"alexnet", "vgg-b", "vgg-c", "vgg-d", "vgg-e", "googlenet", "resnet-18"}
+}
+
+// DemoNames lists the demo-scale workloads for serving smoke tests and
+// load generation, where a full ImageNet network would drown the
+// effect being measured.
+func DemoNames() []string {
+	return []string{"smallnet", "micronet"}
 }
 
 // Build returns the named network, or an error for unknown names.
@@ -35,8 +44,13 @@ func Build(name string) (*dnn.Graph, error) {
 		return GoogleNet(), nil
 	case "resnet-18":
 		return ResNet18(), nil
+	case "smallnet":
+		return SmallNet(), nil
+	case "micronet":
+		return MicroNet(), nil
 	}
-	return nil, fmt.Errorf("models: unknown network %q (have %v)", name, Names())
+	return nil, fmt.Errorf("models: unknown network %q (have %v and demo nets %v)",
+		name, Names(), DemoNames())
 }
 
 // AlexNet is the BVLC Caffe AlexNet: five convolutions (K=11 δ=4, K=5,
@@ -176,6 +190,52 @@ func GoogleNet() *dnn.Graph {
 	x = b.AvgPool(x, "pool5/7x7_s1", 7, 1, 0)
 	x = b.Dropout(x, "pool5/drop_7x7_s1")
 	x = b.FC(x, "loss3/classifier", 1000)
+	b.Softmax(x, "prob")
+	return b.Graph()
+}
+
+// SmallNet is a demo-scale inception-style network (3×32×32 input, one
+// two-branch module, 10-way classifier): big enough to exercise
+// branch-parallel scheduling, layout conversions, and every wildcard
+// operator, small enough that one inference runs in about a
+// millisecond — the serving subsystem's default workload, where the
+// dynamic batcher's amortization is visible rather than drowned by a
+// full ImageNet network's compute.
+func SmallNet() *dnn.Graph {
+	b, x := dnn.NewBuilder("smallnet", 3, 32, 32)
+	x = b.Conv(x, "stem", 8, 3, 1, 1)
+	x = b.ReLU(x, "stem/relu")
+	x = b.MaxPool(x, "pool1", 2, 2, 0) // 16×16
+
+	p1 := b.Conv(x, "mix/1x1", 8, 1, 1, 0)
+	p1 = b.ReLU(p1, "mix/relu_1x1")
+	p2 := b.Conv(x, "mix/3x3_reduce", 4, 1, 1, 0)
+	p2 = b.Conv(p2, "mix/3x3", 8, 3, 1, 1)
+	p2 = b.ReLU(p2, "mix/relu_3x3")
+	x = b.Concat("mix/output", p1, p2) // 16 channels
+
+	x = b.MaxPool(x, "pool2", 2, 2, 0) // 8×8
+	x = b.Conv(x, "conv3", 16, 3, 1, 1)
+	x = b.ReLU(x, "conv3/relu")
+	x = b.AvgPool(x, "gap", 8, 1, 0)
+	x = b.FC(x, "fc", 10)
+	b.Softmax(x, "prob")
+	return b.Graph()
+}
+
+// MicroNet is the smallest serving workload: a three-convolution chain
+// on a 3×16×16 input. It exists for CI smoke tests that must boot a
+// server, run one inference, and exit in well under a second.
+func MicroNet() *dnn.Graph {
+	b, x := dnn.NewBuilder("micronet", 3, 16, 16)
+	x = b.Conv(x, "c1", 4, 3, 1, 1)
+	x = b.ReLU(x, "r1")
+	x = b.Conv(x, "c2", 8, 3, 2, 1) // 8×8
+	x = b.ReLU(x, "r2")
+	x = b.MaxPool(x, "p1", 2, 2, 0) // 4×4
+	x = b.Conv(x, "c3", 8, 3, 1, 1)
+	x = b.AvgPool(x, "gap", 4, 1, 0)
+	x = b.FC(x, "fc", 10)
 	b.Softmax(x, "prob")
 	return b.Graph()
 }

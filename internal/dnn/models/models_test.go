@@ -8,7 +8,7 @@ import (
 )
 
 func TestBuildAllModels(t *testing.T) {
-	for _, name := range Names() {
+	for _, name := range append(Names(), DemoNames()...) {
 		g, err := Build(name)
 		if err != nil {
 			t.Fatalf("%s: %v", name, err)
@@ -164,6 +164,40 @@ func TestInceptionBranchNames(t *testing.T) {
 	}
 	if found != len(want) {
 		t.Errorf("found %d/%d expected 4e branch layers", found, len(want))
+	}
+}
+
+// TestDemoNetStructure pins the serving demo workloads: both end in a
+// 10-way softmax, SmallNet has a genuine two-branch concat DAG, and
+// MicroNet stays chain-shaped and tiny.
+func TestDemoNetStructure(t *testing.T) {
+	small := SmallNet()
+	if got := len(small.ConvLayers()); got != 5 {
+		t.Errorf("SmallNet has %d convs, want 5", got)
+	}
+	concats := 0
+	for _, l := range small.Layers {
+		if l.Kind == dnn.KindConcat {
+			concats++
+			if len(small.Preds(l.ID)) != 2 {
+				t.Errorf("%s has %d preds, want 2", l.Name, len(small.Preds(l.ID)))
+			}
+		}
+	}
+	if concats != 1 {
+		t.Errorf("SmallNet has %d concats, want 1", concats)
+	}
+
+	micro := MicroNet()
+	if got := len(micro.ConvLayers()); got != 3 {
+		t.Errorf("MicroNet has %d convs, want 3", got)
+	}
+	for _, g := range []*dnn.Graph{small, micro} {
+		last := g.Layers[len(g.Layers)-1]
+		if last.Kind != dnn.KindSoftmax || last.OutC != 10 || last.OutH != 1 || last.OutW != 1 {
+			t.Errorf("%s output layer %s %d×%d×%d, want softmax 10×1×1",
+				g.Name, last.Kind, last.OutC, last.OutH, last.OutW)
+		}
 	}
 }
 

@@ -26,9 +26,25 @@ import (
 )
 
 // Engine executes one compiled program repeatedly. An Engine is safe
-// for concurrent use: per-run state lives in per-image frames and the
-// shared arena is internally synchronized. The plan and weights must
-// not be mutated while the Engine is in use.
+// for concurrent use — the serving layer (internal/serve) depends on
+// this, and TestEngineConcurrentRunBatch pins it under the race
+// detector. The audit trail for the contract:
+//
+//   - prog, kerns and w are written only during NewEngine and read-only
+//     afterwards;
+//   - every Run/RunBatch call owns its scheduler state (batchState) and
+//     its per-image frames, so calls share no mutable structures;
+//   - the arena, the one shared mutable structure, synchronizes get/put
+//     internally, and frame buffers are returned to it only after the
+//     batch's outputs (always fresh, never slot-backed) are extracted.
+//
+// The plan and weights must not be mutated while the Engine is in use.
+// One caveat for concurrent callers: each RunBatch call runs its own
+// worker pool, so K concurrent calls schedule up to K×workers
+// CPU-bound goroutines — safe, but past GOMAXPROCS they only dilute
+// each other. Callers wanting one shared dispatch pipeline should
+// multiplex through a single RunBatch stream (serve.Batcher does
+// exactly this).
 //
 // Threading model: the worker pool has plan.Threads workers and
 // primitives run single-threaded inside a task — inter-instruction (and

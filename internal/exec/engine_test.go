@@ -1,6 +1,7 @@
 package exec
 
 import (
+	"fmt"
 	"os"
 	"testing"
 
@@ -247,6 +248,82 @@ func TestEngineMatchesSequentialRun(t *testing.T) {
 		}
 		if !tensor.WithinRel(got, want, 1e-6) {
 			t.Errorf("%s: engine diverges from sequential Run by %g", m.Name, tensor.MaxRelDiff(got, want))
+		}
+	}
+}
+
+// TestEngineConcurrentRunBatch pins the concurrency contract the
+// serving layer relies on: one shared Engine must produce correct,
+// uncorrupted results when RunBatch (and Run) are called from many
+// goroutines at once — sharing the compiled program, bound kernels and
+// the internally synchronized arena. Staggered batch sizes plus a
+// pre-warmed arena force cross-call buffer recycling, and per-image
+// expected outputs catch any cross-call frame mixing; run under -race
+// this is the regression test for the audit in the Engine doc comment.
+func TestEngineConcurrentRunBatch(t *testing.T) {
+	net := tinyDAG()
+	w := NewWeights(net)
+	plan, err := selector.Select(net, selector.Options{
+		Prof: cost.NewModel(cost.IntelHaswell), Threads: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := NewEngine(plan, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Distinct inputs with sequentially computed expected outputs.
+	const nInputs = 4
+	inputs := make([]*tensor.Tensor, nInputs)
+	want := make([]*tensor.Tensor, nInputs)
+	for i := range inputs {
+		inputs[i] = newInput(net, int64(50+i))
+		want[i], err = Run(plan, inputs[i], w)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := eng.Run(inputs[0]); err != nil { // warm the arena
+		t.Fatal(err)
+	}
+
+	const (
+		goroutines = 8
+		iters      = 4
+	)
+	errc := make(chan error, goroutines)
+	for g := 0; g < goroutines; g++ {
+		go func(g int) {
+			for it := 0; it < iters; it++ {
+				// Vary batch size and composition per goroutine and
+				// iteration so concurrent calls check out different
+				// frame shapes from the shared arena.
+				batch := make([]*tensor.Tensor, 1+(g+it)%3)
+				idx := make([]int, len(batch))
+				for k := range batch {
+					idx[k] = (g + it + k) % nInputs
+					batch[k] = inputs[idx[k]]
+				}
+				outs, err := eng.RunBatch(batch)
+				if err != nil {
+					errc <- err
+					return
+				}
+				for k := range outs {
+					if !tensor.WithinRel(outs[k], want[idx[k]], 1e-6) {
+						errc <- fmt.Errorf("goroutine %d iter %d: image %d diverges by %g",
+							g, it, k, tensor.MaxRelDiff(outs[k], want[idx[k]]))
+						return
+					}
+				}
+			}
+			errc <- nil
+		}(g)
+	}
+	for g := 0; g < goroutines; g++ {
+		if err := <-errc; err != nil {
+			t.Error(err)
 		}
 	}
 }

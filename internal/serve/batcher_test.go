@@ -1,0 +1,304 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"pbqpdnn/internal/tensor"
+)
+
+// fakeRunner is a controllable RunBatchFunc: it records every dispatched
+// batch size, optionally blocks on gate until released, and echoes
+// clones of its inputs as outputs.
+type fakeRunner struct {
+	mu     sync.Mutex
+	sizes  []int
+	gate   chan struct{} // when non-nil, every call blocks until it closes
+	fail   error
+	called atomic.Int64
+}
+
+func (f *fakeRunner) run(ins []*tensor.Tensor) ([]*tensor.Tensor, error) {
+	f.called.Add(1)
+	if f.gate != nil {
+		<-f.gate
+	}
+	f.mu.Lock()
+	f.sizes = append(f.sizes, len(ins))
+	f.mu.Unlock()
+	if f.fail != nil {
+		return nil, f.fail
+	}
+	outs := make([]*tensor.Tensor, len(ins))
+	for i, in := range ins {
+		outs[i] = in.Clone()
+	}
+	return outs, nil
+}
+
+func (f *fakeRunner) batchSizes() []int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return append([]int(nil), f.sizes...)
+}
+
+func testInput() *tensor.Tensor {
+	in := tensor.New(tensor.CHW, 1, 2, 2)
+	in.FillRandom(1)
+	return in
+}
+
+// inferAsync submits n concurrent Infer calls and returns a channel
+// carrying each call's error.
+func inferAsync(b *Batcher, ctx context.Context, n int) chan error {
+	errc := make(chan error, n)
+	for i := 0; i < n; i++ {
+		go func() {
+			_, err := b.Infer(ctx, testInput())
+			errc <- err
+		}()
+	}
+	return errc
+}
+
+func waitAccepted(t *testing.T, m *Metrics, want int64) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for m.Snapshot().Accepted < want {
+		if time.Now().After(deadline) {
+			t.Fatalf("only %d of %d requests admitted in time", m.Snapshot().Accepted, want)
+		}
+		time.Sleep(100 * time.Microsecond)
+	}
+}
+
+// TestFlushBySize: with a generous MaxWait, MaxBatch pending requests
+// must flush immediately as full batches — the fast path under load.
+func TestFlushBySize(t *testing.T) {
+	f := &fakeRunner{}
+	met := NewMetrics()
+	b := NewBatcher(f.run, BatchOptions{MaxBatch: 4, MaxWait: 10 * time.Second, QueueCap: 16}, met)
+	defer b.Close()
+
+	errc := inferAsync(b, context.Background(), 8)
+	for i := 0; i < 8; i++ {
+		select {
+		case err := <-errc:
+			if err != nil {
+				t.Fatal(err)
+			}
+		case <-time.After(5 * time.Second):
+			t.Fatal("requests did not complete: batcher waited for MaxWait despite full batches")
+		}
+	}
+	sizes := f.batchSizes()
+	total := 0
+	for _, s := range sizes {
+		total += s
+		if s > 4 {
+			t.Errorf("batch of %d exceeds MaxBatch 4", s)
+		}
+	}
+	if total != 8 {
+		t.Errorf("dispatched %d requests across %v, want 8", total, sizes)
+	}
+	// Concurrent submission interleaves with collection, so not every
+	// batch is necessarily full — but the first must be (8 requests
+	// were outstanding and MaxWait was 10s, so only size can flush).
+	if s := met.Snapshot(); s.MeanBatch <= 1 {
+		t.Errorf("mean batch %.2f, want > 1", s.MeanBatch)
+	}
+}
+
+// TestFlushByDeadline: a partial batch must flush once the oldest
+// request has waited MaxWait, not hold out for MaxBatch.
+func TestFlushByDeadline(t *testing.T) {
+	f := &fakeRunner{}
+	met := NewMetrics()
+	b := NewBatcher(f.run, BatchOptions{MaxBatch: 64, MaxWait: 20 * time.Millisecond, QueueCap: 16}, met)
+	defer b.Close()
+
+	start := time.Now()
+	errc := inferAsync(b, context.Background(), 3)
+	for i := 0; i < 3; i++ {
+		select {
+		case err := <-errc:
+			if err != nil {
+				t.Fatal(err)
+			}
+		case <-time.After(5 * time.Second):
+			t.Fatal("partial batch never flushed")
+		}
+	}
+	if elapsed := time.Since(start); elapsed < 15*time.Millisecond {
+		t.Errorf("partial batch flushed after %v, want ≥ MaxWait (20ms) minus scheduling slop", elapsed)
+	}
+	sizes := f.batchSizes()
+	total := 0
+	for _, s := range sizes {
+		total += s
+	}
+	if total != 3 {
+		t.Errorf("dispatched %d requests across %v, want 3", total, sizes)
+	}
+}
+
+// TestQueueFullRejection: with the engine wedged, admission must reject
+// overflow immediately with ErrQueueFull instead of queueing unbounded
+// or blocking the caller.
+func TestQueueFullRejection(t *testing.T) {
+	f := &fakeRunner{gate: make(chan struct{})}
+	met := NewMetrics()
+	b := NewBatcher(f.run, BatchOptions{MaxBatch: 1, MaxWait: time.Millisecond, QueueCap: 2, MaxInFlight: 1}, met)
+	defer b.Close()
+
+	const n = 50
+	errc := inferAsync(b, context.Background(), n)
+
+	// The pipeline holds at most QueueCap + one forming batch + one
+	// running batch; everything else must bounce quickly.
+	deadline := time.Now().Add(5 * time.Second)
+	for met.Snapshot().Rejected == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("no request was rejected with the queue saturated")
+		}
+		time.Sleep(100 * time.Microsecond)
+	}
+
+	close(f.gate) // unwedge the engine; admitted requests must complete
+	rejected, served := 0, 0
+	for i := 0; i < n; i++ {
+		select {
+		case err := <-errc:
+			switch {
+			case err == nil:
+				served++
+			case errors.Is(err, ErrQueueFull):
+				rejected++
+			default:
+				t.Fatalf("unexpected error: %v", err)
+			}
+		case <-time.After(5 * time.Second):
+			t.Fatal("requests did not settle after releasing the engine")
+		}
+	}
+	if served == 0 || rejected == 0 || served+rejected != n {
+		t.Errorf("served %d, rejected %d of %d", served, rejected, n)
+	}
+	s := met.Snapshot()
+	if s.Rejected != int64(rejected) || s.Served != int64(served) {
+		t.Errorf("metrics served %d rejected %d, want %d/%d", s.Served, s.Rejected, served, rejected)
+	}
+}
+
+// TestRequestDeadlineExpiry: a request whose context expires while
+// queued must (a) unblock its caller with the context error and (b) be
+// pruned at flush time without ever reaching the engine.
+func TestRequestDeadlineExpiry(t *testing.T) {
+	f := &fakeRunner{}
+	met := NewMetrics()
+	// MaxWait far beyond the request deadline: the only way the caller
+	// unblocks early is the context, and the only way the engine stays
+	// idle is the flush-time prune.
+	b := NewBatcher(f.run, BatchOptions{MaxBatch: 8, MaxWait: 150 * time.Millisecond, QueueCap: 8}, met)
+	defer b.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err := b.Infer(ctx, testInput())
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("got %v, want DeadlineExceeded", err)
+	}
+	if elapsed := time.Since(start); elapsed > 100*time.Millisecond {
+		t.Errorf("caller unblocked after %v, want ≈ the 10ms request deadline", elapsed)
+	}
+
+	// Wait past the batcher's own flush and confirm the prune.
+	deadline := time.Now().Add(5 * time.Second)
+	for met.Snapshot().Expired == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("expired request was never pruned at flush time")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if got := f.called.Load(); got != 0 {
+		t.Errorf("engine ran %d times for a batch that was entirely expired", got)
+	}
+}
+
+// TestGracefulShutdownDrains: Close must complete every admitted
+// request through the engine, then reject new work with ErrClosed.
+func TestGracefulShutdownDrains(t *testing.T) {
+	f := &fakeRunner{}
+	met := NewMetrics()
+	b := NewBatcher(f.run, BatchOptions{MaxBatch: 2, MaxWait: 50 * time.Millisecond, QueueCap: 16}, met)
+
+	const n = 5
+	errc := inferAsync(b, context.Background(), n)
+	waitAccepted(t, met, n)
+	b.Close()
+
+	for i := 0; i < n; i++ {
+		select {
+		case err := <-errc:
+			if err != nil {
+				t.Errorf("admitted request failed during drain: %v", err)
+			}
+		case <-time.After(5 * time.Second):
+			t.Fatal("Close returned before draining admitted requests")
+		}
+	}
+	if s := met.Snapshot(); s.Served != n {
+		t.Errorf("served %d, want %d", s.Served, n)
+	}
+	if _, err := b.Infer(context.Background(), testInput()); !errors.Is(err, ErrClosed) {
+		t.Errorf("post-Close Infer returned %v, want ErrClosed", err)
+	}
+	b.Close() // idempotent
+}
+
+// TestEngineErrorPropagates: a failing engine answers every request in
+// the batch with the error, and the batcher keeps serving afterwards.
+func TestEngineErrorPropagates(t *testing.T) {
+	boom := errors.New("boom")
+	f := &fakeRunner{fail: boom}
+	met := NewMetrics()
+	b := NewBatcher(f.run, BatchOptions{MaxBatch: 2, MaxWait: time.Millisecond, QueueCap: 8}, met)
+	defer b.Close()
+
+	if _, err := b.Infer(context.Background(), testInput()); !errors.Is(err, boom) {
+		t.Fatalf("got %v, want the engine error", err)
+	}
+	f.fail = nil
+	if _, err := b.Infer(context.Background(), testInput()); err != nil {
+		t.Fatalf("batcher did not recover after an engine error: %v", err)
+	}
+	if s := met.Snapshot(); s.Failed != 1 || s.Served != 1 {
+		t.Errorf("failed %d served %d, want 1/1", s.Failed, s.Served)
+	}
+}
+
+// TestMetricsPercentiles pins the nearest-rank percentile math.
+func TestMetricsPercentiles(t *testing.T) {
+	var lats []time.Duration
+	for i := 1; i <= 100; i++ {
+		lats = append(lats, time.Duration(i)*time.Millisecond)
+	}
+	if got := percentile(lats, 50); got != 50*time.Millisecond {
+		t.Errorf("p50 = %v, want 50ms", got)
+	}
+	if got := percentile(lats, 99); got != 99*time.Millisecond {
+		t.Errorf("p99 = %v, want 99ms", got)
+	}
+	if got := percentile(lats[:1], 99); got != time.Millisecond {
+		t.Errorf("p99 of one sample = %v, want 1ms", got)
+	}
+	if got := percentile(nil, 50); got != 0 {
+		t.Errorf("p50 of nothing = %v, want 0", got)
+	}
+}

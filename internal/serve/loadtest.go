@@ -1,0 +1,235 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"pbqpdnn/internal/tensor"
+)
+
+// LoadOptions sizes a load-generation run.
+//
+// With Interval zero the run is closed-loop: each client submits, waits
+// for the reply, and immediately submits again — useful as a smoke test
+// and a pure throughput probe, but note that a closed loop's mean
+// latency is pinned to throughput by Little's law (16 clients over W
+// seconds *is* 16/throughput), so it cannot distinguish queueing
+// disciplines.
+//
+// With Interval set the run is open-loop: each client fires one request
+// every Interval on a fixed schedule regardless of completions (wrk2
+// style), and latency is measured from the *scheduled* arrival — so
+// time a request spends waiting because the system fell behind counts
+// against the system, not the generator (coordinated-omission
+// correction). Offered load = Clients/Interval requests per second;
+// set it above the engine's capacity to compare overload behavior:
+// the batcher sheds load at admission while a naive
+// goroutine-per-request server queues without bound.
+type LoadOptions struct {
+	Clients   int
+	PerClient int
+
+	// Interval is each client's arrival period (0 = closed loop).
+	Interval time.Duration
+
+	// Deadline, when set, gives every request a completion budget from
+	// its scheduled arrival. The batched path enforces it (expired
+	// requests are pruned before touching the engine); the naive path
+	// cannot — Engine.Run has no deadline — so its overdue completions
+	// are counted late instead.
+	Deadline time.Duration
+}
+
+// LoadReport summarizes one load-generation run. Latency statistics
+// cover served requests only; Rejected (admission), Expired (deadline
+// enforced before service) and Late (served, but completing after the
+// deadline) are reported alongside so the modes' different failure
+// disciplines stay visible. Both modes can go late: the naive path
+// cannot shed at all, and the batched path prunes only up to dispatch —
+// a request that enters the engine near its deadline still completes
+// past it (the recorded overload runs show exactly this).
+type LoadReport struct {
+	Mode       string  `json:"mode"` // "batched" or "naive"
+	Clients    int     `json:"clients"`
+	Requests   int     `json:"requests"`
+	OfferedRPS float64 `json:"offered_rps"` // 0 for closed loop
+
+	Served   int `json:"served"`
+	Rejected int `json:"rejected"` // ErrQueueFull at admission
+	Expired  int `json:"expired"`  // deadline enforced before service
+	Errors   int `json:"errors"`   // everything else
+	Late     int `json:"late"`     // served, but after the deadline
+
+	Wall        time.Duration `json:"wall_ns"`
+	MeanBatch   float64       `json:"mean_batch"` // achieved engine batch size (1.0 for naive)
+	MeanLatency time.Duration `json:"latency_mean_ns"`
+	P50         time.Duration `json:"latency_p50_ns"`
+	P99         time.Duration `json:"latency_p99_ns"`
+	Throughput  float64       `json:"throughput_rps"` // served / wall
+	GoodputRPS  float64       `json:"goodput_rps"`    // served on time / wall
+}
+
+// LoadTest drives the model's dynamic batcher and reports achieved
+// batch sizes and latency percentiles. Inputs are deterministic per
+// client.
+func LoadTest(m *Model, o LoadOptions) (LoadReport, error) {
+	before := m.Metrics.Snapshot()
+	rep, err := drive(m, o, "batched", func(ctx context.Context, in *tensor.Tensor) (*tensor.Tensor, error) {
+		return m.Batcher.Infer(ctx, in)
+	})
+	if err != nil {
+		return rep, err
+	}
+	after := m.Metrics.Snapshot()
+	if batches := after.Batches - before.Batches; batches > 0 {
+		rep.MeanBatch = float64(after.Served-before.Served) / float64(batches)
+	}
+	return rep, nil
+}
+
+// NaiveLoadTest is the baseline the batcher is judged against: the same
+// arrival process, but every request immediately runs Engine.Run in its
+// own goroutine — no batching, no admission bound, no deadline
+// enforcement. exec.Engine is safe for concurrent use, so this is the
+// obvious first serving architecture anyone would write.
+func NaiveLoadTest(m *Model, o LoadOptions) (LoadReport, error) {
+	rep, err := drive(m, o, "naive", func(_ context.Context, in *tensor.Tensor) (*tensor.Tensor, error) {
+		return m.Engine.Run(in)
+	})
+	rep.MeanBatch = 1
+	return rep, err
+}
+
+type submitFunc func(context.Context, *tensor.Tensor) (*tensor.Tensor, error)
+
+// drive generates the arrival process, fans requests out to submit, and
+// aggregates latencies.
+func drive(m *Model, o LoadOptions, mode string, submit submitFunc) (LoadReport, error) {
+	if o.Clients < 1 || o.PerClient < 1 {
+		return LoadReport{}, fmt.Errorf("serve: loadtest needs ≥1 client and ≥1 request per client")
+	}
+	rep := LoadReport{
+		Mode:     mode,
+		Clients:  o.Clients,
+		Requests: o.Clients * o.PerClient,
+	}
+	if o.Interval > 0 {
+		rep.OfferedRPS = float64(o.Clients) / o.Interval.Seconds()
+	}
+
+	type outcome struct {
+		lat time.Duration
+		err error
+	}
+	outcomes := make(chan outcome, rep.Requests)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for c := 0; c < o.Clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			in := tensor.New(tensor.CHW, m.InC, m.InH, m.InW)
+			in.FillRandom(int64(c + 1))
+			// Stagger clients across one interval so open-loop arrivals
+			// spread instead of beating in lockstep.
+			offset := time.Duration(0)
+			if o.Interval > 0 {
+				offset = o.Interval * time.Duration(c) / time.Duration(o.Clients)
+			}
+			var reqWG sync.WaitGroup
+			for i := 0; i < o.PerClient; i++ {
+				sched := start.Add(offset + time.Duration(i)*o.Interval)
+				if o.Interval > 0 {
+					time.Sleep(time.Until(sched))
+				} else {
+					sched = time.Now()
+				}
+				do := func() {
+					ctx := context.Background()
+					if o.Deadline > 0 {
+						var cancel context.CancelFunc
+						ctx, cancel = context.WithDeadline(ctx, sched.Add(o.Deadline))
+						defer cancel()
+					}
+					_, err := submit(ctx, in)
+					outcomes <- outcome{lat: time.Since(sched), err: err}
+				}
+				if o.Interval > 0 {
+					// Open loop: never wait for the reply before the
+					// next scheduled arrival.
+					reqWG.Add(1)
+					go func() { defer reqWG.Done(); do() }()
+				} else {
+					do()
+				}
+			}
+			reqWG.Wait()
+		}(c)
+	}
+	wg.Wait()
+	rep.Wall = time.Since(start)
+	close(outcomes)
+
+	var lats []time.Duration
+	var firstErr error
+	for out := range outcomes {
+		switch {
+		case out.err == nil:
+			rep.Served++
+			lats = append(lats, out.lat)
+			if o.Deadline > 0 && out.lat > o.Deadline {
+				rep.Late++
+			}
+		case errors.Is(out.err, ErrQueueFull):
+			rep.Rejected++
+		case errors.Is(out.err, context.DeadlineExceeded):
+			rep.Expired++
+		default:
+			rep.Errors++
+			if firstErr == nil {
+				firstErr = out.err
+			}
+		}
+	}
+	if len(lats) > 0 {
+		sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+		var sum time.Duration
+		for _, d := range lats {
+			sum += d
+		}
+		rep.MeanLatency = sum / time.Duration(len(lats))
+		rep.P50 = percentile(lats, 50)
+		rep.P99 = percentile(lats, 99)
+		rep.Throughput = float64(len(lats)) / rep.Wall.Seconds()
+		rep.GoodputRPS = float64(len(lats)-rep.Late) / rep.Wall.Seconds()
+	}
+	if rep.Served == 0 && firstErr != nil {
+		return rep, fmt.Errorf("serve: every loadtest request failed: %w", firstErr)
+	}
+	return rep, nil
+}
+
+// FormatLoadComparison renders the batched-versus-naive comparison the
+// acceptance experiment records in EXPERIMENTS.md.
+func FormatLoadComparison(model string, reports ...LoadReport) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== load generation: %s ==\n", model)
+	fmt.Fprintf(&b, "%-8s %8s %7s %7s %7s %6s %10s %10s %10s %10s %9s %9s\n",
+		"mode", "requests", "served", "reject", "expire", "late",
+		"mean batch", "mean lat", "p50", "p99", "req/s", "good/s")
+	for _, r := range reports {
+		fmt.Fprintf(&b, "%-8s %8d %7d %7d %7d %6d %10.2f %10s %10s %10s %9.1f %9.1f\n",
+			r.Mode, r.Requests, r.Served, r.Rejected, r.Expired, r.Late, r.MeanBatch,
+			fmtDur(r.MeanLatency), fmtDur(r.P50), fmtDur(r.P99), r.Throughput, r.GoodputRPS)
+	}
+	return b.String()
+}
+
+func fmtDur(d time.Duration) string {
+	return d.Round(10 * time.Microsecond).String()
+}

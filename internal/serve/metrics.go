@@ -1,0 +1,167 @@
+package serve
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// latencyWindow bounds the per-model latency sample ring. 8k samples
+// keep percentile estimates stable at serving rates while capping the
+// snapshot sort at well under a millisecond.
+const latencyWindow = 8192
+
+// Metrics aggregates one batcher's serving counters. All methods are
+// safe for concurrent use; Snapshot returns a consistent copy suitable
+// for JSON encoding (the /stats endpoint and expvar publish it).
+type Metrics struct {
+	mu sync.Mutex
+
+	start time.Time
+
+	accepted int64 // admitted into the queue
+	rejected int64 // turned away at admission (queue full)
+	expired  int64 // pruned at flush time: request deadline passed while queued
+	served   int64 // completed through the engine
+	failed   int64 // completed with an engine error
+
+	batches   int64   // RunBatch dispatches
+	batchSum  int64   // sum of dispatched batch sizes
+	batchHist []int64 // index = batch size; [0] unused
+
+	// latencies is a ring of enqueue→completion times for served
+	// requests; percentiles are computed over the window on demand.
+	latencies []time.Duration
+	latIdx    int
+
+	queueDepth func() int // reads the live queue length, set by the batcher
+}
+
+// NewMetrics returns an empty metrics aggregate.
+func NewMetrics() *Metrics {
+	return &Metrics{start: time.Now()}
+}
+
+func (m *Metrics) admit() {
+	m.mu.Lock()
+	m.accepted++
+	m.mu.Unlock()
+}
+
+func (m *Metrics) reject() {
+	m.mu.Lock()
+	m.rejected++
+	m.mu.Unlock()
+}
+
+func (m *Metrics) expire(n int) {
+	m.mu.Lock()
+	m.expired += int64(n)
+	m.mu.Unlock()
+}
+
+// observeBatch records one engine dispatch: its size and, per request,
+// the enqueue→completion latency (or a failure).
+func (m *Metrics) observeBatch(size int, latencies []time.Duration, err error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.batches++
+	m.batchSum += int64(size)
+	for len(m.batchHist) <= size {
+		m.batchHist = append(m.batchHist, 0)
+	}
+	m.batchHist[size]++
+	if err != nil {
+		m.failed += int64(size)
+		return
+	}
+	m.served += int64(size)
+	for _, d := range latencies {
+		if len(m.latencies) < latencyWindow {
+			m.latencies = append(m.latencies, d)
+		} else {
+			m.latencies[m.latIdx] = d
+			m.latIdx = (m.latIdx + 1) % latencyWindow
+		}
+	}
+}
+
+// Stats is a point-in-time JSON-friendly view of a batcher's counters.
+type Stats struct {
+	UptimeSec float64 `json:"uptime_sec"`
+
+	Accepted int64 `json:"accepted"`
+	Rejected int64 `json:"rejected"`
+	Expired  int64 `json:"expired"`
+	Served   int64 `json:"served"`
+	Failed   int64 `json:"failed"`
+
+	QueueDepth int `json:"queue_depth"`
+
+	Batches        int64   `json:"batches"`
+	MeanBatch      float64 `json:"mean_batch"`
+	BatchHist      []int64 `json:"batch_hist"` // index = batch size; [0] unused
+	ThroughputRPS  float64 `json:"throughput_rps"`
+	LatencyMeanMS  float64 `json:"latency_mean_ms"`
+	LatencyP50MS   float64 `json:"latency_p50_ms"`
+	LatencyP99MS   float64 `json:"latency_p99_ms"`
+	LatencySamples int     `json:"latency_samples"`
+}
+
+// Snapshot returns a consistent copy of the counters with derived
+// aggregates (mean batch size, windowed latency percentiles,
+// whole-lifetime throughput).
+func (m *Metrics) Snapshot() Stats {
+	m.mu.Lock()
+	s := Stats{
+		UptimeSec: time.Since(m.start).Seconds(),
+		Accepted:  m.accepted,
+		Rejected:  m.rejected,
+		Expired:   m.expired,
+		Served:    m.served,
+		Failed:    m.failed,
+		Batches:   m.batches,
+		BatchHist: append([]int64(nil), m.batchHist...),
+	}
+	if m.batches > 0 {
+		s.MeanBatch = float64(m.batchSum) / float64(m.batches)
+	}
+	if s.UptimeSec > 0 {
+		s.ThroughputRPS = float64(m.served) / s.UptimeSec
+	}
+	lats := append([]time.Duration(nil), m.latencies...)
+	depth := m.queueDepth
+	m.mu.Unlock()
+
+	if depth != nil {
+		s.QueueDepth = depth()
+	}
+	s.LatencySamples = len(lats)
+	if len(lats) > 0 {
+		sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+		var sum time.Duration
+		for _, d := range lats {
+			sum += d
+		}
+		s.LatencyMeanMS = float64(sum.Nanoseconds()) / float64(len(lats)) / 1e6
+		s.LatencyP50MS = float64(percentile(lats, 50).Nanoseconds()) / 1e6
+		s.LatencyP99MS = float64(percentile(lats, 99).Nanoseconds()) / 1e6
+	}
+	return s
+}
+
+// percentile reads the p-th percentile (nearest-rank) from a sorted
+// sample set.
+func percentile(sorted []time.Duration, p int) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	rank := (p*len(sorted) + 99) / 100
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > len(sorted) {
+		rank = len(sorted)
+	}
+	return sorted[rank-1]
+}

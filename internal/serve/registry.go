@@ -1,0 +1,156 @@
+package serve
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+
+	"pbqpdnn/internal/cost"
+	"pbqpdnn/internal/dnn"
+	"pbqpdnn/internal/dnn/models"
+	"pbqpdnn/internal/exec"
+	"pbqpdnn/internal/selector"
+)
+
+// Config configures model loading for a Registry.
+type Config struct {
+	// Threads is the selection-time thread budget per engine (the
+	// engine itself caps its pool at GOMAXPROCS). Default: GOMAXPROCS.
+	Threads int
+
+	// Prof prices primitives and transforms during plan selection.
+	// Default: the analytic Intel Haswell model. A deployment can pass
+	// a cost.Table loaded from a serialized profile (examples/deploy's
+	// §4 story) so the PBQP solve uses on-device measurements without
+	// ever executing a primitive at startup.
+	Prof cost.Profiler
+
+	// Batch tunes every model's dynamic batcher.
+	Batch BatchOptions
+}
+
+func (c *Config) defaults() {
+	if c.Threads < 1 {
+		c.Threads = runtime.GOMAXPROCS(0)
+	}
+	if c.Prof == nil {
+		c.Prof = cost.NewModel(cost.IntelHaswell)
+	}
+}
+
+// Model is one served network: its graph, the PBQP-selected plan, the
+// engine compiled from it (shared by all requests), and the dynamic
+// batcher feeding that engine.
+type Model struct {
+	Name    string
+	Net     *dnn.Graph
+	Plan    *selector.Plan
+	Weights *exec.Weights
+	Engine  *exec.Engine
+	Batcher *Batcher
+	Metrics *Metrics
+
+	InC, InH, InW    int // network input shape
+	OutC, OutH, OutW int // network output shape
+}
+
+// LoadModel builds, selects, and compiles one named network (see
+// models.Names) and wraps it in a running batcher. Selection and
+// engine compilation happen exactly once, here; serving shares the
+// result across every request.
+func LoadModel(name string, cfg Config) (*Model, error) {
+	cfg.defaults()
+	net, err := models.Build(name)
+	if err != nil {
+		return nil, err
+	}
+	plan, err := selector.Select(net, selector.Options{Prof: cfg.Prof, Threads: cfg.Threads})
+	if err != nil {
+		return nil, fmt.Errorf("serve: selecting plan for %s: %w", name, err)
+	}
+	w := exec.NewWeights(net)
+	eng, err := exec.NewEngine(plan, w)
+	if err != nil {
+		return nil, fmt.Errorf("serve: compiling %s: %w", name, err)
+	}
+	met := NewMetrics()
+	m := &Model{
+		Name:    name,
+		Net:     net,
+		Plan:    plan,
+		Weights: w,
+		Engine:  eng,
+		Batcher: NewBatcher(eng.RunBatch, cfg.Batch, met),
+		Metrics: met,
+	}
+	in := net.Layers[0]
+	m.InC, m.InH, m.InW = in.OutC, in.OutH, in.OutW
+	out := net.Layers[len(net.Layers)-1]
+	m.OutC, m.OutH, m.OutW = out.OutC, out.OutH, out.OutW
+	return m, nil
+}
+
+// Registry hosts multiple named models behind one server process.
+type Registry struct {
+	mu     sync.RWMutex
+	models map[string]*Model
+}
+
+// NewRegistry loads every named model. On any failure it closes the
+// models already loaded and returns the error.
+func NewRegistry(names []string, cfg Config) (*Registry, error) {
+	r := &Registry{models: make(map[string]*Model, len(names))}
+	for _, name := range names {
+		if _, ok := r.models[name]; ok {
+			continue
+		}
+		m, err := LoadModel(name, cfg)
+		if err != nil {
+			r.Close()
+			return nil, err
+		}
+		r.models[name] = m
+	}
+	return r, nil
+}
+
+// Get returns the named model, if hosted.
+func (r *Registry) Get(name string) (*Model, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	m, ok := r.models[name]
+	return m, ok
+}
+
+// Names lists hosted models in sorted order.
+func (r *Registry) Names() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	names := make([]string, 0, len(r.models))
+	for n := range r.models {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Close drains every model's batcher (graceful shutdown: admitted
+// requests complete, new ones get ErrClosed).
+func (r *Registry) Close() {
+	r.mu.RLock()
+	ms := make([]*Model, 0, len(r.models))
+	for _, m := range r.models {
+		ms = append(ms, m)
+	}
+	r.mu.RUnlock()
+	var wg sync.WaitGroup
+	for _, m := range ms {
+		wg.Add(1)
+		go func(m *Model) {
+			defer wg.Done()
+			m.Batcher.Close()
+		}(m)
+	}
+	wg.Wait()
+}
