@@ -359,7 +359,7 @@ func benchEngineBatch(b *testing.B, g *dnn.Graph, batch, threads int) {
 		}
 	})
 	b.Run(fmt.Sprintf("engine-runbatch-%dworkers", threads), func(b *testing.B) {
-		eng, err := exec.NewEngine(plan, w)
+		eng, err := exec.NewEngineBatch(plan, w, batch)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -411,20 +411,22 @@ func BenchmarkEngineBatch8ResNet18(b *testing.B) {
 	benchEngineBatch(b, g, 8, 4)
 }
 
-// benchCompiledBatch measures the compiled engine alone — construction
+// benchCompiledBatch measures the two compiled execution paths against
+// each other on the same legalized plan and minibatch — construction
 // (plan → Program IR with static memory plan) outside the loop,
-// RunBatch inside — and attaches the compiled program's size metrics.
-// These benchmarks hold the IR-executing engine to the bar set by the
-// BenchmarkEngineBatch8* comparisons: BenchmarkCompiledBatch8GoogLeNet
-// must not be slower than BenchmarkEngineBatch8GoogLeNet's
-// engine-runbatch series.
+// RunBatch inside:
+//
+//   - per-image-compiled: the batch-1 program looped over the images
+//     (convolution outputs primitive-allocated, kernels per image);
+//   - batched-compiled: the batch-N program executing the whole
+//     minibatch per instruction (batched kernels, N-scaled slot frame).
+//
+// The batched series carries the compiled program's size metrics. CI
+// runs both at -benchtime 1x so the batched-vs-per-image trajectory is
+// visible per commit.
 func benchCompiledBatch(b *testing.B, g *dnn.Graph, batch, threads int) {
 	w := exec.NewWeights(g)
 	plan, err := selector.Select(g, selector.Options{Prof: cost.NewModel(cost.IntelHaswell), Threads: threads})
-	if err != nil {
-		b.Fatal(err)
-	}
-	eng, err := exec.NewEngine(plan, w)
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -434,22 +436,44 @@ func benchCompiledBatch(b *testing.B, g *dnn.Graph, batch, threads int) {
 		inputs[i] = tensor.New(tensor.CHW, l.OutC, l.OutH, l.OutW)
 		inputs[i].FillRandom(int64(i + 1))
 	}
-	if _, err := eng.RunBatch(inputs[:1]); err != nil { // warm the arena
-		b.Fatal(err)
-	}
-	b.ReportAllocs()
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		if _, err := eng.RunBatch(inputs); err != nil {
+	b.Run("per-image-compiled", func(b *testing.B) {
+		eng, err := exec.NewEngine(plan, w)
+		if err != nil {
 			b.Fatal(err)
 		}
-	}
-	b.StopTimer()
-	s := eng.Program().Stats
-	b.ReportMetric(float64(s.Instructions), "instrs")
-	b.ReportMetric(float64(s.Slots), "slots")
-	b.ReportMetric(float64(s.InPlace), "in-place")
-	b.ReportMetric(float64(s.PeakBytes)/(1<<20), "peak-MB")
+		if _, err := eng.RunBatch(inputs[:1]); err != nil { // warm the arena
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := eng.RunBatch(inputs); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("batched-compiled", func(b *testing.B) {
+		eng, err := exec.NewEngineBatch(plan, w, batch)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := eng.RunBatch(inputs); err != nil { // warm the arena
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := eng.RunBatch(inputs); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.StopTimer()
+		s := eng.Program().Stats
+		b.ReportMetric(float64(s.Instructions), "instrs")
+		b.ReportMetric(float64(s.Slots), "slots")
+		b.ReportMetric(float64(s.InPlace), "in-place")
+		b.ReportMetric(float64(s.PeakBytes)/(1<<20), "peak-MB")
+	})
 }
 
 // BenchmarkCompiledBatch8SmallNet is the quick-iteration compiled

@@ -45,12 +45,13 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("dnnbench: ")
 	exp := flag.String("exp", "all",
-		"experiment: table1, table2, table3, fig2, fig4, fig5, fig6, fig7a, fig7b, solver, sparsity, minibatch, trends, all")
-	threads := flag.Int("threads", 4, "execution thread budget for the minibatch experiment's batched engine")
-	batch := flag.String("batch", "1,2,4,8,16", "comma-separated minibatch sizes for the minibatch experiment")
-	jsonOut := flag.Bool("json", false, "emit machine-readable JSON records (supported by -exp minibatch)")
+		"experiment: table1, table2, table3, fig2, fig4, fig5, fig6, fig7a, fig7b, solver, sparsity, minibatch, trends, all; "+
+			"plus batchsweep (excluded from 'all': it executes -net at every -batch size, minutes on the full models)")
+	threads := flag.Int("threads", 4, "execution thread budget for the minibatch/batchsweep engines")
+	batch := flag.String("batch", "1,2,4,8,16", "comma-separated minibatch sizes for the minibatch/batchsweep experiments")
+	jsonOut := flag.Bool("json", false, "emit machine-readable JSON records (supported by -exp minibatch and -exp batchsweep)")
 	dump := flag.Bool("dump-program", false, "compile -net under -strategy and print the Program IR (instructions + memory plan), then exit")
-	netName := flag.String("net", "googlenet", "network for -dump-program (alexnet, vgg-b/c/d/e, googlenet, resnet-18)")
+	netName := flag.String("net", "googlenet", "network for -dump-program and -exp batchsweep (alexnet, vgg-b/c/d/e, googlenet, resnet-18, smallnet, micronet)")
 	strategy := flag.String("strategy", "pbqp",
 		"selection strategy for -dump-program: pbqp, baseline, local-opt, no-edge-cost, mkldnn, armcl, caffe, direct, im2, kn2, winograd, fft")
 	flag.Parse()
@@ -140,6 +141,17 @@ func main() {
 			fmt.Print(experiments.FormatMinibatchSweep(pts))
 			return nil
 		},
+		"batchsweep": func() error {
+			pts, err := experiments.BatchSweep(*netName, *threads, batches)
+			if err != nil {
+				return err
+			}
+			if *jsonOut {
+				return writeBatchSweepJSON(pts)
+			}
+			fmt.Print(experiments.FormatBatchSweep(pts))
+			return nil
+		},
 		"trends": func() error {
 			ts, err := experiments.CheckTrends()
 			if err != nil {
@@ -159,8 +171,8 @@ func main() {
 	order := []string{"table1", "fig2", "fig4", "fig5", "fig6", "fig7a", "fig7b",
 		"table2", "table3", "solver", "sparsity", "minibatch", "trends"}
 
-	if *jsonOut && *exp != "minibatch" {
-		log.Fatalf("-json is supported for -exp minibatch (got -exp %s)", *exp)
+	if *jsonOut && *exp != "minibatch" && *exp != "batchsweep" {
+		log.Fatalf("-json is supported for -exp minibatch and -exp batchsweep (got -exp %s)", *exp)
 	}
 	if *exp == "all" {
 		for _, name := range order {
@@ -208,6 +220,43 @@ func writeBenchJSON(pts []experiments.MinibatchPoint, threads int) error {
 			TotalNs:    p.WallTotalMS * 1e6,
 			ModelMSOp:  p.PerImageMS,
 			ModelMSTot: p.TotalMS,
+		}
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	return enc.Encode(recs)
+}
+
+// batchSweepRecord is one machine-readable batched-vs-per-image
+// measurement: the schema CI archives per commit so the batching
+// speedup is diffable across the project's history.
+type batchSweepRecord struct {
+	Benchmark       string  `json:"benchmark"`
+	Net             string  `json:"net"`
+	Batch           int     `json:"batch"`
+	Threads         int     `json:"threads"`
+	NsPerOp         float64 `json:"ns_per_op"`           // batched engine, wall ns per image
+	PerImageNsPerOp float64 `json:"per_image_ns_per_op"` // batch-1 engine looped, wall ns per image
+	BatchedSpeedupX float64 `json:"batched_speedup_x"`
+	BatchedTotalNs  float64 `json:"batched_total_ns"`
+	PerImageTotalNs float64 `json:"per_image_total_ns"`
+}
+
+// writeBatchSweepJSON emits the batched-vs-per-image sweep as one JSON
+// array of records.
+func writeBatchSweepJSON(pts []experiments.BatchSweepPoint) error {
+	recs := make([]batchSweepRecord, len(pts))
+	for i, p := range pts {
+		recs[i] = batchSweepRecord{
+			Benchmark:       "batchsweep",
+			Net:             p.Net,
+			Batch:           p.Batch,
+			Threads:         p.Threads,
+			NsPerOp:         p.BatchedNsPerImage,
+			PerImageNsPerOp: p.PerImageNsPerImage,
+			BatchedSpeedupX: p.SpeedupX,
+			BatchedTotalNs:  p.BatchedNsPerImage * float64(p.Batch),
+			PerImageTotalNs: p.PerImageNsPerImage * float64(p.Batch),
 		}
 	}
 	enc := json.NewEncoder(os.Stdout)

@@ -6,11 +6,15 @@
 // costs.
 //
 // Beyond the paper, the runtime grew a batched, branch-parallel
-// execution engine (internal/exec.Engine): a dependency-counting DAG
-// scheduler over a worker pool, a size-keyed buffer arena, and
-// layout-specialized operator fast paths, verified against the
+// execution engine (internal/exec.Engine) over a compiled Program IR
+// in which the minibatch is a first-class dimension: batched kernels
+// (tall-GEMM im2row/im2col, batch-amortized Winograd), an N-scaled
+// static memory plan, a dependency-counting DAG scheduler over a
+// worker pool, and a size-keyed buffer arena — verified against the
 // sequential reference executor on AlexNet, VGG, GoogleNet and
-// ResNet-18.
+// ResNet-18 at batch sizes 1, 3 and 8. An online serving layer
+// (internal/serve) dispatches dynamically formed minibatches into a
+// per-batch-size program cache.
 //
 // See README.md for the architecture overview and how to run the
 // dnnbench command, DESIGN.md for the system inventory and experiment

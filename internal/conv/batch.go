@@ -1,0 +1,299 @@
+package conv
+
+import (
+	"fmt"
+
+	"pbqpdnn/internal/gemm"
+	"pbqpdnn/internal/tensor"
+	"pbqpdnn/internal/winograd"
+)
+
+// This file holds the minibatch entry points of the primitive library.
+// Where Run computes one image, RunBatchInto computes a whole N-image
+// batch in one call, writing into a caller-provided destination batch —
+// the contract the compiled batched program (internal/program) binds
+// its conv instructions to. Batched implementations restructure the
+// work so the minibatch buys kernel-level economy, not just repetition:
+//
+//   - im2row: all N images' patch rows stack into one tall Toeplitz
+//     matrix feeding a single GEMM whose output rows ARE the HWC batch
+//     slab (for 1×1/stride-1 convolutions the input batch slab IS the
+//     patch matrix, so the whole layer is exactly one GEMM call);
+//   - im2col: images lie side by side as column blocks of one wide
+//     patch matrix, one GEMM, then a per-image writeback;
+//   - wino2d: the kernel transform is computed once for the batch and
+//     the pointwise stage becomes one M×(C)·(C×tiles·N) GEMM per
+//     Winograd-domain point — the transformed kernel is amortized over
+//     every tile of every image.
+//
+// Primitives without a batched implementation fall back to per-image
+// Run, parallelized across images.
+
+// checkBatch validates the batched call's geometry against the
+// scenario and the primitive's layouts.
+func checkBatch(p *Primitive, dst, in *tensor.Batch, k *Kernel, s Scenario) {
+	if in.N != dst.N {
+		panic(fmt.Sprintf("conv: batch size mismatch in=%d dst=%d", in.N, dst.N))
+	}
+	if in.Layout != p.In || dst.Layout != p.Out {
+		panic(fmt.Sprintf("conv: %s expects %s→%s, got %s→%s", p.Name, p.In, p.Out, in.Layout, dst.Layout))
+	}
+	if err := s.Validate(); err != nil {
+		panic(err)
+	}
+	if in.C != s.C || in.H != s.H || in.W != s.W {
+		panic(fmt.Sprintf("conv: input %s does not match scenario %s", in, s))
+	}
+	if dst.C != s.M || dst.H != s.OutH() || dst.W != s.OutW() {
+		panic(fmt.Sprintf("conv: dst %s does not match scenario %s", dst, s))
+	}
+	if k.M != s.M || k.C != s.C || k.K != s.K {
+		panic(fmt.Sprintf("conv: kernel M=%d C=%d K=%d does not match scenario %s", k.M, k.C, k.K, s))
+	}
+}
+
+// RunBatchInto executes the primitive over the whole minibatch,
+// writing image i's output into dst.Image(i). It dispatches to the
+// primitive's batched implementation when one exists; otherwise each
+// image runs through the per-image Run (in parallel across images when
+// threads allow) and is copied into its destination slab.
+func RunBatchInto(p *Primitive, dst, in *tensor.Batch, k *Kernel, s Scenario, threads int) {
+	checkBatch(p, dst, in, k, s)
+	if p.RunBatch != nil {
+		p.RunBatch(dst, in, k, s, threads)
+		return
+	}
+	if in.N == 1 {
+		out := p.Run(in.Image(0), k, s, threads)
+		copy(dst.Slab(0), out.Data)
+		return
+	}
+	parallelFor(threads, in.N, func(i int) {
+		out := p.Run(in.Image(i), k, s, 1)
+		copy(dst.Slab(i), out.Data)
+	})
+}
+
+// gemmKernel runs one C = A·B multiply with the plan-selected kernel
+// variant (bt, when non-nil, is B pre-transposed for the abt variant).
+// All variants accumulate over k in the same order, so they agree
+// bitwise — the variants differ in traversal and blocking only.
+func gemmKernel(kind gemmKind, m, n, k int, a, b, bt, c []float32) {
+	switch kind {
+	case gemmNaive:
+		gemm.Naive(m, n, k, a, b, c)
+	case gemmBlocked:
+		gemm.Blocked(m, n, k, 0, a, b, c)
+	case gemmTransB:
+		gemm.TransB(m, n, k, a, bt, c)
+	default:
+		gemm.IKJ(m, n, k, a, b, c)
+	}
+}
+
+// gemmRows runs C = A·B splitting A's rows across the thread budget,
+// each worker applying the plan-selected kernel variant to its
+// contiguous row slab — the batched split preserves what the PBQP
+// cost model priced, unlike collapsing every variant to one parallel
+// kernel.
+func gemmRows(kind gemmKind, threads, m, n, k int, a, b, bt, c []float32) {
+	if threads > m {
+		threads = m
+	}
+	if threads <= 1 {
+		gemmKernel(kind, m, n, k, a, b, bt, c)
+		return
+	}
+	rows := (m + threads - 1) / threads
+	var slabs [][2]int
+	for lo := 0; lo < m; lo += rows {
+		hi := lo + rows
+		if hi > m {
+			hi = m
+		}
+		slabs = append(slabs, [2]int{lo, hi})
+	}
+	parallelFor(threads, len(slabs), func(i int) {
+		lo, hi := slabs[i][0], slabs[i][1]
+		gemmKernel(kind, hi-lo, n, k, a[lo*k:], b, bt, c[lo*n:])
+	})
+}
+
+// im2rowBatch builds the batched im2row entry: one tall patch matrix
+// (N·Ho·Wo)×(C·K²) — the input batch slab itself for 1×1/stride-1 —
+// and one GEMM writing directly into the HWC output batch slab.
+func im2rowBatch(kind gemmKind) func(dst, in *tensor.Batch, k *Kernel, s Scenario, threads int) {
+	return func(dst, in *tensor.Batch, k *Kernel, s Scenario, threads int) {
+		oh, ow := s.OutH(), s.OutW()
+		rowsPerImage := oh * ow
+		m, n, kk := in.N*rowsPerImage, s.M, s.K*s.K*s.C
+		var patches []float32
+		if s.K == 1 && s.Stride == 1 && s.Pad == 0 {
+			// A 1×1 window at stride 1 makes every HWC pixel row its own
+			// patch row: the batch slab is already the Toeplitz matrix.
+			patches = in.Data[:m*kk]
+		} else {
+			patches = make([]float32, m*kk)
+			parallelFor(threads, in.N, func(img int) {
+				im2rowPatchesInto(patches[img*rowsPerImage*kk:(img+1)*rowsPerImage*kk], in.Image(img), s)
+			})
+		}
+		b := kernelMatrixKKC(k) // packed once per batch, not per image
+		var bt []float32
+		if kind == gemmTransB {
+			bt = transposeMat(kk, n, b)
+		}
+		// The patch-row dimension m = N·Ho·Wo is the tall axis, so the
+		// thread split is always by rows, with the selected variant run
+		// on each slab.
+		gemmRows(kind, threads, m, n, kk, patches, b, bt, dst.Data[:m*n])
+	}
+}
+
+// im2colBatch builds the batched im2col entry: images side by side as
+// column blocks of one (C·K²)×(N·Ho·Wo) patch matrix, one GEMM, and a
+// slab writeback de-interleaving the M×(N·Ho·Wo) result into per-image
+// CHW planes.
+func im2colBatch(kind gemmKind) func(dst, in *tensor.Batch, k *Kernel, s Scenario, threads int) {
+	return func(dst, in *tensor.Batch, k *Kernel, s Scenario, threads int) {
+		oh, ow := s.OutH(), s.OutW()
+		colsPerImage := oh * ow
+		m, n, kk := s.M, in.N*colsPerImage, s.C*s.K*s.K
+		patches := make([]float32, kk*n)
+		parallelFor(threads, in.N, func(img int) {
+			im2colPatchesIntoCols(patches, n, img*colsPerImage, in.Image(img), s)
+		})
+		a := kernelMatrixMCK(k)
+		// The M×(N·Ho·Wo) result interleaves images within each filter
+		// row, so N > 1 needs a de-interleaving writeback; a single-image
+		// chunk is exactly the CHW output slab and GEMMs straight into it.
+		flat := dst.Slab(0)
+		if in.N > 1 {
+			flat = make([]float32, m*n)
+		}
+		if threads > 1 && m < threads {
+			// Too few filter rows to feed the pool: split the batch-wide
+			// column axis instead. ParallelCols is ikj-based, so this
+			// (rare) shape collapses the kernel variant; row counts M ≥
+			// threads — every real model here — keep the selected one.
+			gemm.ParallelCols(threads, m, n, kk, a, patches, flat)
+		} else {
+			var pt []float32
+			if kind == gemmTransB {
+				pt = transposeMat(kk, n, patches)
+			}
+			gemmRows(kind, threads, m, n, kk, a, patches, pt, flat)
+		}
+		if in.N == 1 {
+			return
+		}
+		parallelFor(threads, in.N, func(img int) {
+			slab := dst.Slab(img)
+			for mm := 0; mm < m; mm++ {
+				copy(slab[mm*colsPerImage:(mm+1)*colsPerImage],
+					flat[mm*n+img*colsPerImage:mm*n+(img+1)*colsPerImage])
+			}
+		})
+	}
+}
+
+// wino2DBatch builds the batched 2D Winograd entry. The kernel
+// transform runs once per call and is shared by every tile of every
+// image; the pointwise stage is restructured from per-tile channel
+// loops into one GEMM per Winograd-domain point. The VF4/VF8 lane
+// variants of the per-image primitive deliberately share this one
+// batched implementation: the GEMM subsumes lane blocking, so the
+// vector factor only differentiates the cost model's pricing, not the
+// batched execution.
+//
+// The pointwise stage per Winograd-domain point i is
+//
+//	Y_i[M×T] = U_i[M×C] · V_i[C×T],  T = N · tilesY · tilesX,
+//
+// so the transformed kernel panel U_i is streamed over the whole
+// minibatch's tiles at once. Transforms stay in float64 (numerical
+// headroom, as in the per-image primitive); the pointwise accumulation
+// runs in float32 like the GEMM-backed families.
+func wino2DBatch(m, r int, layout tensor.Layout) func(dst, in *tensor.Batch, k *Kernel, s Scenario, threads int) {
+	plan := winograd.NewPlan(m, r)
+	return func(dst, in *tensor.Batch, kern *Kernel, s Scenario, threads int) {
+		if s.Stride != 1 || s.K != r {
+			panic(fmt.Sprintf("wino2d F(%d,%d): unsupported scenario %s", m, r, s))
+		}
+		oh, ow := s.OutH(), s.OutW()
+		t := plan.T
+		tt := t * t
+		tilesY := (oh + m - 1) / m
+		tilesX := (ow + m - 1) / m
+		tilesPerImage := tilesY * tilesX
+		T := in.N * tilesPerImage
+		M, C := s.M, s.C
+
+		// Kernel transform once per batch: U[i] is an M×C row-major panel.
+		u := make([]float32, tt*M*C)
+		g := make([]float32, r*r)
+		for mm := 0; mm < M; mm++ {
+			for c := 0; c < C; c++ {
+				for kh := 0; kh < r; kh++ {
+					for kw := 0; kw < r; kw++ {
+						g[kh*r+kw] = kern.At(mm, c, kh, kw)
+					}
+				}
+				uk := plan.KernelTransform2D(g)
+				for i := 0; i < tt; i++ {
+					u[i*M*C+mm*C+c] = float32(uk[i])
+				}
+			}
+		}
+
+		// Input transform: V[i] is a C×T row-major panel; tile columns
+		// are image-major so each image's tiles stay contiguous.
+		v := make([]float32, tt*C*T)
+		parallelFor(threads, in.N, func(img int) {
+			d := make([]float64, tt)
+			src := in.Image(img)
+			for c := 0; c < C; c++ {
+				for ty := 0; ty < tilesY; ty++ {
+					for tx := 0; tx < tilesX; tx++ {
+						gatherTile2D(src, c, ty*m, tx*m, t, s.Pad, d)
+						vt := plan.InputTransform2D(d)
+						col := img*tilesPerImage + ty*tilesX + tx
+						for i := 0; i < tt; i++ {
+							v[i*C*T+c*T+col] = float32(vt[i])
+						}
+					}
+				}
+			}
+		})
+
+		// Pointwise stage: tt independent GEMMs (one per Winograd-domain
+		// point) — the batch's parallelism axis.
+		y := make([]float32, tt*M*T)
+		parallelFor(threads, tt, func(i int) {
+			gemm.Blocked(M, T, C, 0, u[i*M*C:(i+1)*M*C], v[i*C*T:(i+1)*C*T], y[i*M*T:(i+1)*M*T])
+		})
+
+		// Output transform and scatter into per-image tiles.
+		parallelFor(threads, in.N, func(img int) {
+			sum := make([]float64, tt)
+			out := dst.Image(img)
+			for mm := 0; mm < M; mm++ {
+				for ty := 0; ty < tilesY; ty++ {
+					for tx := 0; tx < tilesX; tx++ {
+						col := img*tilesPerImage + ty*tilesX + tx
+						for i := 0; i < tt; i++ {
+							sum[i] = float64(y[i*M*T+mm*T+col])
+						}
+						yv := plan.OutputTransform2D(sum)
+						y0, x0 := ty*m, tx*m
+						for i := 0; i < m && y0+i < oh; i++ {
+							for j := 0; j < m && x0+j < ow; j++ {
+								out.Set(mm, y0+i, x0+j, float32(yv[i*m+j]))
+							}
+						}
+					}
+				}
+			}
+		})
+	}
+}

@@ -218,6 +218,14 @@ type Primitive struct {
 	// In; the result is produced in layout Out. threads ≤ 1 means
 	// single-threaded.
 	Run func(in *tensor.Tensor, k *Kernel, s Scenario, threads int) *tensor.Tensor
+
+	// RunBatch, when non-nil, executes the convolution over a whole
+	// minibatch in one call, writing into the caller-provided dst batch
+	// (same layout/shape contract as Run, batched). Batched entries
+	// amortize per-call kernel packing across the minibatch and feed
+	// batch-wide matrices to GEMM; primitives without one fall back to
+	// per-image Run via RunBatchInto.
+	RunBatch func(dst, in *tensor.Batch, k *Kernel, s Scenario, threads int)
 }
 
 // Supports reports whether the primitive can legally implement the
@@ -251,6 +259,12 @@ func (p *Primitive) Supports(s Scenario) bool {
 func (p *Primitive) String() string {
 	return fmt.Sprintf("%s{%s→%s}", p.Name, p.In, p.Out)
 }
+
+// ParallelFor runs fn(i) for i in [0, n) across at most `threads`
+// goroutines — the fork-join helper shared by the primitive library
+// and the batched layer kernels in internal/program, so there is one
+// chunking implementation to maintain.
+func ParallelFor(threads, n int, fn func(i int)) { parallelFor(threads, n, fn) }
 
 // parallelFor runs fn(i) for i in [0,n) across `threads` goroutines.
 // With threads ≤ 1 it degenerates to a plain loop.

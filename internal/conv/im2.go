@@ -13,15 +13,23 @@ import (
 
 // im2colPatches builds the (C·K²)×(Ho·Wo) patch matrix from CHW input.
 func im2colPatches(in *tensor.Tensor, s Scenario) []float32 {
+	cols := s.OutH() * s.OutW()
+	p := make([]float32, s.C*s.K*s.K*cols)
+	im2colPatchesIntoCols(p, cols, 0, in, s)
+	return p
+}
+
+// im2colPatchesIntoCols writes one image's patch columns into the
+// column block starting at colOff of a (C·K²)×totalCols matrix. The
+// zero-filled destination is assumed (the builder only writes in-range
+// taps); batched im2col lays images side by side as column blocks.
+func im2colPatchesIntoCols(p []float32, totalCols, colOff int, in *tensor.Tensor, s Scenario) {
 	oh, ow := s.OutH(), s.OutW()
-	cols := oh * ow
-	rows := s.C * s.K * s.K
-	p := make([]float32, rows*cols)
 	for c := 0; c < s.C; c++ {
 		for kh := 0; kh < s.K; kh++ {
 			for kw := 0; kw < s.K; kw++ {
 				r := (c*s.K+kh)*s.K + kw
-				dst := p[r*cols : r*cols+cols]
+				dst := p[r*totalCols+colOff : r*totalCols+colOff+oh*ow]
 				i := 0
 				for y := 0; y < oh; y++ {
 					ih := y*s.Stride - s.Pad + kh
@@ -36,16 +44,22 @@ func im2colPatches(in *tensor.Tensor, s Scenario) []float32 {
 			}
 		}
 	}
-	return p
 }
 
 // im2rowPatches builds the (Ho·Wo)×(C·K²) patch matrix from HWC input,
 // with the channel dimension innermost to match the layout.
 func im2rowPatches(in *tensor.Tensor, s Scenario) []float32 {
+	p := make([]float32, s.OutH()*s.OutW()*s.K*s.K*s.C)
+	im2rowPatchesInto(p, in, s)
+	return p
+}
+
+// im2rowPatchesInto writes the (Ho·Wo)×(C·K²) patch matrix into p,
+// which must be zero-filled and exactly sized. Batched im2row stacks
+// one image's row block after another in a tall patch matrix.
+func im2rowPatchesInto(p []float32, in *tensor.Tensor, s Scenario) {
 	oh, ow := s.OutH(), s.OutW()
-	rows := oh * ow
 	cols := s.K * s.K * s.C
-	p := make([]float32, rows*cols)
 	for y := 0; y < oh; y++ {
 		for x := 0; x < ow; x++ {
 			r := y*ow + x
@@ -63,7 +77,6 @@ func im2rowPatches(in *tensor.Tensor, s Scenario) []float32 {
 			}
 		}
 	}
-	return p
 }
 
 // kernelMatrixMCK reshapes the kernel to M×(C·K²) rows (matches im2col
@@ -271,14 +284,14 @@ func im2Workspace(s Scenario) int64 {
 func im2Primitives() []*Primitive {
 	ws := im2Workspace
 	return []*Primitive{
-		{Name: "im2col-ab", Family: FamilyIm2, In: tensor.CHW, Out: tensor.CHW, VF: 4, Strided: true, Workspace: ws, Run: im2col(gemmIKJ)},
-		{Name: "im2col-abt", Family: FamilyIm2, In: tensor.CHW, Out: tensor.CHW, VF: 4, Strided: true, Workspace: ws, Run: im2col(gemmTransB)},
-		{Name: "im2col-blk", Family: FamilyIm2, In: tensor.CHW, Out: tensor.CHW, VF: 8, Strided: true, Workspace: ws, Run: im2col(gemmBlocked)},
-		{Name: "im2col-naive", Family: FamilyIm2, In: tensor.CHW, Out: tensor.CHW, VF: 1, Strided: true, Workspace: ws, Run: im2col(gemmNaive)},
-		{Name: "im2row-ab", Family: FamilyIm2, In: tensor.HWC, Out: tensor.HWC, VF: 4, Strided: true, Workspace: ws, Run: im2row(gemmIKJ)},
-		{Name: "im2row-abt", Family: FamilyIm2, In: tensor.HWC, Out: tensor.HWC, VF: 4, Strided: true, Workspace: ws, Run: im2row(gemmTransB)},
-		{Name: "im2row-blk", Family: FamilyIm2, In: tensor.HWC, Out: tensor.HWC, VF: 8, Strided: true, Workspace: ws, Run: im2row(gemmBlocked)},
-		{Name: "im2row-naive", Family: FamilyIm2, In: tensor.HWC, Out: tensor.HWC, VF: 1, Strided: true, Workspace: ws, Run: im2row(gemmNaive)},
+		{Name: "im2col-ab", Family: FamilyIm2, In: tensor.CHW, Out: tensor.CHW, VF: 4, Strided: true, Workspace: ws, Run: im2col(gemmIKJ), RunBatch: im2colBatch(gemmIKJ)},
+		{Name: "im2col-abt", Family: FamilyIm2, In: tensor.CHW, Out: tensor.CHW, VF: 4, Strided: true, Workspace: ws, Run: im2col(gemmTransB), RunBatch: im2colBatch(gemmTransB)},
+		{Name: "im2col-blk", Family: FamilyIm2, In: tensor.CHW, Out: tensor.CHW, VF: 8, Strided: true, Workspace: ws, Run: im2col(gemmBlocked), RunBatch: im2colBatch(gemmBlocked)},
+		{Name: "im2col-naive", Family: FamilyIm2, In: tensor.CHW, Out: tensor.CHW, VF: 1, Strided: true, Workspace: ws, Run: im2col(gemmNaive), RunBatch: im2colBatch(gemmNaive)},
+		{Name: "im2row-ab", Family: FamilyIm2, In: tensor.HWC, Out: tensor.HWC, VF: 4, Strided: true, Workspace: ws, Run: im2row(gemmIKJ), RunBatch: im2rowBatch(gemmIKJ)},
+		{Name: "im2row-abt", Family: FamilyIm2, In: tensor.HWC, Out: tensor.HWC, VF: 4, Strided: true, Workspace: ws, Run: im2row(gemmTransB), RunBatch: im2rowBatch(gemmTransB)},
+		{Name: "im2row-blk", Family: FamilyIm2, In: tensor.HWC, Out: tensor.HWC, VF: 8, Strided: true, Workspace: ws, Run: im2row(gemmBlocked), RunBatch: im2rowBatch(gemmBlocked)},
+		{Name: "im2row-naive", Family: FamilyIm2, In: tensor.HWC, Out: tensor.HWC, VF: 1, Strided: true, Workspace: ws, Run: im2row(gemmNaive), RunBatch: im2rowBatch(gemmNaive)},
 		{Name: "im2col-hwcout", Family: FamilyIm2, In: tensor.CHW, Out: tensor.HWC, VF: 4, Strided: true, Workspace: ws, Run: im2colHWCOut},
 		{Name: "im2row-chwout", Family: FamilyIm2, In: tensor.HWC, Out: tensor.CHW, VF: 4, Strided: true, Workspace: ws, Run: im2rowCHWOut},
 		{Name: "im2col-chw4", Family: FamilyIm2, In: tensor.CHW4, Out: tensor.CHW4, VF: 4, Strided: true, MinC: 4, Workspace: ws, Run: im2colBlockedIn},

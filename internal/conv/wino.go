@@ -250,6 +250,7 @@ func winoPrimitives() []*Primitive {
 			WinoM: m, WinoR: r, Wino2D: true,
 			Workspace: winoWorkspace2D(m, r),
 			Run:       wino2D(m, r, vf, layout),
+			RunBatch:  wino2DBatch(m, r, layout),
 		})
 	}
 	add1d := func(m, r, vf int, layout tensor.Layout) {

@@ -4,15 +4,28 @@ package exec
 // Where Run (exec.go) walks the network one layer at a time with a
 // fresh allocation per operator — the correctness oracle — the Engine
 // is the production path. Construction compiles the legalized plan into
-// the Program IR (internal/program): a topologically ordered
-// instruction stream whose kernels, dependency counts and buffer slots
-// are all resolved once, so per-run work is only the layer computations
-// themselves. A dependency-counting DAG scheduler dispatches ready
-// instructions onto a worker pool sized by the plan's Threads budget
-// (so independent inception branches, residual shortcuts, and minibatch
-// images run concurrently), and each image's intermediates live in a
-// statically planned slot frame checked out of the engine's arena —
-// there is no per-task map traffic, type switching, or refcounting.
+// the Program IR (internal/program) for a fixed maximum batch size: a
+// topologically ordered instruction stream whose kernels, dependency
+// counts and buffer slots are all resolved once, with the memory plan
+// sized by N so the whole minibatch executes against one statically
+// planned slot frame.
+//
+// The batch dimension is first-class: each instruction processes the
+// entire minibatch in one kernel call (im2col across N feeding one
+// tall GEMM, the Winograd kernel transform amortized over every
+// image's tiles, slab operators striding over N), rather than the
+// per-image frame loop of the earlier engine, which ran every
+// instruction N times. A dependency-counting DAG scheduler dispatches
+// ready instructions onto a worker pool sized by the plan's Threads
+// budget — independent inception branches and residual shortcuts still
+// run concurrently — and a batched instruction left alone on the pool
+// inherits the whole thread budget, splitting its images, GEMM rows or
+// Winograd points across the idle workers so chain networks cannot
+// strand the budget. The per-image path is retained as the batch-1
+// special case: a maxBatch-1 engine binds the original per-image
+// primitives (convolution outputs primitive-allocated, exactly the old
+// execution), which keeps it both the serving fallback for singleton
+// flushes and the comparison baseline for the batched path.
 
 import (
 	"fmt"
@@ -20,6 +33,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"pbqpdnn/internal/conv"
 	"pbqpdnn/internal/program"
 	"pbqpdnn/internal/selector"
 	"pbqpdnn/internal/tensor"
@@ -27,13 +41,13 @@ import (
 
 // Engine executes one compiled program repeatedly. An Engine is safe
 // for concurrent use — the serving layer (internal/serve) depends on
-// this, and TestEngineConcurrentRunBatch pins it under the race
-// detector. The audit trail for the contract:
+// this. The audit trail for the contract:
 //
-//   - prog, kerns and w are written only during NewEngine and read-only
-//     afterwards;
-//   - every Run/RunBatch call owns its scheduler state (batchState) and
-//     its per-image frames, so calls share no mutable structures;
+//   - prog, kerns and w are written only during construction and
+//     read-only afterwards;
+//   - every RunBatch call owns its scheduler state (batchState),
+//     including its slot-frame buffers, so calls share no mutable
+//     structures;
 //   - the arena, the one shared mutable structure, synchronizes get/put
 //     internally, and frame buffers are returned to it only after the
 //     batch's outputs (always fresh, never slot-backed) are extracted.
@@ -45,43 +59,45 @@ import (
 // each other. Callers wanting one shared dispatch pipeline should
 // multiplex through a single RunBatch stream (serve.Batcher does
 // exactly this).
-//
-// Threading model: the worker pool has plan.Threads workers and
-// primitives run single-threaded inside a task — inter-instruction (and
-// inter-image) parallelism replaces the intra-primitive parallelism
-// Run uses. When the DAG leaves a worker alone (a chain network at
-// batch 1), the scheduler hands that task the full thread budget so no
-// part of the budget idles.
 type Engine struct {
-	prog    *program.Program
-	w       *Weights
-	workers int
+	prog     *program.Program
+	w        *Weights
+	workers  int
+	maxBatch int
 
-	// kerns holds one bound kernel per instruction: the primitive call,
-	// fast-path operator, or fused conversion, with weights and
-	// destination policy resolved at construction.
+	// kerns holds one bound kernel per instruction: the batched (or,
+	// at maxBatch 1, per-image) primitive call, batched layer operator,
+	// or fused conversion, with weights and destination policy resolved
+	// at construction.
 	kerns []kernelFn
 
 	arena *arena
 }
 
-// kernelFn executes one instruction for one image and returns the
-// produced value. input is the image's caller-provided tensor (used by
-// the OpInput kernel only).
-type kernelFn func(fr *frame, input *tensor.Tensor, threads int) (*tensor.Tensor, error)
+// kernelFn executes one instruction over the whole minibatch of one
+// RunBatch chunk and returns the produced batched value.
+type kernelFn func(st *batchState, threads int) (*tensor.Batch, error)
 
-// frame is one image's execution state: the value table, the remaining
-// dependency counts, and the slot buffers of the static memory plan.
-type frame struct {
-	vals []*tensor.Tensor
-	deps []int32
-	bufs [][]float32 // per planned slot, arena-owned
+// NewEngine compiles the plan into the batch-1 Program IR — the
+// per-image execution path. It is NewEngineBatch at maxBatch 1.
+func NewEngine(plan *selector.Plan, w *Weights) (*Engine, error) {
+	return NewEngineBatch(plan, w, 1)
 }
 
-// NewEngine compiles the plan into the Program IR and binds every
-// instruction's kernel.
-func NewEngine(plan *selector.Plan, w *Weights) (*Engine, error) {
-	prog, err := program.Compile(plan)
+// NewEngineBatch compiles the plan into the Program IR for minibatches
+// of up to maxBatch images and binds every instruction's kernel. The
+// memory plan — slot capacities, in-place marks, conv-output slotting —
+// is sized by maxBatch; RunBatch calls with fewer images execute
+// against the same frame (using a prefix of each slot), and calls with
+// more images are split into maxBatch-sized chunks. Serving processes
+// that see several batch sizes should hold one engine per batch-size
+// bucket (serve.Registry does) so every dispatch lands on a
+// pre-planned program.
+func NewEngineBatch(plan *selector.Plan, w *Weights, maxBatch int) (*Engine, error) {
+	if maxBatch < 1 {
+		return nil, fmt.Errorf("exec: invalid max batch %d", maxBatch)
+	}
+	prog, err := program.CompileBatch(plan, maxBatch)
 	if err != nil {
 		return nil, fmt.Errorf("exec: %w", err)
 	}
@@ -97,10 +113,11 @@ func NewEngine(plan *selector.Plan, w *Weights) (*Engine, error) {
 		workers = procs
 	}
 	e := &Engine{
-		prog:    prog,
-		w:       w,
-		workers: workers,
-		arena:   newArena(),
+		prog:     prog,
+		w:        w,
+		workers:  workers,
+		maxBatch: maxBatch,
+		arena:    newArena(),
 	}
 	if err := e.bindKernels(); err != nil {
 		return nil, err
@@ -111,32 +128,37 @@ func NewEngine(plan *selector.Plan, w *Weights) (*Engine, error) {
 // Program exposes the compiled IR (for stats reporting and tests).
 func (e *Engine) Program() *program.Program { return e.prog }
 
-// dst materializes the destination tensor for an out-of-place
+// MaxBatch reports the batch size the program's memory plan was sized
+// for (larger RunBatch calls are chunked).
+func (e *Engine) MaxBatch() int { return e.maxBatch }
+
+// dst materializes the destination batch for an out-of-place
 // instruction: the tenant view of its planned slot, or a fresh
-// caller-owned allocation for the network output. Blocked-layout slot
-// tenants clear the buffer first — their padding lanes must hold zeros
-// and their kernels write only logical elements; plain layouts skip the
-// memset because every physical element is a logical element the
-// kernel overwrites.
-func (e *Engine) dst(fr *frame, ins *program.Instr) *tensor.Tensor {
+// caller-owned allocation for the network output (and, in batch-1
+// programs, nothing — conv outputs there are primitive-allocated and
+// never pass through dst). Blocked-layout slot tenants clear their
+// view first — their padding lanes must hold zeros and their kernels
+// write only logical elements; plain layouts skip the memset because
+// every physical element is a logical element the kernel overwrites.
+func (e *Engine) dst(st *batchState, ins *program.Instr) *tensor.Batch {
 	if ins.Slot == program.NoSlot {
-		return tensor.New(ins.Layout, ins.C, ins.H, ins.W)
+		return tensor.NewBatch(ins.Layout, st.n, ins.C, ins.H, ins.W)
 	}
-	buf := fr.bufs[ins.Slot][:ins.DataLen()]
+	buf := st.bufs[ins.Slot][:ins.DataLen()*st.n]
 	if ins.Layout.BlockSize() > 0 {
 		clear(buf)
 	}
-	return tensor.NewWith(ins.Layout, ins.C, ins.H, ins.W, buf)
+	return tensor.NewBatchWith(ins.Layout, st.n, ins.C, ins.H, ins.W, buf)
 }
 
 // out materializes any instruction's destination, honoring in-place
 // donation: an in-place instruction writes straight into its donor's
-// tensor, which the memory planner proved dead.
-func (e *Engine) out(fr *frame, ins *program.Instr) *tensor.Tensor {
+// batch, which the memory planner proved dead.
+func (e *Engine) out(st *batchState, ins *program.Instr) *tensor.Batch {
 	if ins.Donor >= 0 {
-		return fr.vals[ins.Args[ins.Donor]]
+		return st.vals[ins.Args[ins.Donor]]
 	}
-	return e.dst(fr, ins)
+	return e.dst(st, ins)
 }
 
 // bindKernels resolves every instruction to a closure over its
@@ -149,13 +171,13 @@ func (e *Engine) bindKernels() error {
 		l := ins.Layer
 		switch ins.Op {
 		case program.OpInput:
-			e.kerns[i] = func(fr *frame, input *tensor.Tensor, _ int) (*tensor.Tensor, error) {
+			e.kerns[i] = func(st *batchState, threads int) (*tensor.Batch, error) {
 				// Copy-on-identity into engine-owned storage: outputs and
-				// intermediates must never alias the caller's input.
-				// ConvertInto degenerates to a straight copy when the
+				// intermediates must never alias the caller's inputs.
+				// ConvertInto degenerates to a straight copy when a
 				// caller's layout already matches the plan's.
-				out := e.out(fr, ins)
-				tensor.ConvertInto(out, input)
+				out := e.out(st, ins)
+				program.InputBatchInto(out, st.inputs, threads)
 				return out, nil
 			}
 
@@ -165,70 +187,104 @@ func (e *Engine) bindKernels() error {
 			if k == nil {
 				return fmt.Errorf("exec: no weights for conv layer %q", l.Name)
 			}
-			e.kerns[i] = func(fr *frame, _ *tensor.Tensor, threads int) (*tensor.Tensor, error) {
-				in := fr.vals[ins.Args[0]]
+			// Bind-time geometry validation: the batched kernels write
+			// into engine-provided destinations and treat mismatches as
+			// programming errors (panics), so anything a corrupted plan
+			// or weight set could get wrong must fail engine
+			// construction with an error instead — the behavior the
+			// per-image path's run-time checks gave the serving layer.
+			if sc.M != l.OutC || sc.OutH() != l.OutH || sc.OutW() != l.OutW {
+				return fmt.Errorf("exec: layer %q scenario %s produces %d×%d×%d, layer wants %d×%d×%d",
+					l.Name, sc, sc.M, sc.OutH(), sc.OutW(), l.OutC, l.OutH, l.OutW)
+			}
+			if k.M != sc.M || k.C != sc.C || k.K != sc.K {
+				return fmt.Errorf("exec: layer %q kernel M=%d C=%d K=%d does not match scenario %s",
+					l.Name, k.M, k.C, k.K, sc)
+			}
+			if e.maxBatch == 1 {
+				// The per-image path: the primitive allocates its own
+				// output, exactly as the original engine executed.
+				e.kerns[i] = func(st *batchState, threads int) (*tensor.Batch, error) {
+					in := st.vals[ins.Args[0]].Image(0)
+					if in.Layout != prim.In {
+						return nil, fmt.Errorf("exec: layer %q: got %s input, primitive %s wants %s",
+							l.Name, in.Layout, prim.Name, prim.In)
+					}
+					out := prim.Run(in, k, sc, threads)
+					if out.C != l.OutC || out.H != l.OutH || out.W != l.OutW {
+						return nil, fmt.Errorf("exec: layer %q produced %s, want %d×%d×%d",
+							l.Name, out, l.OutC, l.OutH, l.OutW)
+					}
+					return tensor.NewBatchWith(out.Layout, 1, out.C, out.H, out.W, out.Data), nil
+				}
+				break
+			}
+			e.kerns[i] = func(st *batchState, threads int) (*tensor.Batch, error) {
+				in := st.vals[ins.Args[0]]
 				if in.Layout != prim.In {
 					return nil, fmt.Errorf("exec: layer %q: got %s input, primitive %s wants %s",
 						l.Name, in.Layout, prim.Name, prim.In)
 				}
-				out := prim.Run(in, k, sc, threads)
-				if out.C != l.OutC || out.H != l.OutH || out.W != l.OutW {
-					return nil, fmt.Errorf("exec: layer %q produced %s, want %d×%d×%d",
-						l.Name, out, l.OutC, l.OutH, l.OutW)
+				if in.C != sc.C || in.H != sc.H || in.W != sc.W {
+					return nil, fmt.Errorf("exec: layer %q: input %s does not match scenario %s",
+						l.Name, in, sc)
 				}
+				out := e.out(st, ins)
+				conv.RunBatchInto(prim, out, in, k, sc, threads)
 				return out, nil
 			}
 
 		case program.OpConvert:
 			// The whole legalization chain is a layout permutation, so it
-			// fuses into one specialized ConvertInto with no chain
-			// temporaries. (The plan priced the chain hop by hop, so its
-			// edge cost is an upper bound on this fused execution.)
-			e.kerns[i] = func(fr *frame, _ *tensor.Tensor, _ int) (*tensor.Tensor, error) {
-				out := e.out(fr, ins)
-				tensor.ConvertInto(out, fr.vals[ins.Args[0]])
+			// fuses into one specialized per-image ConvertInto striding
+			// over the batch, with no chain temporaries. (The plan priced
+			// the chain hop by hop, so its edge cost is an upper bound on
+			// this fused execution.)
+			e.kerns[i] = func(st *batchState, threads int) (*tensor.Batch, error) {
+				out := e.out(st, ins)
+				program.ConvertBatchInto(out, st.vals[ins.Args[0]], threads)
 				return out, nil
 			}
 
 		case program.OpReLU:
-			e.kerns[i] = func(fr *frame, _ *tensor.Tensor, _ int) (*tensor.Tensor, error) {
-				out := e.out(fr, ins)
-				program.ReLUInto(out, fr.vals[ins.Args[0]])
+			e.kerns[i] = func(st *batchState, threads int) (*tensor.Batch, error) {
+				out := e.out(st, ins)
+				program.ReLUBatchInto(out, st.vals[ins.Args[0]], threads)
 				return out, nil
 			}
 
 		case program.OpDropout:
 			if ins.Alias {
-				e.kerns[i] = func(fr *frame, _ *tensor.Tensor, _ int) (*tensor.Tensor, error) {
-					return fr.vals[ins.Args[0]], nil
+				e.kerns[i] = func(st *batchState, _ int) (*tensor.Batch, error) {
+					return st.vals[ins.Args[0]], nil
 				}
 				break
 			}
-			e.kerns[i] = func(fr *frame, _ *tensor.Tensor, _ int) (*tensor.Tensor, error) {
-				out := e.out(fr, ins)
-				program.CopyInto(out, fr.vals[ins.Args[0]])
+			e.kerns[i] = func(st *batchState, _ int) (*tensor.Batch, error) {
+				out := e.out(st, ins)
+				program.CopyBatchInto(out, st.vals[ins.Args[0]])
 				return out, nil
 			}
 
 		case program.OpLRN:
-			e.kerns[i] = func(fr *frame, _ *tensor.Tensor, _ int) (*tensor.Tensor, error) {
-				out := e.out(fr, ins)
-				program.LRNInto(out, fr.vals[ins.Args[0]])
+			e.kerns[i] = func(st *batchState, threads int) (*tensor.Batch, error) {
+				out := e.out(st, ins)
+				program.LRNBatchInto(out, st.vals[ins.Args[0]], threads)
 				return out, nil
 			}
 
 		case program.OpMaxPool, program.OpAvgPool:
 			isMax := ins.Op == program.OpMaxPool
-			e.kerns[i] = func(fr *frame, _ *tensor.Tensor, _ int) (*tensor.Tensor, error) {
-				out := e.out(fr, ins)
-				program.PoolInto(out, fr.vals[ins.Args[0]], l, isMax)
+			e.kerns[i] = func(st *batchState, threads int) (*tensor.Batch, error) {
+				out := e.out(st, ins)
+				program.PoolBatchInto(out, st.vals[ins.Args[0]], l, isMax, threads)
 				return out, nil
 			}
 
 		case program.OpSoftmax:
-			e.kerns[i] = func(fr *frame, _ *tensor.Tensor, _ int) (*tensor.Tensor, error) {
-				out := e.out(fr, ins)
-				program.SoftmaxInto(out, fr.vals[ins.Args[0]])
+			e.kerns[i] = func(st *batchState, threads int) (*tensor.Batch, error) {
+				out := e.out(st, ins)
+				program.SoftmaxBatchInto(out, st.vals[ins.Args[0]], threads)
 				return out, nil
 			}
 
@@ -238,24 +294,24 @@ func (e *Engine) bindKernels() error {
 				return fmt.Errorf("exec: no weights for fc layer %q", l.Name)
 			}
 			outN := l.FCOut
-			e.kerns[i] = func(fr *frame, _ *tensor.Tensor, _ int) (*tensor.Tensor, error) {
-				out := e.out(fr, ins)
-				program.FCInto(out, fr.vals[ins.Args[0]], mat, outN)
+			e.kerns[i] = func(st *batchState, threads int) (*tensor.Batch, error) {
+				out := e.out(st, ins)
+				program.FCBatchInto(out, st.vals[ins.Args[0]], mat, outN, threads)
 				return out, nil
 			}
 
 		case program.OpConcat, program.OpAdd:
 			isConcat := ins.Op == program.OpConcat
-			e.kerns[i] = func(fr *frame, _ *tensor.Tensor, _ int) (*tensor.Tensor, error) {
-				ins2 := make([]*tensor.Tensor, len(ins.Args))
+			e.kerns[i] = func(st *batchState, threads int) (*tensor.Batch, error) {
+				ins2 := make([]*tensor.Batch, len(ins.Args))
 				for k, a := range ins.Args {
-					ins2[k] = fr.vals[a]
+					ins2[k] = st.vals[a]
 				}
-				out := e.out(fr, ins)
+				out := e.out(st, ins)
 				if isConcat {
-					program.ConcatInto(out, ins2)
+					program.ConcatBatchInto(out, ins2, threads)
 				} else {
-					program.AddInto(out, ins2)
+					program.AddBatchInto(out, ins2, threads)
 				}
 				return out, nil
 			}
@@ -265,31 +321,6 @@ func (e *Engine) bindKernels() error {
 		}
 	}
 	return nil
-}
-
-// newFrame checks one image's frame out of the arena: slot buffers at
-// the planned capacities plus fresh value/dependency tables.
-func (e *Engine) newFrame() *frame {
-	n := len(e.prog.Instrs)
-	fr := &frame{
-		vals: make([]*tensor.Tensor, n),
-		deps: make([]int32, n),
-		bufs: make([][]float32, len(e.prog.SlotCap)),
-	}
-	for i := range e.prog.Instrs {
-		fr.deps[i] = int32(e.prog.Instrs[i].NumDeps)
-	}
-	for s, cap := range e.prog.SlotCap {
-		fr.bufs[s] = e.arena.get(cap)
-	}
-	return fr
-}
-
-// releaseFrame returns the frame's slot buffers to the arena.
-func (e *Engine) releaseFrame(fr *frame) {
-	for _, buf := range fr.bufs {
-		e.arena.put(buf)
-	}
 }
 
 // Run executes the program on a single image. It is equivalent to
@@ -302,15 +333,14 @@ func (e *Engine) Run(input *tensor.Tensor) (*tensor.Tensor, error) {
 	return outs[0], nil
 }
 
-// RunBatch executes the program on an N-image minibatch, reusing the
-// one compiled program (and the engine's buffer arena) across all
-// images. Every (image, instruction) pair is an independently
-// schedulable task; tasks from different images interleave freely on
-// the worker pool, so the minibatch dimension parallelizes even for
-// chain networks. The returned slice holds each image's output in input
-// order. Outputs honor Run's no-alias contract: they never share
-// storage with the caller's inputs, and they are never recycled —
-// the compiled output instruction is always a fresh allocation.
+// RunBatch executes the program on an N-image minibatch: one batched
+// frame per call, every instruction processing the whole minibatch in
+// one kernel invocation. Calls with more images than the engine's
+// planned maxBatch are split into maxBatch-sized chunks executed in
+// order. The returned slice holds each image's output in input order.
+// Outputs honor Run's no-alias contract: they never share storage with
+// the caller's inputs, and they are never recycled — the compiled
+// output instruction is always a fresh allocation.
 func (e *Engine) RunBatch(inputs []*tensor.Tensor) ([]*tensor.Tensor, error) {
 	if len(inputs) == 0 {
 		return nil, fmt.Errorf("exec: empty batch")
@@ -323,31 +353,97 @@ func (e *Engine) RunBatch(inputs []*tensor.Tensor) ([]*tensor.Tensor, error) {
 				in, il.OutC, il.OutH, il.OutW)
 		}
 	}
+	outs := make([]*tensor.Tensor, 0, len(inputs))
+	for len(inputs) > 0 {
+		n := len(inputs)
+		if n > e.maxBatch {
+			n = e.maxBatch
+		}
+		chunk, err := e.runChunk(inputs[:n])
+		if err != nil {
+			return nil, err
+		}
+		outs = append(outs, chunk...)
+		inputs = inputs[n:]
+	}
+	return outs, nil
+}
 
+// runChunk executes one ≤ maxBatch minibatch against a freshly checked
+// out slot frame.
+func (e *Engine) runChunk(inputs []*tensor.Tensor) ([]*tensor.Tensor, error) {
 	n := len(e.prog.Instrs)
 	st := &batchState{
+		n:      len(inputs),
 		inputs: inputs,
-		frames: make([]*frame, len(inputs)),
-		tasks:  make(chan task, len(inputs)*n),
-		stop:   make(chan struct{}),
-		total:  int64(len(inputs) * n),
+		vals:   make([]*tensor.Batch, n),
+		bufs:   make([][]float32, len(e.prog.SlotCap)),
 	}
-	for img := range inputs {
-		st.frames[img] = e.newFrame()
+	// Slot buffers are checked out at the *planned* capacity — per-image
+	// slot size × maxBatch — regardless of how many images this call
+	// carries. Keeping the checkout size keyed to the batch bucket means
+	// a server alternating between batch sizes recycles the same
+	// buffers instead of churning the allocator (smaller calls simply
+	// use a prefix of each slot).
+	for s, cap := range e.prog.SlotCap {
+		st.bufs[s] = e.arena.get(cap * e.maxBatch)
 	}
-	// Seed the queue: the input instruction of every image is ready at
-	// once — this is what lets a 4-worker pool overlap 4 images of a
-	// chain network from the first dispatch.
-	for img := range inputs {
-		for i := range e.prog.Instrs {
-			if e.prog.Instrs[i].NumDeps == 0 {
-				st.tasks <- task{img: img, instr: i}
-			}
+	defer func() {
+		for _, buf := range st.bufs {
+			e.arena.put(buf)
+		}
+	}()
+
+	var err error
+	if e.workers <= 1 {
+		err = e.runSequential(st)
+	} else {
+		err = e.runParallel(st)
+	}
+	if err != nil {
+		return nil, err
+	}
+	outBatch := st.vals[e.prog.Output]
+	outs := make([]*tensor.Tensor, st.n)
+	for i := range outs {
+		outs[i] = outBatch.Image(i)
+	}
+	return outs, nil
+}
+
+// runSequential executes the instruction stream in topological order on
+// the calling goroutine — the single-worker fast path (no channels, no
+// atomics).
+func (e *Engine) runSequential(st *batchState) error {
+	for i := range e.prog.Instrs {
+		out, err := e.kerns[i](st, 1)
+		if err != nil {
+			return err
+		}
+		st.vals[i] = out
+	}
+	return nil
+}
+
+// runParallel executes the stream with the dependency-counting DAG
+// scheduler: every instruction whose producers have completed is a
+// ready task; independent branches dispatch onto the worker pool
+// concurrently, and a task running alone inherits the whole thread
+// budget for its intra-kernel (image/row/point) split.
+func (e *Engine) runParallel(st *batchState) error {
+	n := len(e.prog.Instrs)
+	st.deps = make([]int32, n)
+	st.tasks = make(chan int, n)
+	st.stop = make(chan struct{})
+	st.total = int64(n)
+	for i := range e.prog.Instrs {
+		st.deps[i] = int32(e.prog.Instrs[i].NumDeps)
+		if e.prog.Instrs[i].NumDeps == 0 {
+			st.tasks <- i
 		}
 	}
-
 	var wg sync.WaitGroup
-	for i := 0; i < e.workers; i++ {
+	for w := 0; w < e.workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
@@ -362,32 +458,20 @@ func (e *Engine) RunBatch(inputs []*tensor.Tensor) ([]*tensor.Tensor, error) {
 		}()
 	}
 	wg.Wait()
-	if err := st.loadErr(); err != nil {
-		for _, fr := range st.frames {
-			e.releaseFrame(fr)
-		}
-		return nil, err
-	}
-	outs := make([]*tensor.Tensor, len(inputs))
-	for img := range inputs {
-		outs[img] = st.frames[img].vals[e.prog.Output]
-		e.releaseFrame(st.frames[img])
-	}
-	return outs, nil
+	return st.loadErr()
 }
 
-// task identifies one unit of schedulable work: one instruction of one
-// image.
-type task struct {
-	img, instr int
-}
-
-// batchState is the per-RunBatch scheduler state.
+// batchState is the per-chunk execution state: the minibatch's value
+// table, the slot buffers of the static memory plan, and (under the
+// parallel scheduler) the remaining dependency counts and task queue.
 type batchState struct {
+	n      int
 	inputs []*tensor.Tensor
-	frames []*frame
+	vals   []*tensor.Batch
+	bufs   [][]float32 // per planned slot, arena-owned
 
-	tasks chan task     // buffered to the task total: sends never block
+	deps  []int32
+	tasks chan int      // buffered to the instruction count: sends never block
 	stop  chan struct{} // closed on completion or first error
 
 	total     int64
@@ -411,25 +495,23 @@ func (st *batchState) loadErr() error {
 	return nil
 }
 
-// runTask executes one (image, instruction) unit and unlocks
-// successors. The heavy lifting — conversions, destination policy,
-// kernel dispatch — was all resolved at compile time; nothing here
-// consults a map or switches on a type.
-func (e *Engine) runTask(st *batchState, t task) {
+// runTask executes one batched instruction and unlocks successors. The
+// heavy lifting — conversions, destination policy, kernel dispatch —
+// was all resolved at compile time; nothing here consults a map or
+// switches on a type.
+func (e *Engine) runTask(st *batchState, t int) {
 	atomic.AddInt32(&st.running, 1)
-	defer atomic.AddInt32(&st.running, -1)
-
-	fr := st.frames[t.img]
-	out, err := e.kerns[t.instr](fr, st.inputs[t.img], e.primThreads(st))
+	out, err := e.kerns[t](st, e.taskThreads(st))
+	atomic.AddInt32(&st.running, -1)
 	if err != nil {
 		st.fail(err)
 		return
 	}
-	fr.vals[t.instr] = out
+	st.vals[t] = out
 
-	for _, s := range e.prog.Instrs[t.instr].Succs {
-		if atomic.AddInt32(&fr.deps[s], -1) == 0 {
-			st.tasks <- task{img: t.img, instr: s}
+	for _, s := range e.prog.Instrs[t].Succs {
+		if atomic.AddInt32(&st.deps[s], -1) == 0 {
+			st.tasks <- s
 		}
 	}
 	if atomic.AddInt64(&st.completed, 1) == st.total {
@@ -437,11 +519,13 @@ func (e *Engine) runTask(st *batchState, t task) {
 	}
 }
 
-// primThreads decides the intra-primitive thread budget for one task:
-// normally 1 (the pool itself is the parallelism), but a task running
-// alone with an empty queue inherits the whole budget so chain
-// segments of the DAG do not serialize onto a single worker.
-func (e *Engine) primThreads(st *batchState) int {
+// taskThreads decides the intra-kernel thread budget for one task:
+// normally 1 (the pool itself is the parallelism, across DAG
+// branches), but a task running alone with an empty queue inherits the
+// whole budget — its batched kernel then splits images, GEMM rows or
+// Winograd points across the pool, so chain segments of the DAG do not
+// serialize the minibatch onto a single worker.
+func (e *Engine) taskThreads(st *batchState) int {
 	if e.workers > 1 && atomic.LoadInt32(&st.running) == 1 && len(st.tasks) == 0 {
 		return e.workers
 	}
@@ -449,11 +533,15 @@ func (e *Engine) primThreads(st *batchState) int {
 }
 
 // RunBatch executes the plan on a minibatch with a freshly constructed
-// engine — the convenience entry point mirroring Run. Callers that
-// execute a plan repeatedly should construct one Engine and reuse it,
-// keeping the compiled program and its arena warm across calls.
+// batched engine sized to the batch — the convenience entry point
+// mirroring Run. Callers that execute a plan repeatedly should
+// construct one Engine (per batch-size bucket) and reuse it, keeping
+// the compiled program and its arena warm across calls.
 func RunBatch(plan *selector.Plan, inputs []*tensor.Tensor, w *Weights) ([]*tensor.Tensor, error) {
-	e, err := NewEngine(plan, w)
+	if len(inputs) == 0 {
+		return nil, fmt.Errorf("exec: empty batch")
+	}
+	e, err := NewEngineBatch(plan, w, len(inputs))
 	if err != nil {
 		return nil, err
 	}

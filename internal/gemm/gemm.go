@@ -136,6 +136,64 @@ func Blocked(m, n, k, block int, a, b, c []float32) {
 	}
 }
 
+// ikjCols runs the ikj kernel restricted to the column range [j0, j1):
+// every row of C is cleared and accumulated only on that span. The
+// row-major operands make a column range a strided but directly
+// addressable subpanel, so no repacking is needed.
+func ikjCols(m, n, k, j0, j1 int, a, b, c []float32) {
+	for i := 0; i < m; i++ {
+		ci := c[i*n+j0 : i*n+j1]
+		for j := range ci {
+			ci[j] = 0
+		}
+		for p := 0; p < k; p++ {
+			av := a[i*k+p]
+			if av == 0 {
+				continue
+			}
+			bp := b[p*n+j0 : p*n+j1]
+			for j, bv := range bp {
+				ci[j] += av * bv
+			}
+		}
+	}
+}
+
+// ParallelCols computes C = A·B splitting the *columns* of B across
+// `threads` goroutines. This is the batched-GEMM entry point: a
+// minibatch widens the n dimension (images side by side as column
+// blocks) while m — the filter count — stays fixed, so splitting rows
+// (Parallel) runs out of parallelism exactly when batching creates
+// more. Each worker streams the full A panel, which the batch shares.
+func ParallelCols(threads, m, n, k int, a, b, c []float32) {
+	checkDims(m, n, k, a, b, c)
+	if threads <= 0 {
+		threads = runtime.GOMAXPROCS(0)
+	}
+	if threads > n {
+		threads = n
+	}
+	if threads <= 1 {
+		IKJ(m, n, k, a, b, c)
+		return
+	}
+	var wg sync.WaitGroup
+	cols := (n + threads - 1) / threads
+	for t := 0; t < threads; t++ {
+		j0 := t * cols
+		j1 := min(j0+cols, n)
+		if j0 >= j1 {
+			break
+		}
+		wg.Add(1)
+		go func(j0, j1 int) {
+			defer wg.Done()
+			ikjCols(m, n, k, j0, j1, a, b, c)
+		}(j0, j1)
+	}
+	wg.Wait()
+}
+
 // Parallel computes C = A·B splitting the rows of A across `threads`
 // goroutines (each worker uses the ikj kernel on its row slab). A
 // non-positive thread count uses GOMAXPROCS.

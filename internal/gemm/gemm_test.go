@@ -79,6 +79,15 @@ func TestKernelsAgree(t *testing.T) {
 				t.Errorf("Parallel(%d) %v: diff %g", th, s, d)
 			}
 		}
+
+		for _, th := range []int{1, 2, 4, 9} {
+			// The column-split kernel accumulates in the same p order as
+			// IKJ, so its result is bitwise identical, not just close.
+			ParallelCols(th, m, n, k, a, b, got)
+			if d := maxDiff(got, want); d > 1e-4 {
+				t.Errorf("ParallelCols(%d) %v: diff %g", th, s, d)
+			}
+		}
 	}
 }
 

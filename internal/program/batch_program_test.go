@@ -1,0 +1,124 @@
+package program
+
+import (
+	"strings"
+	"testing"
+
+	"pbqpdnn/internal/cost"
+	"pbqpdnn/internal/dnn/models"
+	"pbqpdnn/internal/selector"
+)
+
+func compileBatch(t *testing.T, name string, threads, batch int) *Program {
+	t.Helper()
+	g, err := models.Build(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := selector.Select(g, selector.Options{
+		Prof: cost.NewModel(cost.IntelHaswell), Threads: threads})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := CompileBatch(plan, batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// TestCompileBatchSlotsConvOutputs: a batched program plans convolution
+// outputs into slots (batched kernels write into provided
+// destinations), while the batch-1 program leaves them dynamic (the
+// per-image primitives allocate). The network output stays fresh in
+// both.
+func TestCompileBatchSlotsConvOutputs(t *testing.T) {
+	p1 := compileBatch(t, "googlenet", 4, 1)
+	p8 := compileBatch(t, "googlenet", 4, 8)
+	if p1.Batch != 1 || p8.Batch != 8 {
+		t.Fatalf("batch fields %d/%d, want 1/8", p1.Batch, p8.Batch)
+	}
+	dyn1, dyn8 := 0, 0
+	for i := range p1.Instrs {
+		ins := &p1.Instrs[i]
+		if ins.Op == OpConv && ins.Slot == NoSlot && i != p1.Output {
+			dyn1++
+		}
+	}
+	for i := range p8.Instrs {
+		ins := &p8.Instrs[i]
+		if ins.Op == OpConv && ins.Slot == NoSlot && i != p8.Output {
+			dyn8++
+		}
+	}
+	if dyn1 == 0 {
+		t.Error("batch-1 program slotted its conv outputs (expected primitive-allocated)")
+	}
+	if dyn8 != 0 {
+		t.Errorf("batched program left %d conv outputs dynamic", dyn8)
+	}
+	out := &p8.Instrs[p8.Output]
+	if out.Slot != NoSlot || out.Donor >= 0 {
+		t.Error("batched program's output is not a fresh allocation")
+	}
+	if err := p8.Validate(); err != nil {
+		t.Errorf("batched plan fails validation: %v", err)
+	}
+}
+
+// TestBatchStatsScaleWithN pins the satellite fix: reported slot and
+// peak bytes must describe the batch actually planned, not batch 1.
+func TestBatchStatsScaleWithN(t *testing.T) {
+	p8 := compileBatch(t, "alexnet", 4, 8)
+	var slotSum int64
+	for _, c := range p8.SlotCap {
+		slotSum += int64(c) * 4
+	}
+	if want := slotSum * 8; p8.Stats.SlotBytes != want {
+		t.Errorf("SlotBytes = %d, want %d (slot capacities × batch)", p8.Stats.SlotBytes, want)
+	}
+	if p8.Stats.Batch != 8 {
+		t.Errorf("Stats.Batch = %d, want 8", p8.Stats.Batch)
+	}
+	if p8.Stats.PeakBytes != p8.Stats.SlotBytes+p8.Stats.DynamicPeakBytes {
+		t.Error("PeakBytes is not SlotBytes + DynamicPeakBytes")
+	}
+	// NaiveBytes for N images is N × the per-image sum.
+	p1 := compileBatch(t, "alexnet", 4, 1)
+	if p8.Stats.NaiveBytes != 8*p1.Stats.NaiveBytes {
+		t.Errorf("NaiveBytes = %d, want %d", p8.Stats.NaiveBytes, 8*p1.Stats.NaiveBytes)
+	}
+}
+
+// TestBatchSourceReportsBatchScaledBytes: the listing must carry the
+// batch size and batch-scaled memory plan.
+func TestBatchSourceReportsBatchScaledBytes(t *testing.T) {
+	p := compileBatch(t, "alexnet", 4, 4)
+	src := p.Source()
+	for _, want := range []string{"batch 4", "/image]", "for batch 4"} {
+		if !strings.Contains(src, want) {
+			t.Errorf("batched listing missing %q", want)
+		}
+	}
+	p1 := compileBatch(t, "alexnet", 4, 1)
+	if !strings.Contains(p1.Source(), "batch 1") {
+		t.Error("batch-1 listing missing batch annotation")
+	}
+}
+
+// TestCompileBatchRejectsBadN: zero and negative batch sizes fail.
+func TestCompileBatchRejectsBadN(t *testing.T) {
+	g, err := models.Build("alexnet")
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := selector.Select(g, selector.Options{Prof: cost.NewModel(cost.IntelHaswell)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range []int{0, -3} {
+		if _, err := CompileBatch(plan, n); err == nil {
+			t.Errorf("CompileBatch accepted batch %d", n)
+		}
+	}
+}

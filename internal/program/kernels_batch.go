@@ -1,0 +1,168 @@
+package program
+
+// Batched layer operators: the minibatch counterparts of the *Into
+// kernels in kernels.go, operating on whole N-image batches. Because a
+// batch is N contiguous per-image slabs, the elementwise operators
+// (relu, copy, add) process the entire batch slab in one pass, and the
+// structured operators (pool, lrn, softmax, fc, concat) stride image
+// by image over slab views — optionally splitting images across a
+// thread budget, which is how a batched instruction running alone on
+// the engine's scheduler soaks up the whole worker pool.
+//
+// The in-place contract matches kernels.go: ReLUBatchInto,
+// CopyBatchInto, AddBatchInto and SoftmaxBatchInto tolerate dst
+// sharing storage with their (first) input; the rest must not run in
+// place.
+
+import (
+	"fmt"
+
+	"pbqpdnn/internal/conv"
+	"pbqpdnn/internal/dnn"
+	"pbqpdnn/internal/gemm"
+	"pbqpdnn/internal/tensor"
+)
+
+// parallelImages runs fn(i) for each image i in [0, n) across at most
+// `threads` goroutines — the library's shared fork-join helper.
+func parallelImages(threads, n int, fn func(i int)) {
+	conv.ParallelFor(threads, n, fn)
+}
+
+// ReLUBatchInto clamps negatives across the whole batch slab: one pass
+// over N×Stride contiguous elements.
+func ReLUBatchInto(dst, in *tensor.Batch, threads int) {
+	if threads <= 1 {
+		for i, v := range in.Data {
+			if v < 0 {
+				dst.Data[i] = 0
+			} else {
+				dst.Data[i] = v
+			}
+		}
+		return
+	}
+	parallelImages(threads, in.N, func(i int) {
+		ReLUInto(dst.Image(i), in.Image(i))
+	})
+}
+
+// CopyBatchInto copies the whole batch slab (dropout identity).
+func CopyBatchInto(dst, in *tensor.Batch) {
+	copy(dst.Data, in.Data)
+}
+
+// AddBatchInto sums the input batches elementwise. When every input
+// shares dst's layout the physical slabs correspond across the whole
+// batch and the sum runs over N×Stride contiguous memory; dst may
+// alias ins[0] but no other input.
+func AddBatchInto(dst *tensor.Batch, ins []*tensor.Batch, threads int) {
+	same := true
+	for _, b := range ins {
+		if b.Layout != dst.Layout {
+			same = false
+			break
+		}
+	}
+	if same && threads <= 1 {
+		copy(dst.Data, ins[0].Data)
+		for _, b := range ins[1:] {
+			for i, v := range b.Data {
+				dst.Data[i] += v
+			}
+		}
+		return
+	}
+	parallelImages(threads, dst.N, func(i int) {
+		imgs := make([]*tensor.Tensor, len(ins))
+		for k, b := range ins {
+			imgs[k] = b.Image(i)
+		}
+		AddInto(dst.Image(i), imgs)
+	})
+}
+
+// PoolBatchInto pools every image with the layer's geometry.
+func PoolBatchInto(dst, in *tensor.Batch, l *dnn.Layer, isMax bool, threads int) {
+	parallelImages(threads, in.N, func(i int) {
+		PoolInto(dst.Image(i), in.Image(i), l, isMax)
+	})
+}
+
+// LRNBatchInto normalizes every image across channels.
+func LRNBatchInto(dst, in *tensor.Batch, threads int) {
+	parallelImages(threads, in.N, func(i int) {
+		LRNInto(dst.Image(i), in.Image(i))
+	})
+}
+
+// SoftmaxBatchInto normalizes every image.
+func SoftmaxBatchInto(dst, in *tensor.Batch, threads int) {
+	parallelImages(threads, in.N, func(i int) {
+		SoftmaxInto(dst.Image(i), in.Image(i))
+	})
+}
+
+// FCBatchInto applies the dense layer to the whole batch. In CHW the
+// logical flatten order equals storage order, so the input batch slab
+// is already the N×(C·H·W) activation matrix and the layer is one
+// GEMM against the transposed weight matrix — mat's outN×inN row-major
+// layout is exactly the Bᵀ panel TransB wants, and TransB accumulates
+// over the feature axis in the same order as FCInto, so the batched
+// result is bitwise identical to the per-image path. Other layouts
+// fall back to per-image FCInto (which packs the flatten order).
+func FCBatchInto(dst, in *tensor.Batch, mat []float32, outN, threads int) {
+	// dst.Stride == outN excludes blocked destination layouts, whose
+	// padded slabs would misalign the GEMM's output rows.
+	if in.Layout == tensor.CHW && dst.Stride == outN {
+		inN := in.C * in.H * in.W
+		if threads > 1 && in.N > 1 {
+			parallelImages(threads, in.N, func(i int) {
+				gemm.TransB(1, outN, inN, in.Slab(i), mat, dst.Slab(i))
+			})
+			return
+		}
+		gemm.TransB(in.N, outN, inN, in.Data[:in.N*inN], mat, dst.Data[:in.N*outN])
+		return
+	}
+	parallelImages(threads, in.N, func(i int) {
+		FCInto(dst.Image(i), in.Image(i), mat, outN)
+	})
+}
+
+// ConcatBatchInto concatenates the input batches along channels, image
+// by image.
+func ConcatBatchInto(dst *tensor.Batch, ins []*tensor.Batch, threads int) {
+	parallelImages(threads, dst.N, func(i int) {
+		imgs := make([]*tensor.Tensor, len(ins))
+		for k, b := range ins {
+			imgs[k] = b.Image(i)
+		}
+		ConcatInto(dst.Image(i), imgs)
+	})
+}
+
+// InputBatchInto copies (and, where layouts differ, converts) the
+// caller's per-image input tensors into the engine-owned batch — the
+// batched input instruction's copy-on-identity.
+func InputBatchInto(dst *tensor.Batch, inputs []*tensor.Tensor, threads int) {
+	parallelImages(threads, dst.N, func(i int) {
+		tensor.ConvertInto(dst.Image(i), inputs[i])
+	})
+}
+
+// ConvertBatchInto converts every image of src into dst (the fused
+// legalization chain of a batched convert instruction). Identical
+// layouts collapse to one whole-slab copy.
+func ConvertBatchInto(dst, src *tensor.Batch, threads int) {
+	if dst.N != src.N || dst.C != src.C || dst.H != src.H || dst.W != src.W {
+		panic(fmt.Sprintf("program: batch shape mismatch %s vs %s", dst, src))
+	}
+	if dst.Layout == src.Layout {
+		copy(dst.Data, src.Data)
+		return
+	}
+	parallelImages(threads, src.N, func(i int) {
+		tensor.ConvertInto(dst.Image(i), src.Image(i))
+	})
+}

@@ -18,15 +18,21 @@ func (p *Program) Source() string {
 	fmt.Fprintf(&b, "// predicted cost: %.3f ms (nodes %.3f + transforms %.3f)\n",
 		plan.TotalCost()*1e3, plan.NodeCost*1e3, plan.EdgeCost*1e3)
 	s := p.Stats
-	fmt.Fprintf(&b, "// %d instructions (%d conversions, %d in-place), %d slots\n",
-		s.Instructions, s.Conversions, s.InPlace, s.Slots)
-	fmt.Fprintf(&b, "// peak resident %s/image on the sequential schedule (slots %s + dynamic %s; unplanned would hold %s)\n",
-		fmtBytes(s.PeakBytes), fmtBytes(s.SlotBytes), fmtBytes(s.DynamicPeakBytes), fmtBytes(s.NaiveBytes))
+	fmt.Fprintf(&b, "// %d instructions (%d conversions, %d in-place), %d slots, batch %d\n",
+		s.Instructions, s.Conversions, s.InPlace, s.Slots, p.Batch)
+	// Byte figures are batch totals: a batched program's slots hold
+	// N-image slabs, so what actually sits resident scales with N.
+	per := ""
+	if p.Batch > 1 {
+		per = fmt.Sprintf(" [%s/image]", fmtBytes(s.PeakBytes/int64(p.Batch)))
+	}
+	fmt.Fprintf(&b, "// peak resident %s for the batch%s on the sequential schedule (slots %s + dynamic %s; unplanned would hold %s)\n",
+		fmtBytes(s.PeakBytes), per, fmtBytes(s.SlotBytes), fmtBytes(s.DynamicPeakBytes), fmtBytes(s.NaiveBytes))
 	for i := range p.Instrs {
 		ins := &p.Instrs[i]
 		fmt.Fprintf(&b, "%s = %s  // %s\n", ins.Name, p.call(ins), p.annotate(ins))
 	}
-	fmt.Fprintf(&b, "// memory plan: %d slots, %s/image\n", len(p.SlotCap), fmtBytes(s.SlotBytes))
+	fmt.Fprintf(&b, "// memory plan: %d slots, %s for batch %d\n", len(p.SlotCap), fmtBytes(s.SlotBytes), p.Batch)
 	for slot, cap := range p.SlotCap {
 		var tenants []string
 		for i := range p.Instrs {
@@ -34,7 +40,7 @@ func (p *Program) Source() string {
 				tenants = append(tenants, p.Instrs[i].Name)
 			}
 		}
-		fmt.Fprintf(&b, "//   slot %2d: %9d B  %s\n", slot, int64(cap)*4, strings.Join(tenants, ", "))
+		fmt.Fprintf(&b, "//   slot %2d: %9d B  %s\n", slot, int64(cap)*4*int64(p.Batch), strings.Join(tenants, ", "))
 	}
 	return b.String()
 }

@@ -145,8 +145,14 @@ func (in *Instr) DataLen() int {
 // Bytes returns the payload size of the produced value in bytes.
 func (in *Instr) Bytes() int64 { return int64(in.DataLen()) * 4 }
 
-// Stats summarizes a compiled program for reporting.
+// Stats summarizes a compiled program for reporting. All byte figures
+// are totals for the program's planned batch of N images — a batched
+// program's slots hold N-image slabs, so memory reporting must scale
+// with N (a batch-8 plan resident in a serving process really does
+// hold 8× the batch-1 slot bytes).
 type Stats struct {
+	// Batch is the minibatch size N the program was planned for.
+	Batch int
 	// Instructions is the total instruction count; Conversions counts
 	// the OpConvert instructions among them.
 	Instructions int
@@ -155,31 +161,43 @@ type Stats struct {
 	// instructions executing in their donor's buffer.
 	Slots   int
 	InPlace int
-	// SlotBytes is the per-image resident footprint of the slot frame.
+	// SlotBytes is the resident footprint of the batch's slot frame
+	// (per-image slot capacities × N).
 	SlotBytes int64
 	// DynamicPeakBytes is the peak of concurrently live dynamic values
-	// (convolution outputs and the caller-owned network output) under
-	// the sequential topological schedule. Parallel branch execution
-	// can hold more dynamic values live at once, so this is a lower
-	// bound on worst-case residency, not a ceiling.
+	// (per-image convolution outputs in batch-1 programs, and the
+	// caller-owned network output) under the sequential topological
+	// schedule, scaled by N. Parallel branch execution can hold more
+	// dynamic values live at once, so this is a lower bound on
+	// worst-case residency, not a ceiling.
 	DynamicPeakBytes int64
-	// PeakBytes is SlotBytes + DynamicPeakBytes: the per-image peak
+	// PeakBytes is SlotBytes + DynamicPeakBytes: the batch's peak
 	// resident payload on the sequential schedule.
 	PeakBytes int64
-	// NaiveBytes is the sum of every value's payload — what an executor
-	// without buffer reuse or in-place execution would hold.
+	// NaiveBytes is the sum of every value's payload across the batch —
+	// what an executor without buffer reuse or in-place execution
+	// would hold.
 	NaiveBytes int64
 }
 
-// Program is a compiled, executable lowering of one selector.Plan.
+// Program is a compiled, executable lowering of one selector.Plan for
+// a fixed minibatch size.
 type Program struct {
 	Plan *selector.Plan
+
+	// Batch is the minibatch size N this program was compiled for. The
+	// instruction stream is N-independent, but the memory plan is not:
+	// slot frames are sized by N, and batched programs (N > 1) plan
+	// convolution outputs into slots too, because batched conv kernels
+	// write into caller-provided destinations instead of allocating.
+	Batch int
 
 	// Instrs is the topologically ordered instruction stream; an
 	// instruction's ID is its index.
 	Instrs []Instr
-	// SlotCap gives each planned slot's capacity in float32 elements
-	// (the max DataLen over its tenants).
+	// SlotCap gives each planned slot's *per-image* capacity in float32
+	// elements (the max DataLen over its tenants). A slot's physical
+	// buffer holds SlotCap[s] × Batch elements.
 	SlotCap []int
 	// InstrOf maps each layer id to the instruction computing it.
 	InstrOf []int
@@ -224,12 +242,30 @@ func inPlaceable(o Op) bool {
 	return o == OpReLU || o == OpAdd || o == OpDropout
 }
 
-// Compile lowers a checked plan into the Program IR: emit one
-// instruction per layer (plus one fused conversion instruction per
-// legalized edge), link the dependency structure, run the liveness
-// analysis that assigns values to reusable slots and marks in-place
-// execution, and validate the result.
+// Compile lowers a checked plan into the batch-1 Program IR: the
+// per-image program whose convolution outputs are primitive-allocated.
+// It is CompileBatch at N = 1.
 func Compile(plan *selector.Plan) (*Program, error) {
+	return CompileBatch(plan, 1)
+}
+
+// CompileBatch lowers a checked plan into the Program IR for an
+// N-image minibatch: emit one instruction per layer (plus one fused
+// conversion instruction per legalized edge), link the dependency
+// structure, run the liveness analysis that assigns values to reusable
+// slots and marks in-place execution, and validate the result.
+//
+// The instruction stream is identical for every N; the memory plan is
+// not. At N = 1 convolution outputs stay dynamic (the per-image
+// primitives allocate their own outputs, preserving the original
+// per-image execution path); at N > 1 the batched kernels write into
+// caller-provided destinations, so convolution outputs join the
+// wildcard values in the planned slots and the whole batch executes
+// against a statically planned, arena-recycled frame.
+func CompileBatch(plan *selector.Plan, batch int) (*Program, error) {
+	if batch < 1 {
+		return nil, fmt.Errorf("program: invalid batch size %d", batch)
+	}
 	if err := plan.Check(); err != nil {
 		return nil, fmt.Errorf("program: %w", err)
 	}
@@ -240,6 +276,7 @@ func Compile(plan *selector.Plan) (*Program, error) {
 	}
 	p := &Program{
 		Plan:    plan,
+		Batch:   batch,
 		InstrOf: make([]int, net.NumLayers()),
 	}
 	emit := func(ins Instr) int {
@@ -442,10 +479,13 @@ func (p *Program) planMemory() {
 			}
 		}
 
-		if ins.Donor < 0 && ins.Op != OpConv && j != p.Output {
-			// Out-of-place wildcard value: claim a reusable slot whose
-			// guards are all strict ancestors, preferring the tightest
-			// capacity fit; grow or open a slot otherwise.
+		if ins.Donor < 0 && (ins.Op != OpConv || p.Batch > 1) && j != p.Output {
+			// Out-of-place value: claim a reusable slot whose guards are
+			// all strict ancestors, preferring the tightest capacity fit;
+			// grow or open a slot otherwise. Batch-1 programs exclude
+			// convolutions (their per-image primitives allocate outputs);
+			// batched programs slot them, since batched kernels write
+			// into provided destinations.
 			need := ins.DataLen()
 			best, bestWaste := -1, 0
 			for k, f := range free {
@@ -489,9 +529,12 @@ func (p *Program) planMemory() {
 	}
 }
 
-// computeStats fills p.Stats from the planned stream.
+// computeStats fills p.Stats from the planned stream. Byte figures are
+// per-image sums scaled by the planned batch size at the end — every
+// value of a batched program is an N-image slab.
 func (p *Program) computeStats() {
 	s := &p.Stats
+	s.Batch = p.Batch
 	s.Instructions = len(p.Instrs)
 	s.Slots = len(p.SlotCap)
 	for _, c := range p.SlotCap {
@@ -543,8 +586,11 @@ func (p *Program) computeStats() {
 			}
 		}
 	}
-	s.DynamicPeakBytes = peak
-	s.PeakBytes = s.SlotBytes + peak
+	n := int64(p.Batch)
+	s.SlotBytes *= n
+	s.DynamicPeakBytes = peak * n
+	s.NaiveBytes *= n
+	s.PeakBytes = s.SlotBytes + s.DynamicPeakBytes
 }
 
 // Validate checks the structural invariants of the compiled stream,

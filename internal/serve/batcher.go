@@ -282,10 +282,12 @@ func (b *Batcher) dispatch(batch []*request) {
 		for i, r := range live {
 			ins[i] = r.in
 		}
+		start := time.Now()
 		outs, err := b.run(ins)
 		now := time.Now()
+		engine := now.Sub(start)
 		if err != nil {
-			b.met.observeBatch(len(live), nil, err)
+			b.met.observeBatch(len(live), engine, nil, err)
 			for _, r := range live {
 				r.out <- result{err: err}
 			}
@@ -297,7 +299,7 @@ func (b *Batcher) dispatch(batch []*request) {
 		for i, r := range live {
 			lats[i] = now.Sub(r.enq)
 		}
-		b.met.observeBatch(len(live), lats, nil)
+		b.met.observeBatch(len(live), engine, lats, nil)
 		for i, r := range live {
 			r.out <- result{t: outs[i]}
 		}

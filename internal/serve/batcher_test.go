@@ -302,3 +302,28 @@ func TestMetricsPercentiles(t *testing.T) {
 		t.Errorf("p50 of nothing = %v, want 0", got)
 	}
 }
+
+// TestMetricsNsPerImageByBatch pins the per-batch-size efficiency
+// export: engine time divides by images served at that size, failed
+// dispatches contribute nothing, and unseen sizes stay zero.
+func TestMetricsNsPerImageByBatch(t *testing.T) {
+	met := NewMetrics()
+	lat := []time.Duration{time.Millisecond}
+	met.observeBatch(1, 10*time.Millisecond, lat, nil)
+	met.observeBatch(4, 20*time.Millisecond, lat, nil)
+	met.observeBatch(4, 28*time.Millisecond, lat, nil)
+	met.observeBatch(2, 99*time.Millisecond, nil, errors.New("boom")) // failed: excluded
+	s := met.Snapshot()
+	if got := s.NsPerImageByBatch[1]; got != 10e6 {
+		t.Errorf("batch-1 ns/image = %v, want 10ms", got)
+	}
+	if got := s.NsPerImageByBatch[4]; got != 6e6 {
+		t.Errorf("batch-4 ns/image = %v, want 6ms (48ms over 8 images)", got)
+	}
+	if got := s.NsPerImageByBatch[2]; got != 0 {
+		t.Errorf("failed-only batch size reports %v, want 0", got)
+	}
+	if got := s.NsPerImageByBatch[3]; got != 0 {
+		t.Errorf("undispatched batch size reports %v, want 0", got)
+	}
+}

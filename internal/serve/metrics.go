@@ -29,6 +29,13 @@ type Metrics struct {
 	batchSum  int64   // sum of dispatched batch sizes
 	batchHist []int64 // index = batch size; [0] unused
 
+	// engNS and engImages accumulate, per dispatched batch size, the
+	// engine wall time and images served through successful dispatches —
+	// the observability for the batching-efficiency claim: ns/image
+	// should fall as the dispatched batch size grows.
+	engNS     []int64 // index = batch size; [0] unused
+	engImages []int64 // index = batch size; [0] unused
+
 	// latencies is a ring of enqueue→completion times for served
 	// requests; percentiles are computed over the window on demand.
 	latencies []time.Duration
@@ -60,21 +67,26 @@ func (m *Metrics) expire(n int) {
 	m.mu.Unlock()
 }
 
-// observeBatch records one engine dispatch: its size and, per request,
-// the enqueue→completion latency (or a failure).
-func (m *Metrics) observeBatch(size int, latencies []time.Duration, err error) {
+// observeBatch records one engine dispatch: its size, the engine wall
+// time the dispatch spent in RunBatch, and, per request, the
+// enqueue→completion latency (or a failure).
+func (m *Metrics) observeBatch(size int, engine time.Duration, latencies []time.Duration, err error) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	m.batches++
 	m.batchSum += int64(size)
 	for len(m.batchHist) <= size {
 		m.batchHist = append(m.batchHist, 0)
+		m.engNS = append(m.engNS, 0)
+		m.engImages = append(m.engImages, 0)
 	}
 	m.batchHist[size]++
 	if err != nil {
 		m.failed += int64(size)
 		return
 	}
+	m.engNS[size] += engine.Nanoseconds()
+	m.engImages[size] += int64(size)
 	m.served += int64(size)
 	for _, d := range latencies {
 		if len(m.latencies) < latencyWindow {
@@ -98,14 +110,19 @@ type Stats struct {
 
 	QueueDepth int `json:"queue_depth"`
 
-	Batches        int64   `json:"batches"`
-	MeanBatch      float64 `json:"mean_batch"`
-	BatchHist      []int64 `json:"batch_hist"` // index = batch size; [0] unused
-	ThroughputRPS  float64 `json:"throughput_rps"`
-	LatencyMeanMS  float64 `json:"latency_mean_ms"`
-	LatencyP50MS   float64 `json:"latency_p50_ms"`
-	LatencyP99MS   float64 `json:"latency_p99_ms"`
-	LatencySamples int     `json:"latency_samples"`
+	Batches   int64   `json:"batches"`
+	MeanBatch float64 `json:"mean_batch"`
+	BatchHist []int64 `json:"batch_hist"` // index = batch size; [0] unused
+	// NsPerImageByBatch is the mean engine wall time per image for each
+	// dispatched batch size (index = batch size; 0 where that size has
+	// not been dispatched). Falling values as the index grows are the
+	// batching-efficiency claim made observable.
+	NsPerImageByBatch []float64 `json:"ns_per_image_by_batch"`
+	ThroughputRPS     float64   `json:"throughput_rps"`
+	LatencyMeanMS     float64   `json:"latency_mean_ms"`
+	LatencyP50MS      float64   `json:"latency_p50_ms"`
+	LatencyP99MS      float64   `json:"latency_p99_ms"`
+	LatencySamples    int       `json:"latency_samples"`
 }
 
 // Snapshot returns a consistent copy of the counters with derived
@@ -122,6 +139,12 @@ func (m *Metrics) Snapshot() Stats {
 		Failed:    m.failed,
 		Batches:   m.batches,
 		BatchHist: append([]int64(nil), m.batchHist...),
+	}
+	s.NsPerImageByBatch = make([]float64, len(m.engNS))
+	for b := range m.engNS {
+		if m.engImages[b] > 0 {
+			s.NsPerImageByBatch[b] = float64(m.engNS[b]) / float64(m.engImages[b])
+		}
 	}
 	if m.batches > 0 {
 		s.MeanBatch = float64(m.batchSum) / float64(m.batches)

@@ -11,6 +11,7 @@ import (
 	"pbqpdnn/internal/dnn/models"
 	"pbqpdnn/internal/exec"
 	"pbqpdnn/internal/selector"
+	"pbqpdnn/internal/tensor"
 )
 
 // Config configures model loading for a Registry.
@@ -40,14 +41,27 @@ func (c *Config) defaults() {
 }
 
 // Model is one served network: its graph, the PBQP-selected plan, the
-// engine compiled from it (shared by all requests), and the dynamic
-// batcher feeding that engine.
+// per-batch-size program cache compiled from it (shared by all
+// requests), and the dynamic batcher feeding those engines.
 type Model struct {
 	Name    string
 	Net     *dnn.Graph
 	Plan    *selector.Plan
 	Weights *exec.Weights
-	Engine  *exec.Engine
+
+	// Engine is the per-image (batch-1) engine: the naive
+	// goroutine-per-request baseline path and the singleton-flush
+	// fallback. It is Engines[0].
+	Engine *exec.Engine
+	// Engines is the per-batch-size program cache, ascending by
+	// MaxBatch: one plan selection, one engine per batch-size bucket
+	// (1, 2, 4, … MaxBatch). The program's memory plan is N-dependent
+	// — slot frames scale with N and batched programs slot conv
+	// outputs — so each bucket pre-plans its own program and the
+	// dynamic batcher always dispatches into one that was compiled for
+	// at least the flushed size.
+	Engines []*exec.Engine
+
 	Batcher *Batcher
 	Metrics *Metrics
 
@@ -55,12 +69,37 @@ type Model struct {
 	OutC, OutH, OutW int // network output shape
 }
 
+// batchBuckets enumerates the program-cache bucket sizes for a batcher
+// limit: powers of two up to maxBatch, plus maxBatch itself.
+func batchBuckets(maxBatch int) []int {
+	var bs []int
+	for b := 1; b < maxBatch; b *= 2 {
+		bs = append(bs, b)
+	}
+	return append(bs, maxBatch)
+}
+
+// EngineFor returns the cached engine whose planned batch is the
+// smallest bucket that fits n (the largest bucket for oversized n,
+// which the engine then chunks).
+func (m *Model) EngineFor(n int) *exec.Engine {
+	for _, e := range m.Engines {
+		if e.MaxBatch() >= n {
+			return e
+		}
+	}
+	return m.Engines[len(m.Engines)-1]
+}
+
 // LoadModel builds, selects, and compiles one named network (see
-// models.Names) and wraps it in a running batcher. Selection and
-// engine compilation happen exactly once, here; serving shares the
-// result across every request.
+// models.Names) and wraps it in a running batcher. Selection happens
+// exactly once; compilation happens once per batch-size bucket, all at
+// startup, so no request ever waits on planning. The batcher routes
+// every flush to the bucket engine covering its size.
 func LoadModel(name string, cfg Config) (*Model, error) {
 	cfg.defaults()
+	bo := cfg.Batch
+	bo.defaults()
 	net, err := models.Build(name)
 	if err != nil {
 		return nil, err
@@ -70,20 +109,25 @@ func LoadModel(name string, cfg Config) (*Model, error) {
 		return nil, fmt.Errorf("serve: selecting plan for %s: %w", name, err)
 	}
 	w := exec.NewWeights(net)
-	eng, err := exec.NewEngine(plan, w)
-	if err != nil {
-		return nil, fmt.Errorf("serve: compiling %s: %w", name, err)
-	}
-	met := NewMetrics()
 	m := &Model{
 		Name:    name,
 		Net:     net,
 		Plan:    plan,
 		Weights: w,
-		Engine:  eng,
-		Batcher: NewBatcher(eng.RunBatch, cfg.Batch, met),
-		Metrics: met,
 	}
+	for _, b := range batchBuckets(bo.MaxBatch) {
+		eng, err := exec.NewEngineBatch(plan, w, b)
+		if err != nil {
+			return nil, fmt.Errorf("serve: compiling %s (batch %d): %w", name, b, err)
+		}
+		m.Engines = append(m.Engines, eng)
+	}
+	m.Engine = m.Engines[0]
+	met := NewMetrics()
+	m.Metrics = met
+	m.Batcher = NewBatcher(func(ins []*tensor.Tensor) ([]*tensor.Tensor, error) {
+		return m.EngineFor(len(ins)).RunBatch(ins)
+	}, cfg.Batch, met)
 	in := net.Layers[0]
 	m.InC, m.InH, m.InW = in.OutC, in.OutH, in.OutW
 	out := net.Layers[len(net.Layers)-1]

@@ -1,0 +1,125 @@
+package serve
+
+import (
+	"context"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+
+	"pbqpdnn/internal/tensor"
+)
+
+func TestBatchBuckets(t *testing.T) {
+	cases := []struct {
+		max  int
+		want []int
+	}{
+		{1, []int{1}},
+		{2, []int{1, 2}},
+		{4, []int{1, 2, 4}},
+		{6, []int{1, 2, 4, 6}},
+		{8, []int{1, 2, 4, 8}},
+	}
+	for _, c := range cases {
+		if got := batchBuckets(c.max); !reflect.DeepEqual(got, c.want) {
+			t.Errorf("batchBuckets(%d) = %v, want %v", c.max, got, c.want)
+		}
+	}
+}
+
+// TestModelEnginesPerBucket: LoadModel pre-compiles one engine per
+// batch-size bucket, and EngineFor routes a flush size to the smallest
+// covering bucket — never an under-planned program, never a fresh
+// compilation on the dispatch path.
+func TestModelEnginesPerBucket(t *testing.T) {
+	m, err := LoadModel("micronet", Config{
+		Threads: 1,
+		Batch:   BatchOptions{MaxBatch: 6, MaxWait: time.Millisecond},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Batcher.Close()
+
+	var got []int
+	for _, e := range m.Engines {
+		got = append(got, e.MaxBatch())
+	}
+	if want := []int{1, 2, 4, 6}; !reflect.DeepEqual(got, want) {
+		t.Fatalf("bucket engines %v, want %v", got, want)
+	}
+	if m.Engine != m.Engines[0] || m.Engine.MaxBatch() != 1 {
+		t.Error("Model.Engine is not the per-image bucket")
+	}
+	for n, wantBucket := range map[int]int{1: 1, 2: 2, 3: 4, 4: 4, 5: 6, 6: 6, 9: 6} {
+		if got := m.EngineFor(n).MaxBatch(); got != wantBucket {
+			t.Errorf("EngineFor(%d) planned for %d, want %d", n, got, wantBucket)
+		}
+	}
+}
+
+// TestModelDispatchesThroughBucketEngines drives enough concurrent
+// traffic through the batcher to flush at several sizes and checks
+// every request is answered correctly — the end-to-end proof that the
+// per-batch-size cache serves mixed batch sizes.
+func TestModelDispatchesThroughBucketEngines(t *testing.T) {
+	m, err := LoadModel("micronet", Config{
+		Threads: 1,
+		Batch:   BatchOptions{MaxBatch: 4, MaxWait: 2 * time.Millisecond, QueueCap: 64},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Batcher.Close()
+
+	in := tensor.New(tensor.CHW, m.InC, m.InH, m.InW)
+	in.FillRandom(3)
+	want, err := m.Engine.Run(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const requests = 24
+	var wg sync.WaitGroup
+	errc := make(chan error, requests)
+	for i := 0; i < requests; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			out, err := m.Batcher.Infer(context.Background(), in)
+			if err != nil {
+				errc <- err
+				return
+			}
+			if !tensor.WithinRel(out, want, 1e-4) {
+				errc <- errMismatch
+			}
+		}()
+	}
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		t.Fatal(err)
+	}
+
+	s := m.Metrics.Snapshot()
+	if s.Served != requests {
+		t.Fatalf("served %d of %d", s.Served, requests)
+	}
+	// ns/image must be populated for every dispatched batch size.
+	for b, count := range s.BatchHist {
+		if b == 0 || count == 0 {
+			continue
+		}
+		if s.NsPerImageByBatch[b] <= 0 {
+			t.Errorf("batch size %d dispatched %d times but ns_per_image_by_batch is empty", b, count)
+		}
+	}
+}
+
+var errMismatch = &mismatchError{}
+
+type mismatchError struct{}
+
+func (*mismatchError) Error() string { return "batched output diverges from per-image engine" }

@@ -1,0 +1,85 @@
+package tensor
+
+import "fmt"
+
+// Batch is an N-image minibatch of logical C×H×W volumes sharing one
+// physical layout and one contiguous backing slab: image i occupies
+// Data[i*Stride : (i+1)*Stride], where Stride is the per-image element
+// count DataLen(Layout, C, H, W). Because every layout in the library
+// stores one image contiguously, stacking images back to back makes the
+// batch dimension a pure outer stride — batched kernels walk the whole
+// slab in one pass (relu, copy, add), stride image by image (layout
+// conversions, pooling), or treat the slab as one tall matrix (the im2
+// family's batched GEMM, where an HWC batch IS the 1×1 patch matrix).
+type Batch struct {
+	N       int
+	C, H, W int
+	Layout  Layout
+	// Stride is the per-image element count; Data holds N*Stride
+	// elements.
+	Stride int
+	Data   []float32
+}
+
+// BatchDataLen returns the number of float32 elements required to store
+// an n-image batch of c×h×w volumes in layout l.
+func BatchDataLen(l Layout, n, c, h, w int) int {
+	return n * DataLen(l, c, h, w)
+}
+
+// NewBatch allocates a zero-filled n-image batch.
+func NewBatch(l Layout, n, c, h, w int) *Batch {
+	if n <= 0 {
+		panic(fmt.Sprintf("tensor: invalid batch size %d", n))
+	}
+	if c <= 0 || h <= 0 || w <= 0 || !l.Valid() {
+		panic(fmt.Sprintf("tensor: invalid batch %d×%d×%d×%d %s", n, c, h, w, l))
+	}
+	stride := DataLen(l, c, h, w)
+	return &Batch{N: n, C: c, H: h, W: w, Layout: l, Stride: stride,
+		Data: make([]float32, n*stride)}
+}
+
+// NewBatchWith wraps an existing buffer as an n-image batch without
+// allocating. The buffer must hold exactly BatchDataLen elements;
+// callers recycling buffers for blocked layouts are responsible for
+// zeroing the padding lanes first (as with NewWith).
+func NewBatchWith(l Layout, n, c, h, w int, data []float32) *Batch {
+	if n <= 0 {
+		panic(fmt.Sprintf("tensor: invalid batch size %d", n))
+	}
+	stride := DataLen(l, c, h, w)
+	if want := n * stride; len(data) != want {
+		panic(fmt.Sprintf("tensor: batch buffer has %d elements, want %d for %d×%d×%d×%d %s",
+			len(data), want, n, c, h, w, l))
+	}
+	if c <= 0 || h <= 0 || w <= 0 || !l.Valid() {
+		panic(fmt.Sprintf("tensor: invalid batch %d×%d×%d×%d %s", n, c, h, w, l))
+	}
+	return &Batch{N: n, C: c, H: h, W: w, Layout: l, Stride: stride, Data: data}
+}
+
+// Image returns a tensor view over image i's slab. The view shares
+// storage with the batch: writes through it are writes into the batch.
+func (b *Batch) Image(i int) *Tensor {
+	return &Tensor{C: b.C, H: b.H, W: b.W, Layout: b.Layout,
+		Data: b.Data[i*b.Stride : (i+1)*b.Stride : (i+1)*b.Stride]}
+}
+
+// Slab returns image i's raw backing slice.
+func (b *Batch) Slab(i int) []float32 {
+	return b.Data[i*b.Stride : (i+1)*b.Stride : (i+1)*b.Stride]
+}
+
+// Bytes returns the payload size of the whole batch in bytes.
+func (b *Batch) Bytes() int64 { return int64(len(b.Data)) * 4 }
+
+// String summarizes the batch shape and layout.
+func (b *Batch) String() string {
+	return fmt.Sprintf("Batch(%d×%d×%d×%d %s)", b.N, b.C, b.H, b.W, b.Layout)
+}
+
+// Batch-wide layout conversion lives in internal/program
+// (ConvertBatchInto), alongside the other batched kernels, so there is
+// exactly one implementation to keep in sync with the per-image
+// ConvertInto fast paths.

@@ -1,0 +1,77 @@
+package tensor
+
+import "testing"
+
+func TestBatchImageViewsShareStorage(t *testing.T) {
+	b := NewBatch(CHW, 3, 2, 4, 5)
+	if b.Stride != DataLen(CHW, 2, 4, 5) {
+		t.Fatalf("stride %d, want %d", b.Stride, DataLen(CHW, 2, 4, 5))
+	}
+	if len(b.Data) != BatchDataLen(CHW, 3, 2, 4, 5) {
+		t.Fatalf("len %d, want %d", len(b.Data), BatchDataLen(CHW, 3, 2, 4, 5))
+	}
+	for i := 0; i < b.N; i++ {
+		img := b.Image(i)
+		img.Set(1, 2, 3, float32(10+i))
+	}
+	for i := 0; i < b.N; i++ {
+		want := float32(10 + i)
+		if got := b.Data[i*b.Stride+b.Image(i).Index(1, 2, 3)]; got != want {
+			t.Errorf("image %d: batch slab holds %v, want %v", i, got, want)
+		}
+	}
+	// Views are capacity-clamped: appending to one slab must not be able
+	// to overwrite the next image.
+	s := b.Slab(0)
+	if cap(s) != b.Stride {
+		t.Errorf("slab cap %d leaks past the image boundary (stride %d)", cap(s), b.Stride)
+	}
+}
+
+func TestBatchBlockedLayoutStride(t *testing.T) {
+	// CHW4 with C=6 pads channels to 8: stride must be the physical
+	// element count, not the logical one.
+	b := NewBatch(CHW4, 2, 6, 3, 3)
+	if want := DataLen(CHW4, 6, 3, 3); b.Stride != want {
+		t.Fatalf("stride %d, want %d", b.Stride, want)
+	}
+	img := b.Image(1)
+	img.Set(5, 2, 2, 7)
+	if got := b.Image(1).At(5, 2, 2); got != 7 {
+		t.Errorf("blocked view roundtrip got %v", got)
+	}
+}
+
+func TestNewBatchWithValidates(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("NewBatchWith accepted a short buffer")
+		}
+	}()
+	NewBatchWith(CHW, 2, 2, 2, 2, make([]float32, 15))
+}
+
+// TestConvertIntoOverImageViews: per-image ConvertInto applied to
+// batch slab views (what program.ConvertBatchInto does) must land each
+// image's conversion in its own slab, across every layout pair.
+func TestConvertIntoOverImageViews(t *testing.T) {
+	const n, c, h, w = 3, 5, 6, 7
+	for _, from := range Layouts() {
+		for _, to := range Layouts() {
+			src := NewBatch(from, n, c, h, w)
+			for i := 0; i < n; i++ {
+				src.Image(i).FillRandom(int64(10*i + int(from)))
+			}
+			dst := NewBatch(to, n, c, h, w)
+			for i := 0; i < n; i++ {
+				ConvertInto(dst.Image(i), src.Image(i))
+			}
+			for i := 0; i < n; i++ {
+				want := Convert(src.Image(i), to)
+				if !AlmostEqual(dst.Image(i), want, 0) {
+					t.Fatalf("%s→%s image %d: view conversion differs from per-image", from, to, i)
+				}
+			}
+		}
+	}
+}
