@@ -46,12 +46,15 @@ func main() {
 	log.SetPrefix("dnnbench: ")
 	exp := flag.String("exp", "all",
 		"experiment: table1, table2, table3, fig2, fig4, fig5, fig6, fig7a, fig7b, solver, sparsity, minibatch, trends, all; "+
-			"plus batchsweep (excluded from 'all': it executes -net at every -batch size, minutes on the full models)")
+			"plus batchsweep and plansweep (excluded from 'all': they execute -net at every -batch size, minutes on the full models)")
 	threads := flag.Int("threads", 4, "execution thread budget for the minibatch/batchsweep engines")
 	batch := flag.String("batch", "1,2,4,8,16", "comma-separated minibatch sizes for the minibatch/batchsweep experiments")
 	jsonOut := flag.Bool("json", false, "emit machine-readable JSON records (supported by -exp minibatch and -exp batchsweep)")
 	dump := flag.Bool("dump-program", false, "compile -net under -strategy and print the Program IR (instructions + memory plan), then exit")
-	netName := flag.String("net", "googlenet", "network for -dump-program and -exp batchsweep (alexnet, vgg-b/c/d/e, googlenet, resnet-18, smallnet, micronet)")
+	netName := flag.String("net", "googlenet", "network for -dump-program and -exp batchsweep/plansweep (alexnet, vgg-b/c/d/e, googlenet, resnet-18, smallnet, micronet)")
+	model := flag.Bool("model", false, "plansweep: select against the analytic Intel model instead of calibrating measured costs on this host")
+	reps := flag.Int("reps", 1, "plansweep: calibration measurement repetitions (best-of)")
+	topK := flag.Int("calibrate-top", 4, "plansweep: measure only the analytic model's k cheapest candidates per layer per batch (0 = all)")
 	strategy := flag.String("strategy", "pbqp",
 		"selection strategy for -dump-program: pbqp, baseline, local-opt, no-edge-cost, mkldnn, armcl, caffe, direct, im2, kn2, winograd, fft")
 	flag.Parse()
@@ -152,6 +155,21 @@ func main() {
 			fmt.Print(experiments.FormatBatchSweep(pts))
 			return nil
 		},
+		"plansweep": func() error {
+			o := experiments.PlanSweepOptions{Reps: *reps, TopK: *topK}
+			if *model {
+				o.Prof = cost.NewModel(cost.IntelHaswell)
+			}
+			pts, err := experiments.PlanSweep(*netName, *threads, batches, o)
+			if err != nil {
+				return err
+			}
+			if *jsonOut {
+				return writePlanSweepJSON(pts)
+			}
+			fmt.Print(experiments.FormatPlanSweep(pts))
+			return nil
+		},
 		"trends": func() error {
 			ts, err := experiments.CheckTrends()
 			if err != nil {
@@ -171,8 +189,8 @@ func main() {
 	order := []string{"table1", "fig2", "fig4", "fig5", "fig6", "fig7a", "fig7b",
 		"table2", "table3", "solver", "sparsity", "minibatch", "trends"}
 
-	if *jsonOut && *exp != "minibatch" && *exp != "batchsweep" {
-		log.Fatalf("-json is supported for -exp minibatch and -exp batchsweep (got -exp %s)", *exp)
+	if *jsonOut && *exp != "minibatch" && *exp != "batchsweep" && *exp != "plansweep" {
+		log.Fatalf("-json is supported for -exp minibatch, batchsweep and plansweep (got -exp %s)", *exp)
 	}
 	if *exp == "all" {
 		for _, name := range order {
@@ -257,6 +275,51 @@ func writeBatchSweepJSON(pts []experiments.BatchSweepPoint) error {
 			BatchedSpeedupX: p.SpeedupX,
 			BatchedTotalNs:  p.BatchedNsPerImage * float64(p.Batch),
 			PerImageTotalNs: p.PerImageNsPerImage * float64(p.Batch),
+		}
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	return enc.Encode(recs)
+}
+
+// planSweepRecord is one machine-readable plan-vs-plan measurement:
+// per batch size, the layers that switch primitive under batch-aware
+// selection and the measured per-image speedup of the batch-N plan
+// over the batch-1 plan, both executed by the batched engine. CI
+// archives these records per commit.
+type planSweepRecord struct {
+	Benchmark            string                   `json:"benchmark"`
+	Net                  string                   `json:"net"`
+	Batch                int                      `json:"batch"`
+	Threads              int                      `json:"threads"`
+	Calibrated           bool                     `json:"calibrated"`
+	Switches             []experiments.PlanSwitch `json:"switches"`
+	Batch1PlanNsPerImage float64                  `json:"batch1_plan_ns_per_image"`
+	BatchPlanNsPerImage  float64                  `json:"batchn_plan_ns_per_image"`
+	SpeedupX             float64                  `json:"batchn_plan_speedup_x"`
+	PredictedBatch1MS    float64                  `json:"predicted_batch1_ms_per_image"`
+	PredictedBatchMS     float64                  `json:"predicted_batchn_ms_per_image"`
+}
+
+// writePlanSweepJSON emits the plan sweep as one JSON array of records.
+func writePlanSweepJSON(pts []experiments.PlanSweepPoint) error {
+	recs := make([]planSweepRecord, len(pts))
+	for i, p := range pts {
+		recs[i] = planSweepRecord{
+			Benchmark:            "plansweep",
+			Net:                  p.Net,
+			Batch:                p.Batch,
+			Threads:              p.Threads,
+			Calibrated:           p.Calibrated,
+			Switches:             p.Switches,
+			Batch1PlanNsPerImage: p.Batch1PlanNsPerImage,
+			BatchPlanNsPerImage:  p.BatchPlanNsPerImage,
+			SpeedupX:             p.SpeedupX,
+			PredictedBatch1MS:    p.PredictedBatch1MS,
+			PredictedBatchMS:     p.PredictedBatchMS,
+		}
+		if recs[i].Switches == nil {
+			recs[i].Switches = []experiments.PlanSwitch{}
 		}
 	}
 	enc := json.NewEncoder(os.Stdout)

@@ -53,6 +53,10 @@ func main() {
 			append(models.Names(), models.DemoNames()...)))
 	threads := flag.Int("threads", 0, "selection thread budget per engine (0 = GOMAXPROCS)")
 	costsPath := flag.String("costs", "", "optional serialized cost table (JSON) to drive selection instead of the analytic model")
+	calibrate := flag.Bool("calibrate", false,
+		"calibrate-on-start: measure the real primitives at every batch bucket and select against the measured table; with -costs the table is persisted there and reused on restart")
+	calReps := flag.Int("calibrate-reps", 1, "calibration: best-of repetitions per measurement")
+	calTopK := flag.Int("calibrate-top", 4, "calibration: measure only the analytic model's k cheapest candidates per layer per bucket")
 
 	maxBatch := flag.Int("max-batch", 8, "flush a minibatch at this many pending requests")
 	maxWait := flag.Duration("max-wait", 2*time.Millisecond, "flush a partial minibatch once its oldest request has waited this long")
@@ -78,7 +82,15 @@ func main() {
 			MaxInFlight: *inflight,
 		},
 	}
-	if *costsPath != "" {
+	switch {
+	case *calibrate:
+		// Calibrate-on-start: the registry measures (or, when the file
+		// already exists, reloads) the table itself.
+		cfg.Calibrate = true
+		cfg.TablePath = *costsPath
+		cfg.CalibrateReps = *calReps
+		cfg.CalibrateTopK = *calTopK
+	case *costsPath != "":
 		f, err := os.Open(*costsPath)
 		if err != nil {
 			log.Fatal(err)
@@ -108,7 +120,7 @@ func main() {
 	for _, name := range reg.Names() {
 		m, _ := reg.Get(name)
 		log.Printf("loaded %s: %d layers, input %d×%d×%d, pbqp optimal=%v",
-			name, m.Net.NumLayers(), m.InC, m.InH, m.InW, m.Plan.Optimal)
+			name, m.Net.NumLayers(), m.InC, m.InH, m.InW, m.Plan().Optimal)
 	}
 	log.Printf("registry ready in %v", time.Since(start).Round(time.Millisecond))
 

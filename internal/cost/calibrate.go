@@ -152,6 +152,37 @@ func scenarioEffMod(p *conv.Primitive, s conv.Scenario) float64 {
 	return mod
 }
 
+// batchGain is the batched-execution efficiency headroom of a
+// primitive's RunBatch implementation over N per-image dispatches,
+// beyond what operation counts capture: the batched cost model applies
+// 1 + batchGain·(1 − 1/N) as an efficiency multiplier. Calibrated from
+// wall-clock measurements of the real Go entry points on the reference
+// box (cost.Measure, best-of-3, batch 8 vs 8 × batch 1):
+//
+//   - batched wino2d restructures the per-tile pointwise loops into one
+//     blocked GEMM per Winograd-domain point streaming all N images'
+//     tiles — measured 2.2–4.4× per image over the per-image primitive
+//     (on top of the kernel-transform amortization setupOps counts);
+//   - batched im2row feeds one tall patch matrix to a single GEMM,
+//     a modest measured gain (~0.9× per-image cost at batch 8);
+//   - batched im2col's de-interleaving writeback cancels its single
+//     wide GEMM's advantage — measured batch-neutral, so no gain.
+//
+// Primitives without a RunBatch implementation execute through the
+// per-image fallback and get no gain by construction.
+func batchGain(p *conv.Primitive) float64 {
+	if p.RunBatch == nil {
+		return 0
+	}
+	switch {
+	case p.Family == conv.FamilyWinograd && p.Wino2D:
+		return 1.4
+	case p.Family == conv.FamilyIm2 && strings.HasPrefix(p.Name, "im2row"):
+		return 0.10
+	}
+	return 0
+}
+
 // transformFactorByName maps each direct layout-transform routine to
 // its slowdown versus streaming memcpy bandwidth. Row-block moves keep
 // whole cache lines; per-element permutations (channel interleaves,

@@ -235,3 +235,112 @@ func TestEveryPrimitiveHasCalibration(t *testing.T) {
 		}
 	}
 }
+
+// TestBatchAmortization: a primitive with a real batched entry point
+// amortizes its one-time work, so its batch-N cost is strictly less
+// than N times its batch-1 cost — and the gap is widest for Winograd,
+// whose kernel transform is the setup term. A primitive without a
+// batched implementation executes through the per-image fallback and
+// scales exactly linearly.
+func TestBatchAmortization(t *testing.T) {
+	mo := NewModel(IntelHaswell)
+	const n = 8
+	late := conv.Scenario{C: 160, H: 7, W: 7, Stride: 1, K: 3, M: 320, Pad: 1}
+
+	wino := prim(t, "wino2d-m4-k3-vf8")
+	if wino.RunBatch == nil {
+		t.Fatal("wino2d-m4-k3-vf8 has no batched entry; test assumption broken")
+	}
+	w1, wN := mo.Primitive(wino, late, 1), mo.PrimitiveBatch(wino, late, 1, n)
+	if wN >= float64(n)*w1 {
+		t.Errorf("batched wino cost %g should amortize below %d × %g", wN, n, w1)
+	}
+	if wN <= w1 {
+		t.Errorf("batched wino cost %g cannot be cheaper than one image %g", wN, w1)
+	}
+
+	direct := prim(t, "direct-mchw")
+	if direct.RunBatch != nil {
+		t.Fatal("direct-mchw grew a batched entry; update the fallback side of this test")
+	}
+	d1, dN := mo.Primitive(direct, late, 1), mo.PrimitiveBatch(direct, late, 1, n)
+	if got, want := dN, float64(n)*d1; got != want {
+		t.Errorf("fallback primitive batch cost %g, want exactly %d × %g = %g", got, n, d1, want)
+	}
+
+	// The generic helpers dispatch through the batch-aware contract.
+	if got := PrimitiveN(mo, wino, late, 1, n); got != wN {
+		t.Errorf("PrimitiveN = %g, want the BatchProfiler answer %g", got, wN)
+	}
+	tr := tensor.DirectTransforms()[0]
+	tb := mo.TransformBatch(tr, 64, 28, 28, n)
+	lin := float64(n) * mo.Transform(tr, 64, 28, 28)
+	if tb >= lin {
+		t.Errorf("batched transform %g should shave the per-call overhead off %g", tb, lin)
+	}
+	if got := TransformN(mo, tr, 64, 28, 28, n); got != tb {
+		t.Errorf("TransformN = %g, want the BatchProfiler answer %g", got, tb)
+	}
+}
+
+// nonBatchProfiler implements only the batch-1 contract, to pin the
+// helpers' linear-scaling fallback.
+type nonBatchProfiler struct{}
+
+func (nonBatchProfiler) Primitive(*conv.Primitive, conv.Scenario, int) float64 { return 2e-3 }
+func (nonBatchProfiler) Transform(tensor.Transform, int, int, int) float64     { return 5e-4 }
+
+func TestPrimitiveNFallbackScalesLinearly(t *testing.T) {
+	p := prim(t, "sum2d")
+	s := conv.Scenario{C: 4, H: 8, W: 8, Stride: 1, K: 3, M: 4, Pad: 1}
+	if got := PrimitiveN(nonBatchProfiler{}, p, s, 1, 4); got != 8e-3 {
+		t.Errorf("PrimitiveN fallback = %g, want 4 × 2e-3", got)
+	}
+	tr := tensor.DirectTransforms()[0]
+	if got := TransformN(nonBatchProfiler{}, tr, 4, 8, 8, 4); got != 2e-3 {
+		t.Errorf("TransformN fallback = %g, want 4 × 5e-4", got)
+	}
+}
+
+// TestMeasureThreadsWired: the Threads field is the default budget when
+// a call site passes threads < 1, and a cap otherwise — previously
+// declared but never read.
+func TestMeasureThreadsWired(t *testing.T) {
+	me := &Measure{Reps: 1, Threads: 2}
+	cases := []struct{ in, want int }{
+		{0, 2},  // default: unset call sites inherit the cap
+		{-1, 2}, // negative is unset too
+		{1, 1},  // explicit requests below the cap pass through
+		{2, 2},
+		{5, 2}, // and above it are clamped
+	}
+	for _, c := range cases {
+		if got := me.threadBudget(c.in); got != c.want {
+			t.Errorf("Threads=2: threadBudget(%d) = %d, want %d", c.in, got, c.want)
+		}
+	}
+	uncapped := &Measure{Reps: 1}
+	if got := uncapped.threadBudget(0); got != 1 {
+		t.Errorf("Threads=0: threadBudget(0) = %d, want 1", got)
+	}
+	if got := uncapped.threadBudget(7); got != 7 {
+		t.Errorf("Threads=0: threadBudget(7) = %d, want 7", got)
+	}
+}
+
+// TestMeasureBatch: the batched measurement path must execute the real
+// batched entry points and return positive wall times, for primitives
+// with and without a RunBatch implementation.
+func TestMeasureBatch(t *testing.T) {
+	me := NewMeasure(1)
+	s := conv.Scenario{C: 4, H: 12, W: 12, Stride: 1, K: 3, M: 4, Pad: 1}
+	for _, name := range []string{"im2row-ab", "direct-mchw"} {
+		if c := me.PrimitiveBatch(prim(t, name), s, 1, 3); c <= 0 {
+			t.Errorf("%s: measured batch cost %g must be positive", name, c)
+		}
+	}
+	tr := tensor.DirectTransforms()[0]
+	if c := me.TransformBatch(tr, 4, 12, 12, 3); c <= 0 {
+		t.Error("measured batched transform cost must be positive")
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"sort"
 
 	"pbqpdnn/internal/conv"
 	"pbqpdnn/internal/dnn"
@@ -13,63 +14,172 @@ import (
 
 // Table is a materialized, serializable cost table: every
 // (scenario, primitive, threads) node cost and every
-// (transform, shape) conversion cost a network's optimization needs.
-// This implements the paper's deployment story (§4): "the resulting
-// cost tables are tiny compared to the weight data … making it
-// feasible to produce these cost tables before deployment, and ship
-// them with the trained model". Profile once per hardware platform per
-// DNN model — with the Measure profiler on the real device — then ship
-// the JSON and re-solve on the target without ever running a
-// primitive.
+// (transform, shape) conversion cost a network's optimization needs,
+// optionally per minibatch size. This implements the paper's deployment
+// story (§4): "the resulting cost tables are tiny compared to the
+// weight data … making it feasible to produce these cost tables before
+// deployment, and ship them with the trained model". Profile once per
+// hardware platform per DNN model — with the Measure profiler on the
+// real device, at the batch sizes the deployment will serve — then ship
+// the JSON and re-solve on the target without ever running a primitive.
+//
+// Key format: batch-1 entries use the bare scenario/shape key (the
+// format tables used before batching, so old tables load unchanged);
+// batch-N entries append "@N". Batched lookups that miss fall back to
+// the batch-1 entry scaled linearly by N — the conservative
+// no-amortization estimate — so a batch-1-only table still drives
+// per-bucket selection, just without measured amortization.
 type Table struct {
 	// Machine documents the platform the table was profiled on.
 	Machine string `json:"machine"`
 	// Threads is the thread count the entries were profiled at.
 	Threads int `json:"threads"`
-	// Nodes maps scenario → primitive name → seconds.
+	// Batches records the minibatch sizes profiled into the table.
+	// Empty means batch 1 only (the pre-batching table format).
+	Batches []int `json:"batches,omitempty"`
+	// Nodes maps scenario (suffixed "@N" for batch N > 1) → primitive
+	// name → seconds for the whole batch.
 	Nodes map[string]map[string]float64 `json:"nodes"`
-	// Transforms maps shape ("CxHxW") → transform name → seconds.
+	// Transforms maps shape ("CxHxW", suffixed "@N" for batch N > 1) →
+	// transform name → seconds for the whole batch.
 	Transforms map[string]map[string]float64 `json:"transforms"`
 }
 
 func shapeKey(c, h, w int) string { return fmt.Sprintf("%dx%dx%d", c, h, w) }
 
-// BuildTable profiles every (layer scenario, supporting primitive)
-// pair of the network and every direct transform at every edge shape,
-// using the given profiler — the paper's §3.1 profiling stage,
-// materialized.
-func BuildTable(net *dnn.Graph, lib []*conv.Primitive, prof Profiler, machine string, threads int) *Table {
-	t := &Table{
+// nodeKey is the Nodes map key for a scenario at batch n. Batch-1 keys
+// are the bare scenario string for compatibility with tables written
+// before batch-aware profiling.
+func nodeKey(s conv.Scenario, n int) string {
+	if n <= 1 {
+		return s.String()
+	}
+	return fmt.Sprintf("%s@%d", s.String(), n)
+}
+
+// transformKey is the Transforms map key for a shape at batch n.
+func transformKey(c, h, w, n int) string {
+	if n <= 1 {
+		return shapeKey(c, h, w)
+	}
+	return fmt.Sprintf("%s@%d", shapeKey(c, h, w), n)
+}
+
+// NewTable returns an empty table for the named machine, ready for
+// AddNet.
+func NewTable(machine string, threads int) *Table {
+	return &Table{
 		Machine:    machine,
 		Threads:    threads,
 		Nodes:      map[string]map[string]float64{},
 		Transforms: map[string]map[string]float64{},
 	}
+}
+
+// AddNet profiles every (layer scenario, supporting primitive) pair of
+// the network and every direct transform at every edge shape, at every
+// requested batch size, merging the entries into the table. Entries
+// already present (from a previous AddNet — a registry calibrating
+// several hosted models into one table) are not re-profiled.
+func (t *Table) AddNet(net *dnn.Graph, lib []*conv.Primitive, prof Profiler, batches []int) {
+	t.AddNetTopK(net, lib, nil, prof, batches, 0)
+}
+
+// AddNetTopK is AddNet with per-scenario candidate pruning — the
+// practical form of the paper's §3.1 profiling stage when the profiler
+// actually executes primitives (cost.Measure) on a full-size network:
+// wall-clocking all ~70 library entries per layer per batch bucket
+// costs hours, but the analytic ranker agrees with the hardware about
+// which handful are contenders. For each conv scenario the shortlist is
+// the union, over the requested batch sizes, of the ranker's k cheapest
+// supporting primitives at that batch — so both the per-image favorites
+// and the batch-amortized favorites get measured — and only the
+// shortlist is priced with meas. Unmeasured primitives stay absent
+// (+Inf to the selector, which prunes them from the PBQP instance).
+// k ≤ 0 or a nil ranker disables pruning and measures everything.
+func (t *Table) AddNetTopK(net *dnn.Graph, lib []*conv.Primitive, ranker, meas Profiler, batches []int, k int) {
+	if len(batches) == 0 {
+		batches = []int{1}
+	}
+	for _, b := range batches {
+		t.noteBatch(b)
+	}
 	for _, id := range net.ConvLayers() {
 		s := net.Layers[id].Conv
-		key := s.String()
-		if _, done := t.Nodes[key]; done {
-			continue
+		cands := conv.Supporting(lib, s)
+		if k > 0 && ranker != nil && len(cands) > k {
+			keep := map[string]bool{}
+			for _, b := range batches {
+				ranked := append([]*conv.Primitive(nil), cands...)
+				sort.SliceStable(ranked, func(i, j int) bool {
+					return PrimitiveN(ranker, ranked[i], s, t.Threads, b) <
+						PrimitiveN(ranker, ranked[j], s, t.Threads, b)
+				})
+				for i := 0; i < k && i < len(ranked); i++ {
+					keep[ranked[i].Name] = true
+				}
+			}
+			var short []*conv.Primitive
+			for _, p := range cands {
+				if keep[p.Name] {
+					short = append(short, p)
+				}
+			}
+			cands = short
 		}
-		row := map[string]float64{}
-		for _, p := range lib {
-			if p.Supports(s) {
-				row[p.Name] = prof.Primitive(p, s, threads)
+		for _, b := range batches {
+			key := nodeKey(s, b)
+			row := t.Nodes[key]
+			if row == nil {
+				row = map[string]float64{}
+				t.Nodes[key] = row
+			}
+			for _, p := range cands {
+				if _, done := row[p.Name]; !done {
+					row[p.Name] = PrimitiveN(meas, p, s, t.Threads, b)
+				}
 			}
 		}
-		t.Nodes[key] = row
 	}
-	for _, l := range net.Layers {
-		key := shapeKey(l.OutC, l.OutH, l.OutW)
-		if _, done := t.Transforms[key]; done {
-			continue
+	for _, b := range batches {
+		for _, l := range net.Layers {
+			key := transformKey(l.OutC, l.OutH, l.OutW, b)
+			if _, done := t.Transforms[key]; done {
+				continue
+			}
+			row := map[string]float64{}
+			for _, tr := range tensor.DirectTransforms() {
+				row[tr.Name] = TransformN(meas, tr, l.OutC, l.OutH, l.OutW, b)
+			}
+			t.Transforms[key] = row
 		}
-		row := map[string]float64{}
-		for _, tr := range tensor.DirectTransforms() {
-			row[tr.Name] = prof.Transform(tr, l.OutC, l.OutH, l.OutW)
-		}
-		t.Transforms[key] = row
 	}
+}
+
+// noteBatch records a profiled batch size (sorted, deduplicated).
+func (t *Table) noteBatch(b int) {
+	for _, have := range t.Batches {
+		if have == b {
+			return
+		}
+	}
+	t.Batches = append(t.Batches, b)
+	sort.Ints(t.Batches)
+}
+
+// BuildTable profiles the network at batch 1 — the paper's §3.1
+// profiling stage, materialized. It is BuildTableBatches at {1}.
+func BuildTable(net *dnn.Graph, lib []*conv.Primitive, prof Profiler, machine string, threads int) *Table {
+	return BuildTableBatches(net, lib, prof, machine, threads, []int{1})
+}
+
+// BuildTableBatches profiles the network at every given batch size:
+// the batch-aware §3.1 profiling stage, pricing each (scenario,
+// primitive) pair and each edge shape per minibatch bucket so the
+// per-bucket PBQP solves on the target need the table alone.
+func BuildTableBatches(net *dnn.Graph, lib []*conv.Primitive, prof Profiler, machine string, threads int, batches []int) *Table {
+	t := NewTable(machine, threads)
+	t.AddNet(net, lib, prof, batches)
 	return t
 }
 
@@ -77,7 +187,7 @@ func BuildTable(net *dnn.Graph, lib []*conv.Primitive, prof Profiler, machine st
 // missing from the table (a scenario or primitive that was not
 // profiled) cost +Inf, so the selector will never choose them.
 func (t *Table) Primitive(p *conv.Primitive, s conv.Scenario, threads int) float64 {
-	if row, ok := t.Nodes[s.String()]; ok {
+	if row, ok := t.Nodes[nodeKey(s, 1)]; ok {
 		if c, ok := row[p.Name]; ok {
 			return c
 		}
@@ -85,11 +195,50 @@ func (t *Table) Primitive(p *conv.Primitive, s conv.Scenario, threads int) float
 	return math.Inf(1)
 }
 
+// PrimitiveBatch implements BatchProfiler from the materialized table.
+// A missing (scenario, N) entry falls back to N times the batch-1
+// entry — the documented no-amortization estimate that keeps old
+// shape-only tables usable for per-bucket selection — and +Inf when
+// the scenario was never profiled at all.
+func (t *Table) PrimitiveBatch(p *conv.Primitive, s conv.Scenario, threads, n int) float64 {
+	if row, ok := t.Nodes[nodeKey(s, n)]; ok {
+		if c, ok := row[p.Name]; ok {
+			return c
+		}
+	}
+	if n > 1 {
+		if row, ok := t.Nodes[nodeKey(s, 1)]; ok {
+			if c, ok := row[p.Name]; ok {
+				return float64(n) * c
+			}
+		}
+	}
+	return math.Inf(1)
+}
+
 // Transform implements Profiler from the materialized table.
 func (t *Table) Transform(tr tensor.Transform, c, h, w int) float64 {
-	if row, ok := t.Transforms[shapeKey(c, h, w)]; ok {
+	if row, ok := t.Transforms[transformKey(c, h, w, 1)]; ok {
 		if v, ok := row[tr.Name]; ok {
 			return v
+		}
+	}
+	return math.Inf(1)
+}
+
+// TransformBatch implements BatchProfiler from the table, with the
+// same batch-1 linear-scaling fallback as PrimitiveBatch.
+func (t *Table) TransformBatch(tr tensor.Transform, c, h, w, n int) float64 {
+	if row, ok := t.Transforms[transformKey(c, h, w, n)]; ok {
+		if v, ok := row[tr.Name]; ok {
+			return v
+		}
+	}
+	if n > 1 {
+		if row, ok := t.Transforms[transformKey(c, h, w, 1)]; ok {
+			if v, ok := row[tr.Name]; ok {
+				return float64(n) * v
+			}
 		}
 	}
 	return math.Inf(1)
@@ -115,7 +264,9 @@ func (t *Table) Save(w io.Writer) error {
 	return enc.Encode(t)
 }
 
-// LoadTable reads a table written by Save.
+// LoadTable reads a table written by Save (any version: tables written
+// before batch-aware profiling carry bare shape keys, which the
+// batched lookups treat as batch-1 entries).
 func LoadTable(r io.Reader) (*Table, error) {
 	var t Table
 	if err := json.NewDecoder(r).Decode(&t); err != nil {

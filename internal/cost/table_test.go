@@ -148,3 +148,153 @@ func TestTableIsTiny(t *testing.T) {
 		t.Errorf("cost table (%d B) should be smaller than the weights (%d B)", buf.Len(), weightBytes)
 	}
 }
+
+// TestTableBatchKeysRoundTrip: a table profiled at several batch sizes
+// must survive the JSON round trip with every batch-keyed entry intact,
+// and the batched Profiler view over the loaded table must answer
+// identically to the live profiler it was built from.
+func TestTableBatchKeysRoundTrip(t *testing.T) {
+	net := tableNet()
+	lib := conv.Library()
+	mo := NewModel(IntelHaswell)
+	batches := []int{1, 4}
+	tab := BuildTableBatches(net, lib, mo, IntelHaswell.Name, 2, batches)
+
+	var buf bytes.Buffer
+	if err := tab.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadTable(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(loaded.Batches, batches) {
+		t.Errorf("Batches = %v, want %v", loaded.Batches, batches)
+	}
+	if !reflect.DeepEqual(loaded.Nodes, tab.Nodes) {
+		t.Error("batch-keyed node costs changed across round trip")
+	}
+	if !reflect.DeepEqual(loaded.Transforms, tab.Transforms) {
+		t.Error("batch-keyed transform costs changed across round trip")
+	}
+	for _, id := range net.ConvLayers() {
+		s := net.Layers[id].Conv
+		for _, p := range lib {
+			if !p.Supports(s) {
+				continue
+			}
+			for _, b := range batches {
+				got := loaded.PrimitiveBatch(p, s, 2, b)
+				want := mo.PrimitiveBatch(p, s, 2, b)
+				if got != want {
+					t.Errorf("%s on %s @%d: table %g != live %g", p.Name, s, b, got, want)
+				}
+			}
+		}
+	}
+	for _, l := range net.Layers {
+		for _, tr := range tensor.DirectTransforms() {
+			got := loaded.TransformBatch(tr, l.OutC, l.OutH, l.OutW, 4)
+			want := mo.TransformBatch(tr, l.OutC, l.OutH, l.OutW, 4)
+			if got != want {
+				t.Errorf("%s at %dx%dx%d @4: table %g != live %g", tr.Name, l.OutC, l.OutH, l.OutW, got, want)
+			}
+		}
+	}
+}
+
+// TestTableBatchFallback: a (shape, N) key missing from the table falls
+// back to N times the batch-1 entry; a scenario never profiled at all
+// stays +Inf.
+func TestTableBatchFallback(t *testing.T) {
+	net := tableNet()
+	lib := conv.Library()
+	tab := BuildTable(net, lib, NewModel(IntelHaswell), "intel", 1) // batch-1 entries only
+
+	s := net.Layers[net.ConvLayers()[0]].Conv
+	for _, p := range lib {
+		if !p.Supports(s) {
+			continue
+		}
+		b1 := tab.Primitive(p, s, 1)
+		if got, want := tab.PrimitiveBatch(p, s, 1, 8), 8*b1; got != want {
+			t.Errorf("%s: batch-8 fallback %g, want 8 × %g = %g", p.Name, got, b1, want)
+		}
+	}
+	tr := tensor.DirectTransforms()[0]
+	l := net.Layers[0]
+	if got, want := tab.TransformBatch(tr, l.OutC, l.OutH, l.OutW, 8), 8*tab.Transform(tr, l.OutC, l.OutH, l.OutW); got != want {
+		t.Errorf("transform batch-8 fallback %g, want %g", got, want)
+	}
+	missing := conv.Scenario{C: 999, H: 9, W: 9, Stride: 1, K: 3, M: 9, Pad: 1}
+	if !math.IsInf(tab.PrimitiveBatch(conv.Sum2D(), missing, 1, 8), 1) {
+		t.Error("unprofiled scenario should be +Inf at any batch")
+	}
+}
+
+// TestTableMixedVersionLoad: a table serialized before batch-aware
+// profiling (bare shape keys, no "batches" field) must load under the
+// new code and drive batched lookups through the batch-1 fallback.
+func TestTableMixedVersionLoad(t *testing.T) {
+	old := `{
+	 "machine": "legacy-host",
+	 "threads": 1,
+	 "nodes": {"{C=3 H=16 W=16 δ=1 K=3 M=8 P=1}": {"sum2d": 0.25}},
+	 "transforms": {"8x16x16": {"chw2hwc": 0.125}}
+	}`
+	tab, err := LoadTable(strings.NewReader(old))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Batches) != 0 {
+		t.Errorf("legacy table should carry no Batches, got %v", tab.Batches)
+	}
+	s := conv.Scenario{C: 3, H: 16, W: 16, Stride: 1, K: 3, M: 8, Pad: 1}
+	p := conv.Sum2D()
+	if got := tab.Primitive(p, s, 1); got != 0.25 {
+		t.Errorf("batch-1 lookup = %g, want 0.25", got)
+	}
+	if got := tab.PrimitiveBatch(p, s, 1, 4); got != 1.0 {
+		t.Errorf("batch-4 lookup through legacy table = %g, want 4 × 0.25", got)
+	}
+	if got := PrimitiveN(tab, p, s, 1, 4); got != 1.0 {
+		t.Errorf("PrimitiveN over legacy table = %g, want 1.0", got)
+	}
+	var chw2hwc tensor.Transform
+	for _, tr := range tensor.DirectTransforms() {
+		if tr.Name == "chw2hwc" {
+			chw2hwc = tr
+		}
+	}
+	if got := tab.TransformBatch(chw2hwc, 8, 16, 16, 4); got != 0.5 {
+		t.Errorf("batched transform through legacy table = %g, want 4 × 0.125", got)
+	}
+}
+
+// TestAddNetMergesWithoutReprofiling: calibrating a second network into
+// an existing table keeps the first network's entries and records the
+// union of profiled batch sizes.
+func TestAddNetMergesWithoutReprofiling(t *testing.T) {
+	lib := conv.Library()
+	mo := NewModel(IntelHaswell)
+	tab := NewTable("merge-host", 1)
+	tab.AddNet(tableNet(), lib, mo, []int{1, 2})
+	before := tab.NumEntries()
+
+	other, err := models.Build("micronet")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab.AddNet(other, lib, mo, []int{2, 4})
+	if tab.NumEntries() <= before {
+		t.Error("second AddNet added no entries")
+	}
+	if want := []int{1, 2, 4}; !reflect.DeepEqual(tab.Batches, want) {
+		t.Errorf("Batches = %v, want %v", tab.Batches, want)
+	}
+	// First net's entries are still answered exactly.
+	s := tableNet().Layers[tableNet().ConvLayers()[0]].Conv
+	if got, want := tab.PrimitiveBatch(conv.Sum2D(), s, 1, 2), mo.PrimitiveBatch(conv.Sum2D(), s, 1, 2); got != want {
+		t.Errorf("first net entry %g, want %g after merge", got, want)
+	}
+}

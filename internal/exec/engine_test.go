@@ -173,9 +173,12 @@ func TestEngineMatchesReferenceVGGAndResNetStyle(t *testing.T) {
 // 1e-4 relative tolerance on the real full-size AlexNet, GoogLeNet and
 // ResNet-18 at batch sizes 1, 3 and 8 — under the race detector too,
 // where the parallel safety of the static slot plan is actually
-// exercised. Each batch size compiles its own program (the memory plan
+// exercised. Each batch size selects its own per-bucket plan
+// (selector.SelectBatch: batch-amortized node costs genuinely change
+// the picked primitives) and compiles its own program (the memory plan
 // is N-dependent: batched programs slot conv outputs and scale every
-// slot by N). (Full-size VGG is opt-in via DNNEXEC_FULL=1 — its
+// slot by N), so this covers every plan a batch-aware serving registry
+// would execute. (Full-size VGG is opt-in via DNNEXEC_FULL=1 — its
 // reference execution alone runs minutes.) Batch slots repeat one
 // image so the whole-model oracle runs once; distinct-image batch
 // purity is covered by the tiny/scaled harnesses.
@@ -193,17 +196,20 @@ func TestEngineMatchesReferenceFullModels(t *testing.T) {
 			t.Fatal(err)
 		}
 		w := NewWeights(g)
-		plan, err := selector.Select(g, selector.Options{
-			Prof: cost.NewModel(cost.IntelHaswell), Threads: 4})
-		if err != nil {
-			t.Fatal(err)
-		}
 		in := newInput(g, 42)
 		ref, err := Reference(g, in, w)
 		if err != nil {
 			t.Fatal(err)
 		}
 		for _, batch := range []int{1, 3, 8} {
+			plan, err := selector.SelectBatch(g, batch, selector.Options{
+				Prof: cost.NewModel(cost.IntelHaswell), Threads: 4})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if plan.Batch != batch {
+				t.Fatalf("%s: bucket plan carries batch %d, want %d", name, plan.Batch, batch)
+			}
 			eng, err := NewEngineBatch(plan, w, batch)
 			if err != nil {
 				t.Fatal(err)

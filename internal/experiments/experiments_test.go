@@ -266,3 +266,40 @@ func TestBatchSweep(t *testing.T) {
 		t.Error("sweep rendering broken")
 	}
 }
+
+// TestPlanSweep: the batch-aware selection comparison must run end to
+// end on the smallest model — calibration, two PBQP solves per batch,
+// two compiled engines, measured ratio — and its report must render.
+func TestPlanSweep(t *testing.T) {
+	pts, err := PlanSweep("micronet", 1, []int{1, 2}, PlanSweepOptions{Reps: 1, TopK: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 2 {
+		t.Fatalf("points = %d, want 2", len(pts))
+	}
+	for _, p := range pts {
+		if !p.Calibrated {
+			t.Error("default plansweep must calibrate measured costs")
+		}
+		if p.Batch1PlanNsPerImage <= 0 || p.BatchPlanNsPerImage <= 0 || p.SpeedupX <= 0 {
+			t.Errorf("batch %d: non-positive measurement %+v", p.Batch, p)
+		}
+		if p.PredictedBatchMS <= 0 {
+			t.Errorf("batch %d: missing prediction", p.Batch)
+		}
+	}
+	if out := FormatPlanSweep(pts); !strings.Contains(out, "batch-N plan") {
+		t.Errorf("report misses the comparison header:\n%s", out)
+	}
+
+	// The analytic-model path must run without measuring primitives.
+	pts, err = PlanSweep("micronet", 1, []int{2}, PlanSweepOptions{
+		Prof: cost.NewModel(cost.IntelHaswell)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pts[0].Calibrated {
+		t.Error("explicit profiler must not be reported as calibrated")
+	}
+}

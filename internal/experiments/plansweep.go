@@ -1,0 +1,199 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"pbqpdnn/internal/conv"
+	"pbqpdnn/internal/cost"
+	"pbqpdnn/internal/dnn/models"
+	"pbqpdnn/internal/exec"
+	"pbqpdnn/internal/selector"
+)
+
+// This file implements the plansweep experiment: the end-to-end proof
+// that batch-aware, profile-guided selection pays. For each batch size
+// N it solves two PBQP instances over the same profiled costs — the
+// per-image (batch-1) instance and the batch-N instance — compiles
+// both plans at batch N, and measures the real batched engine on both.
+// The per-layer plan diff shows *which* layers the optimizer moves when
+// the minibatch amortizes setup work; the wall-clock ratio shows what
+// that re-selection is worth on this machine.
+
+// PlanSwitch records one conv layer whose selected primitive differs
+// between the batch-1 plan and the batch-N plan.
+type PlanSwitch struct {
+	Layer  string `json:"layer"`
+	Batch1 string `json:"batch1_primitive"`
+	BatchN string `json:"batchn_primitive"`
+}
+
+// PlanSweepPoint is one row of the sweep: the plan diff at this batch
+// size and the measured per-image cost of executing each plan at it.
+type PlanSweepPoint struct {
+	Net        string
+	Batch      int
+	Threads    int
+	Calibrated bool // costs measured on this host vs the analytic model
+
+	// Switches lists the conv layers whose primitive changes when the
+	// PBQP instance is priced at this batch size.
+	Switches []PlanSwitch
+
+	// Batch1PlanNsPerImage executes the batch-1 plan compiled at batch
+	// N (the pre-batch-aware serving configuration); BatchPlanNsPerImage
+	// executes the batch-N plan. Both are min-of-batchSweepReps wall
+	// times. SpeedupX > 1 means per-bucket selection wins.
+	Batch1PlanNsPerImage float64
+	BatchPlanNsPerImage  float64
+	SpeedupX             float64
+
+	// PredictedBatch1MS and PredictedBatchMS are the profiler's
+	// per-image predictions for the two plans, both priced at this
+	// batch size (the batch-1 plan's choices are re-priced with the
+	// batched entry points they would actually execute, so the
+	// predicted gap isolates the selection difference, exactly like
+	// the measured one).
+	PredictedBatch1MS float64
+	PredictedBatchMS  float64
+}
+
+// planCostPerImageAt re-prices a plan's choices — node primitives and
+// legalized conversion chains — at batch n, returning predicted
+// seconds per image.
+func planCostPerImageAt(prof cost.Profiler, plan *selector.Plan, threads, n int) float64 {
+	g := plan.Net
+	total := 0.0
+	for _, id := range g.ConvLayers() {
+		total += cost.PrimitiveN(prof, plan.Primitives[id], g.Layers[id].Conv, threads, n)
+	}
+	for e, chain := range plan.Conversions {
+		lu := g.Layers[e[0]]
+		for _, tr := range chain {
+			total += cost.TransformN(prof, tr, lu.OutC, lu.OutH, lu.OutW, n)
+		}
+	}
+	return total / float64(n)
+}
+
+// PlanSweepOptions tunes the sweep's profiling stage.
+type PlanSweepOptions struct {
+	// Prof, when non-nil, prices both instances (e.g. the analytic
+	// model, or a pre-built table). When nil the sweep calibrates: it
+	// measures the real primitives on this host at batch 1 and at every
+	// swept batch size (top-K pruned), exactly the table dnnprof
+	// -calibrate would ship.
+	Prof cost.Profiler
+	// Reps is the calibration best-of count (default 1).
+	Reps int
+	// TopK is the calibration shortlist per layer per batch; ≤ 0
+	// measures every supporting primitive (the same semantics as
+	// dnnprof -calibrate-top and cost.Table.AddNetTopK).
+	TopK int
+}
+
+// PlanSweep runs the batch-aware-selection comparison on one of the
+// model zoo networks.
+func PlanSweep(netName string, threads int, batches []int, o PlanSweepOptions) ([]PlanSweepPoint, error) {
+	g, err := models.Build(netName)
+	if err != nil {
+		return nil, err
+	}
+	calibrated := false
+	prof := o.Prof
+	if prof == nil {
+		calibrated = true
+		if o.Reps < 1 {
+			o.Reps = 1
+		}
+		profiled := append([]int{1}, batches...)
+		tab := cost.NewTable("plansweep-host", threads)
+		tab.AddNetTopK(g, conv.Library(), cost.NewModel(cost.IntelHaswell),
+			&cost.Measure{Reps: o.Reps, Threads: threads}, profiled, o.TopK)
+		prof = tab
+	}
+	opts := selector.Options{Prof: prof, Threads: threads}
+	base, err := selector.Select(g, opts)
+	if err != nil {
+		return nil, err
+	}
+	w := exec.NewWeights(g)
+
+	var pts []PlanSweepPoint
+	for _, batch := range batches {
+		planN, err := selector.SelectBatch(g, batch, opts)
+		if err != nil {
+			return nil, err
+		}
+		pt := PlanSweepPoint{
+			Net:               netName,
+			Batch:             batch,
+			Threads:           threads,
+			Calibrated:        calibrated,
+			PredictedBatch1MS: planCostPerImageAt(prof, base, threads, batch) * 1e3,
+			PredictedBatchMS:  planN.CostPerImage() * 1e3,
+		}
+		for _, id := range g.ConvLayers() {
+			if base.Primitives[id].Name != planN.Primitives[id].Name {
+				pt.Switches = append(pt.Switches, PlanSwitch{
+					Layer:  g.Layers[id].Name,
+					Batch1: base.Primitives[id].Name,
+					BatchN: planN.Primitives[id].Name,
+				})
+			}
+		}
+
+		inputs := makeBatch(g, batch)
+		measure := func(plan *selector.Plan) (float64, error) {
+			eng, err := exec.NewEngineBatch(plan, w, batch)
+			if err != nil {
+				return 0, err
+			}
+			if _, err := eng.RunBatch(inputs); err != nil { // warm
+				return 0, err
+			}
+			total, err := minWallNs(batchSweepReps, func() error {
+				_, err := eng.RunBatch(inputs)
+				return err
+			})
+			if err != nil {
+				return 0, err
+			}
+			return total / float64(batch), nil
+		}
+		if pt.Batch1PlanNsPerImage, err = measure(base); err != nil {
+			return nil, err
+		}
+		if pt.BatchPlanNsPerImage, err = measure(planN); err != nil {
+			return nil, err
+		}
+		pt.SpeedupX = pt.Batch1PlanNsPerImage / pt.BatchPlanNsPerImage
+		pts = append(pts, pt)
+	}
+	return pts, nil
+}
+
+// FormatPlanSweep renders the comparison with the per-layer diffs.
+func FormatPlanSweep(pts []PlanSweepPoint) string {
+	var b strings.Builder
+	if len(pts) > 0 {
+		src := "analytic model"
+		if pts[0].Calibrated {
+			src = "measured on this host"
+		}
+		fmt.Fprintf(&b, "== batch-N plan vs batch-1 plan, both executed batched (%s, %d threads, costs %s) ==\n",
+			pts[0].Net, pts[0].Threads, src)
+	}
+	fmt.Fprintf(&b, "%-7s %-9s %-19s %-19s %s\n",
+		"batch", "switches", "batch-1 plan ms/img", "batch-N plan ms/img", "speedup")
+	for _, p := range pts {
+		fmt.Fprintf(&b, "%-7d %-9d %-19.1f %-19.1f %.2fx\n",
+			p.Batch, len(p.Switches), p.Batch1PlanNsPerImage/1e6, p.BatchPlanNsPerImage/1e6, p.SpeedupX)
+	}
+	for _, p := range pts {
+		for _, s := range p.Switches {
+			fmt.Fprintf(&b, "  batch %-4d %-26s %s -> %s\n", p.Batch, s.Layer, s.Batch1, s.BatchN)
+		}
+	}
+	return b.String()
+}

@@ -122,3 +122,37 @@ func TestCompileBatchRejectsBadN(t *testing.T) {
 		}
 	}
 }
+
+// TestCompileBatchBucketPlans: a plan selected for one batch bucket
+// compiles at exactly that bucket and is rejected at any other, while a
+// batch-agnostic (Select) plan compiles at every bucket — the seam that
+// keeps a serving registry from executing bucket B against bucket A's
+// optimization.
+func TestCompileBatchBucketPlans(t *testing.T) {
+	g, err := models.Build("micronet")
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := selector.Options{Prof: cost.NewModel(cost.IntelHaswell), Threads: 1}
+	b4, err := selector.SelectBatch(g, 4, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := CompileBatch(b4, 4); err != nil {
+		t.Errorf("batch-4 plan at bucket 4: %v", err)
+	}
+	for _, n := range []int{1, 2, 8} {
+		if _, err := CompileBatch(b4, n); err == nil {
+			t.Errorf("batch-4 plan compiled at bucket %d; CheckBatch should reject the mismatch", n)
+		}
+	}
+	agnostic, err := selector.Select(g, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range []int{1, 2, 4, 8} {
+		if _, err := CompileBatch(agnostic, n); err != nil {
+			t.Errorf("batch-agnostic plan at bucket %d: %v", n, err)
+		}
+	}
+}

@@ -255,6 +255,12 @@ func Compile(plan *selector.Plan) (*Program, error) {
 // structure, run the liveness analysis that assigns values to reusable
 // slots and marks in-place execution, and validate the result.
 //
+// The plan may be the bucket's own batch-optimized plan (selected by
+// selector.SelectBatch at this N) or a batch-agnostic per-image plan;
+// a plan selected for a *different* batch bucket is rejected by
+// Plan.CheckBatch, so a serving registry cannot silently execute one
+// bucket against another bucket's optimization.
+//
 // The instruction stream is identical for every N; the memory plan is
 // not. At N = 1 convolution outputs stay dynamic (the per-image
 // primitives allocate their own outputs, preserving the original
@@ -266,7 +272,7 @@ func CompileBatch(plan *selector.Plan, batch int) (*Program, error) {
 	if batch < 1 {
 		return nil, fmt.Errorf("program: invalid batch size %d", batch)
 	}
-	if err := plan.Check(); err != nil {
+	if err := plan.CheckBatch(batch); err != nil {
 		return nil, fmt.Errorf("program: %w", err)
 	}
 	net := plan.Net

@@ -15,6 +15,7 @@ package selector
 
 import (
 	"fmt"
+	"math"
 	"time"
 
 	"pbqpdnn/internal/conv"
@@ -30,6 +31,15 @@ type Plan struct {
 	Net      *dnn.Graph
 	Strategy string
 	Threads  int
+
+	// Batch is the minibatch size the plan was optimized for: node costs
+	// priced the batched entry points at this N and edge costs the
+	// batched conversion slabs. Values ≤ 1 mark a batch-agnostic plan
+	// (selected per image, executable at any batch size — the contract
+	// every plan had before batch-aware selection); a plan with Batch > 1
+	// is only valid for exactly that batch bucket, which CheckBatch
+	// enforces.
+	Batch int
 
 	// Primitives maps each conv layer id to its selected primitive.
 	Primitives map[int]*conv.Primitive
@@ -47,8 +57,18 @@ type Plan struct {
 	SolveTime time.Duration
 }
 
-// TotalCost is the predicted whole-network execution time in seconds.
+// TotalCost is the predicted whole-network execution time in seconds
+// (for the whole batch when the plan was selected at Batch > 1).
 func (p *Plan) TotalCost() float64 { return p.NodeCost + p.EdgeCost }
+
+// CostPerImage is the predicted execution time per image: TotalCost
+// divided by the plan's batch size.
+func (p *Plan) CostPerImage() float64 {
+	if p.Batch > 1 {
+		return p.TotalCost() / float64(p.Batch)
+	}
+	return p.TotalCost()
+}
 
 // Check verifies the plan's structural integrity for execution: every
 // conv layer has a primitive whose layouts agree with the plan, and
@@ -97,6 +117,24 @@ func (p *Plan) Check() error {
 	return nil
 }
 
+// CheckBatch verifies the plan for execution at the given batch bucket:
+// structural integrity (Check) plus the bucket/plan agreement — a plan
+// selected against batch-N costs must execute at exactly N, while a
+// batch-agnostic (per-image) plan may execute at any size. Compilers
+// (program.CompileBatch, and through it exec.NewEngineBatch) call it so
+// a serving registry can never silently execute bucket B against a plan
+// optimized for a different bucket.
+func (p *Plan) CheckBatch(batch int) error {
+	if err := p.Check(); err != nil {
+		return err
+	}
+	if p.Batch > 1 && p.Batch != batch {
+		return fmt.Errorf("selector: plan for %q was selected at batch %d, cannot execute batch bucket %d",
+			p.Net.Name, p.Batch, batch)
+	}
+	return nil
+}
+
 // Options configures a selection run.
 type Options struct {
 	// Lib is the primitive library (conv.Library() by default).
@@ -118,15 +156,21 @@ func (o *Options) defaults() {
 	}
 }
 
-// dtCache builds DT closures lazily per tensor shape, since transform
-// costs depend on the tensor dimensions on each edge (§3.1).
+// dtCache builds DT closures lazily per (tensor shape, batch), since
+// transform costs depend on the tensor dimensions on each edge (§3.1)
+// and, for batched selection, on the size of the batched slab the
+// legalized conversion will actually move.
 type dtCache struct {
-	prof cost.Profiler
-	m    map[[3]int]*dtgraph.Graph
+	prof  cost.Profiler
+	batch int
+	m     map[[3]int]*dtgraph.Graph
 }
 
-func newDTCache(prof cost.Profiler) *dtCache {
-	return &dtCache{prof: prof, m: map[[3]int]*dtgraph.Graph{}}
+func newDTCache(prof cost.Profiler, batch int) *dtCache {
+	if batch < 1 {
+		batch = 1
+	}
+	return &dtCache{prof: prof, batch: batch, m: map[[3]int]*dtgraph.Graph{}}
 }
 
 func (d *dtCache) get(c, h, w int) *dtgraph.Graph {
@@ -135,7 +179,7 @@ func (d *dtCache) get(c, h, w int) *dtgraph.Graph {
 		return g
 	}
 	g := dtgraph.New(tensor.DirectTransforms(), func(tr tensor.Transform) float64 {
-		return d.prof.Transform(tr, c, h, w)
+		return cost.TransformN(d.prof, tr, c, h, w, d.batch)
 	})
 	d.m[key] = g
 	return g
@@ -165,23 +209,30 @@ func (c choice) outLayout() tensor.Layout {
 // problem is the assembled PBQP instance plus its back-mapping. It
 // carries the DT-closure cache from assembly into legalization, so
 // finish never recomputes the per-shape closures build already paid
-// for.
+// for, and the batch size the instance was priced at.
 type problem struct {
 	graph   *pbqp.Graph
 	choices [][]choice // per layer id
 	dts     *dtCache
+	batch   int
 }
 
-// build assembles the PBQP instance. convChoices gives the candidate
-// primitives per conv layer; layoutChoices the candidate layouts per
-// wildcard layer; overhead scales node costs (vendor-proxy dispatch
-// tax).
+// build assembles the PBQP instance for one batch bucket. convChoices
+// gives the candidate primitives per conv layer; layoutChoices the
+// candidate layouts per wildcard layer; overhead scales node costs
+// (vendor-proxy dispatch tax). Node costs price the batched entry
+// points at the bucket size, and edge costs the batched conversion
+// slabs, so each bucket's instance is a genuinely different PBQP.
 func build(net *dnn.Graph, opts *Options, convChoices map[int][]*conv.Primitive,
-	layoutChoices []tensor.Layout, overhead float64) (*problem, error) {
+	layoutChoices []tensor.Layout, overhead float64, batch int) (*problem, error) {
+	if batch < 1 {
+		batch = 1
+	}
 	pr := &problem{
 		graph:   pbqp.NewGraph(),
 		choices: make([][]choice, net.NumLayers()),
-		dts:     newDTCache(opts.Prof),
+		dts:     newDTCache(opts.Prof, batch),
+		batch:   batch,
 	}
 	dts := pr.dts
 	for _, l := range net.Layers {
@@ -193,8 +244,18 @@ func build(net *dnn.Graph, opts *Options, convChoices map[int][]*conv.Primitive,
 				return nil, fmt.Errorf("selector: no candidate primitive for layer %q %s", l.Name, l.Conv)
 			}
 			for _, p := range prims {
+				c := cost.PrimitiveN(opts.Prof, p, l.Conv, opts.Threads, batch) * overhead
+				// A +Inf cost means the profiler has no entry (a pruned
+				// candidate of a top-K calibrated table): exclude it from
+				// the instance rather than hand the solver infinities.
+				if math.IsInf(c, 1) {
+					continue
+				}
 				cs = append(cs, choice{prim: p})
-				costs = append(costs, opts.Prof.Primitive(p, l.Conv, opts.Threads)*overhead)
+				costs = append(costs, c)
+			}
+			if len(cs) == 0 {
+				return nil, fmt.Errorf("selector: no priced candidate primitive for layer %q %s (profiler table missing the scenario?)", l.Name, l.Conv)
 			}
 		} else {
 			for _, lay := range layoutChoices {
@@ -232,6 +293,7 @@ func (pr *problem) finish(net *dnn.Graph, opts *Options, name string) (*Plan, er
 		Net:         net,
 		Strategy:    name,
 		Threads:     opts.Threads,
+		Batch:       pr.batch,
 		Primitives:  map[int]*conv.Primitive{},
 		Layouts:     map[int]tensor.Layout{},
 		Conversions: map[[2]int][]tensor.Transform{},
@@ -244,7 +306,7 @@ func (pr *problem) finish(net *dnn.Graph, opts *Options, name string) (*Plan, er
 		plan.Layouts[l.ID] = ch.outLayout()
 		if l.IsConv() {
 			plan.Primitives[l.ID] = ch.prim
-			plan.NodeCost += opts.Prof.Primitive(ch.prim, l.Conv, opts.Threads)
+			plan.NodeCost += cost.PrimitiveN(opts.Prof, ch.prim, l.Conv, opts.Threads, pr.batch)
 		}
 	}
 	// Legalization (§3): bisect every edge whose endpoint layouts
@@ -270,14 +332,33 @@ func (pr *problem) finish(net *dnn.Graph, opts *Options, name string) (*Plan, er
 
 // Select runs the paper's full PBQP strategy: every supporting
 // primitive is a candidate for every conv layer, wildcard layers range
-// over all layouts, and the solver finds the global optimum.
+// over all layouts, and the solver finds the global optimum. The plan
+// is priced per image (batch 1) and stays batch-agnostic: executors
+// may compile it at any batch size. It is SelectBatch at N = 1.
 func Select(net *dnn.Graph, opts Options) (*Plan, error) {
+	return SelectBatch(net, 1, opts)
+}
+
+// SelectBatch runs the full PBQP strategy against the costs of one
+// batch bucket: every conv node is priced by the batched entry points
+// at N images (cost.PrimitiveN — amortized setup for primitives with a
+// real batched implementation, linear scaling for the per-image
+// fallback), and every edge by the cost of converting the N-image slab
+// that actually flows over it. Each bucket therefore gets its own PBQP
+// instance and, in general, a different optimal plan — batched im2row
+// and wino2d amortize work the per-image primitives cannot, so the
+// cost-optimal primitive per layer genuinely changes with N. The
+// returned plan records Batch = N; CheckBatch ties it to its bucket.
+func SelectBatch(net *dnn.Graph, batch int, opts Options) (*Plan, error) {
+	if batch < 1 {
+		return nil, fmt.Errorf("selector: invalid batch size %d", batch)
+	}
 	opts.defaults()
 	convChoices := map[int][]*conv.Primitive{}
 	for _, id := range net.ConvLayers() {
 		convChoices[id] = conv.Supporting(opts.Lib, net.Layers[id].Conv)
 	}
-	pr, err := build(net, &opts, convChoices, tensor.Layouts(), 1)
+	pr, err := build(net, &opts, convChoices, tensor.Layouts(), 1, batch)
 	if err != nil {
 		return nil, err
 	}

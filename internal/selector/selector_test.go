@@ -386,3 +386,103 @@ func TestDTCacheSharedAcrossBuildAndFinish(t *testing.T) {
 		}
 	}
 }
+
+// TestSelectBatchRecordsBucket: per-bucket selection stamps the plan
+// with its batch, stays legal, and CheckBatch ties it to the bucket.
+func TestSelectBatchRecordsBucket(t *testing.T) {
+	g := mustNet(t, "smallnet")
+	plan, err := SelectBatch(g, 8, intelOpts(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkLegal(t, plan)
+	if plan.Batch != 8 {
+		t.Fatalf("Plan.Batch = %d, want 8", plan.Batch)
+	}
+	if err := plan.CheckBatch(8); err != nil {
+		t.Errorf("CheckBatch(8) on a batch-8 plan: %v", err)
+	}
+	if err := plan.CheckBatch(4); err == nil {
+		t.Error("CheckBatch(4) on a batch-8 plan should fail")
+	}
+	if plan.CostPerImage() <= 0 || plan.CostPerImage() >= plan.TotalCost() {
+		t.Errorf("CostPerImage %g should divide TotalCost %g by the batch", plan.CostPerImage(), plan.TotalCost())
+	}
+
+	// A batch-agnostic plan executes at any bucket.
+	b1, err := Select(g, intelOpts(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b1.Batch != 1 {
+		t.Fatalf("Select plan Batch = %d, want 1", b1.Batch)
+	}
+	for _, n := range []int{1, 3, 8} {
+		if err := b1.CheckBatch(n); err != nil {
+			t.Errorf("batch-1 plan CheckBatch(%d): %v", n, err)
+		}
+	}
+	if _, err := SelectBatch(g, 0, intelOpts(1)); err == nil {
+		t.Error("SelectBatch(0) should be rejected")
+	}
+}
+
+// TestSelectBatchChangesPlan: the point of per-bucket selection — the
+// batch-8 PBQP instance prices genuinely different costs, so its plan
+// predicts a cheaper whole-batch execution than running the batch-1
+// plan's choices 8 times, and on GoogLeNet (whose layer-shape spread
+// puts several layers near the im2row/wino margin) at least one layer
+// switches primitive under the analytic model alone. Measured
+// (calibrated-table) selection switches more — that path is exercised
+// by the plansweep experiment and the serve calibration tests.
+func TestSelectBatchChangesPlan(t *testing.T) {
+	for _, name := range []string{"googlenet", "resnet-18"} {
+		g := mustNet(t, name)
+		opts := intelOpts(1)
+		b1, err := Select(g, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b8, err := SelectBatch(g, 8, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		switched := 0
+		for _, id := range g.ConvLayers() {
+			if b1.Primitives[id].Name != b8.Primitives[id].Name {
+				switched++
+			}
+		}
+		t.Logf("%s: %d of %d conv layers switch primitive at batch 8", name, switched, len(g.ConvLayers()))
+		if name == "googlenet" && switched == 0 {
+			t.Error("googlenet: batch-8 plan selects identical primitives to batch-1; batch amortization is not reaching the PBQP instance")
+		}
+		if b8.TotalCost() >= 8*b1.TotalCost() {
+			t.Errorf("%s: batch-8 plan cost %g should beat 8 × batch-1 cost %g", name, b8.TotalCost(), 8*b1.TotalCost())
+		}
+	}
+}
+
+// TestSelectBatchPrunesUnpricedCandidates: selection over a top-K
+// calibrated table must confine the PBQP instance to the measured
+// candidates (missing entries are +Inf, not solver inputs) and still
+// produce a legal plan.
+func TestSelectBatchPrunesUnpricedCandidates(t *testing.T) {
+	g := mustNet(t, "micronet")
+	mo := cost.NewModel(cost.IntelHaswell)
+	tab := cost.NewTable("test-host", 1)
+	tab.AddNetTopK(g, conv.Library(), mo, mo, []int{1, 2}, 3)
+	for _, b := range []int{1, 2} {
+		plan, err := SelectBatch(g, b, Options{Prof: tab, Threads: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		checkLegal(t, plan)
+		for _, id := range g.ConvLayers() {
+			s := g.Layers[id].Conv
+			if c := cost.PrimitiveN(tab, plan.Primitives[id], s, 1, b); c <= 0 || c != c || c > 1e9 {
+				t.Errorf("batch %d: selected primitive %s has unpriced cost %g", b, plan.Primitives[id].Name, c)
+			}
+		}
+	}
+}

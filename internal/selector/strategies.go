@@ -55,7 +55,7 @@ func Baseline(net *dnn.Graph, opts Options) (*Plan, error) {
 	for _, id := range net.ConvLayers() {
 		convChoices[id] = []*conv.Primitive{sum}
 	}
-	pr, err := build(net, &opts, convChoices, []tensor.Layout{tensor.CHW}, 1)
+	pr, err := build(net, &opts, convChoices, []tensor.Layout{tensor.CHW}, 1, 1)
 	if err != nil {
 		return nil, err
 	}
@@ -85,7 +85,7 @@ func FamilyBest(net *dnn.Graph, family conv.Family, opts Options) (*Plan, error)
 		}
 		convChoices[id] = []*conv.Primitive{pick}
 	}
-	pr, err := build(net, &opts, convChoices, tensor.Layouts(), 1)
+	pr, err := build(net, &opts, convChoices, tensor.Layouts(), 1, 1)
 	if err != nil {
 		return nil, err
 	}
@@ -114,7 +114,7 @@ func LocalOptimal(net *dnn.Graph, layout tensor.Layout, opts Options) (*Plan, er
 		}
 		convChoices[id] = []*conv.Primitive{pick}
 	}
-	pr, err := build(net, &opts, convChoices, []tensor.Layout{layout}, 1)
+	pr, err := build(net, &opts, convChoices, []tensor.Layout{layout}, 1, 1)
 	if err != nil {
 		return nil, err
 	}
@@ -136,7 +136,7 @@ func NoEdgeCost(net *dnn.Graph, opts Options) (*Plan, error) {
 		}
 		convChoices[id] = []*conv.Primitive{pick}
 	}
-	pr, err := build(net, &opts, convChoices, tensor.Layouts(), 1)
+	pr, err := build(net, &opts, convChoices, tensor.Layouts(), 1, 1)
 	if err != nil {
 		return nil, err
 	}
@@ -161,7 +161,7 @@ func CaffeProxy(net *dnn.Graph, opts Options) (*Plan, error) {
 		}
 		convChoices[id] = []*conv.Primitive{pick}
 	}
-	pr, err := build(net, &opts, convChoices, []tensor.Layout{tensor.CHW}, caffeOverhead)
+	pr, err := build(net, &opts, convChoices, []tensor.Layout{tensor.CHW}, caffeOverhead, 1)
 	if err != nil {
 		return nil, err
 	}
@@ -244,7 +244,7 @@ func MKLDNNProxy(net *dnn.Graph, opts Options) (*Plan, error) {
 		}
 		convChoices[id] = cands
 	}
-	pr, err := build(net, &opts, convChoices, tensor.Layouts(), mkldnnOverhead)
+	pr, err := build(net, &opts, convChoices, tensor.Layouts(), mkldnnOverhead, 1)
 	if err != nil {
 		return nil, err
 	}
@@ -272,7 +272,7 @@ func ARMCLProxy(net *dnn.Graph, opts Options) (*Plan, error) {
 		}
 		convChoices[id] = []*conv.Primitive{pick}
 	}
-	pr, err := build(net, &opts, convChoices, []tensor.Layout{tensor.CHW}, armclOverhead)
+	pr, err := build(net, &opts, convChoices, []tensor.Layout{tensor.CHW}, armclOverhead, 1)
 	if err != nil {
 		return nil, err
 	}

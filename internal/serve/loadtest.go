@@ -99,7 +99,7 @@ func LoadTest(m *Model, o LoadOptions) (LoadReport, error) {
 // obvious first serving architecture anyone would write.
 func NaiveLoadTest(m *Model, o LoadOptions) (LoadReport, error) {
 	rep, err := drive(m, o, "naive", func(_ context.Context, in *tensor.Tensor) (*tensor.Tensor, error) {
-		return m.Engine.Run(in)
+		return m.Engine().Run(in)
 	})
 	rep.MeanBatch = 1
 	return rep, err

@@ -98,6 +98,27 @@ func (m *Metrics) observeBatch(size int, engine time.Duration, latencies []time.
 	}
 }
 
+// ObservedNsPerImage returns the measured mean engine wall time per
+// image across the dispatched batch sizes in [lo, hi] — the sizes one
+// batch bucket serves — or 0 when none of those sizes has completed a
+// dispatch yet.
+func (m *Metrics) ObservedNsPerImage(lo, hi int) float64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var ns, images int64
+	for b := lo; b <= hi && b < len(m.engNS); b++ {
+		if b < 1 {
+			continue
+		}
+		ns += m.engNS[b]
+		images += m.engImages[b]
+	}
+	if images == 0 {
+		return 0
+	}
+	return float64(ns) / float64(images)
+}
+
 // Stats is a point-in-time JSON-friendly view of a batcher's counters.
 type Stats struct {
 	UptimeSec float64 `json:"uptime_sec"`

@@ -2,10 +2,12 @@ package serve
 
 import (
 	"fmt"
+	"os"
 	"runtime"
 	"sort"
 	"sync"
 
+	"pbqpdnn/internal/conv"
 	"pbqpdnn/internal/cost"
 	"pbqpdnn/internal/dnn"
 	"pbqpdnn/internal/dnn/models"
@@ -27,6 +29,28 @@ type Config struct {
 	// ever executing a primitive at startup.
 	Prof cost.Profiler
 
+	// Calibrate enables calibrate-on-start: before any model loads, the
+	// registry runs the measured profiler (cost.Measure, wall-clocking
+	// the real primitives — batched entry points included) over every
+	// hosted network at every batch bucket, and selection runs against
+	// the resulting table instead of Prof. When TablePath names an
+	// existing file the measured table is loaded from it instead of
+	// re-profiled, so a restarted server reuses its previous
+	// calibration; a fresh calibration is persisted there.
+	Calibrate bool
+	// TablePath is where the calibration table is persisted/reloaded.
+	// Empty means calibrate in memory only (measured every start).
+	TablePath string
+	// CalibrateReps is the best-of repetition count per measurement
+	// (default 1: calibration runs every primitive at every bucket, so
+	// startup time matters more than single-run jitter).
+	CalibrateReps int
+	// CalibrateTopK bounds measurement per scenario to the analytic
+	// model's k cheapest candidates per bucket (default 4; ≤ 0 keeps
+	// the default — measuring all ~70 library entries on a full-size
+	// network costs hours).
+	CalibrateTopK int
+
 	// Batch tunes every model's dynamic batcher.
 	Batch BatchOptions
 }
@@ -38,29 +62,40 @@ func (c *Config) defaults() {
 	if c.Prof == nil {
 		c.Prof = cost.NewModel(cost.IntelHaswell)
 	}
+	if c.CalibrateReps < 1 {
+		c.CalibrateReps = 1
+	}
+	if c.CalibrateTopK < 1 {
+		c.CalibrateTopK = 4
+	}
 }
 
-// Model is one served network: its graph, the PBQP-selected plan, the
-// per-batch-size program cache compiled from it (shared by all
-// requests), and the dynamic batcher feeding those engines.
+// Bucket is one batch-size bucket of a served model: the bucket's own
+// PBQP plan — selected against costs priced at exactly this batch size
+// — and the engine compiled from it.
+type Bucket struct {
+	// Batch is the bucket's maximum batch size (the N its program's
+	// memory plan and its plan's costs were computed for).
+	Batch  int
+	Plan   *selector.Plan
+	Engine *exec.Engine
+}
+
+// Model is one served network: its graph, the per-bucket PBQP plans and
+// the engines compiled from them (shared by all requests), and the
+// dynamic batcher feeding those engines. The Buckets slice is the
+// single source of truth for plans and engines; Plan/Engine/EngineFor
+// are views over it.
 type Model struct {
 	Name    string
 	Net     *dnn.Graph
-	Plan    *selector.Plan
 	Weights *exec.Weights
 
-	// Engine is the per-image (batch-1) engine: the naive
-	// goroutine-per-request baseline path and the singleton-flush
-	// fallback. It is Engines[0].
-	Engine *exec.Engine
-	// Engines is the per-batch-size program cache, ascending by
-	// MaxBatch: one plan selection, one engine per batch-size bucket
-	// (1, 2, 4, … MaxBatch). The program's memory plan is N-dependent
-	// — slot frames scale with N and batched programs slot conv
-	// outputs — so each bucket pre-plans its own program and the
-	// dynamic batcher always dispatches into one that was compiled for
-	// at least the flushed size.
-	Engines []*exec.Engine
+	// Buckets holds one entry per batch-size bucket, ascending
+	// (1, 2, 4, … MaxBatch): each bucket selects its own plan against
+	// batch-N costs and compiles its own program — the memory plan is
+	// N-dependent, and so is the cost-optimal primitive per layer.
+	Buckets []Bucket
 
 	Batcher *Batcher
 	Metrics *Metrics
@@ -68,6 +103,14 @@ type Model struct {
 	InC, InH, InW    int // network input shape
 	OutC, OutH, OutW int // network output shape
 }
+
+// Plan returns the batch-1 (per-image) plan — what the naive baseline
+// and single-image paths report against.
+func (m *Model) Plan() *selector.Plan { return m.Buckets[0].Plan }
+
+// Engine returns the per-image (batch-1) engine: the naive
+// goroutine-per-request baseline path and the singleton-flush fallback.
+func (m *Model) Engine() *exec.Engine { return m.Buckets[0].Engine }
 
 // batchBuckets enumerates the program-cache bucket sizes for a batcher
 // limit: powers of two up to maxBatch, plus maxBatch itself.
@@ -83,19 +126,21 @@ func batchBuckets(maxBatch int) []int {
 // smallest bucket that fits n (the largest bucket for oversized n,
 // which the engine then chunks).
 func (m *Model) EngineFor(n int) *exec.Engine {
-	for _, e := range m.Engines {
-		if e.MaxBatch() >= n {
-			return e
+	for _, b := range m.Buckets {
+		if b.Engine.MaxBatch() >= n {
+			return b.Engine
 		}
 	}
-	return m.Engines[len(m.Engines)-1]
+	return m.Buckets[len(m.Buckets)-1].Engine
 }
 
 // LoadModel builds, selects, and compiles one named network (see
-// models.Names) and wraps it in a running batcher. Selection happens
-// exactly once; compilation happens once per batch-size bucket, all at
-// startup, so no request ever waits on planning. The batcher routes
-// every flush to the bucket engine covering its size.
+// models.Names) and wraps it in a running batcher. Selection and
+// compilation happen once per batch-size bucket, all at startup, so no
+// request ever waits on planning: each bucket gets its own PBQP solve
+// against costs priced at that batch size (selector.SelectBatch) and
+// its own compiled program. The batcher routes every flush to the
+// bucket engine covering its size.
 func LoadModel(name string, cfg Config) (*Model, error) {
 	cfg.defaults()
 	bo := cfg.Batch
@@ -104,25 +149,23 @@ func LoadModel(name string, cfg Config) (*Model, error) {
 	if err != nil {
 		return nil, err
 	}
-	plan, err := selector.Select(net, selector.Options{Prof: cfg.Prof, Threads: cfg.Threads})
-	if err != nil {
-		return nil, fmt.Errorf("serve: selecting plan for %s: %w", name, err)
-	}
 	w := exec.NewWeights(net)
 	m := &Model{
 		Name:    name,
 		Net:     net,
-		Plan:    plan,
 		Weights: w,
 	}
 	for _, b := range batchBuckets(bo.MaxBatch) {
+		plan, err := selector.SelectBatch(net, b, selector.Options{Prof: cfg.Prof, Threads: cfg.Threads})
+		if err != nil {
+			return nil, fmt.Errorf("serve: selecting plan for %s (batch %d): %w", name, b, err)
+		}
 		eng, err := exec.NewEngineBatch(plan, w, b)
 		if err != nil {
 			return nil, fmt.Errorf("serve: compiling %s (batch %d): %w", name, b, err)
 		}
-		m.Engines = append(m.Engines, eng)
+		m.Buckets = append(m.Buckets, Bucket{Batch: b, Plan: plan, Engine: eng})
 	}
-	m.Engine = m.Engines[0]
 	met := NewMetrics()
 	m.Metrics = met
 	m.Batcher = NewBatcher(func(ins []*tensor.Tensor) ([]*tensor.Tensor, error) {
@@ -135,15 +178,127 @@ func LoadModel(name string, cfg Config) (*Model, error) {
 	return m, nil
 }
 
+// BucketStats describes one bucket's selection for /stats: which
+// primitive each conv layer runs at this batch size, and the predicted
+// versus observed per-image cost — the closed loop between the §3.1
+// profile, the PBQP solve, and what the engine actually delivers.
+type BucketStats struct {
+	Batch int `json:"batch"`
+	// Primitives maps conv layer name → selected primitive name.
+	Primitives map[string]string `json:"primitives"`
+	// PredictedNsPerImage is the plan's TotalCost scaled to one image.
+	PredictedNsPerImage float64 `json:"predicted_ns_per_image"`
+	// ObservedNsPerImage is the measured mean engine wall time per
+	// image over the dispatched batch sizes this bucket serves (0 until
+	// the bucket has served a batch).
+	ObservedNsPerImage float64 `json:"observed_ns_per_image"`
+	// Optimal reports whether the bucket's PBQP solve proved optimality.
+	Optimal bool `json:"pbqp_optimal"`
+}
+
+// BucketStats snapshots every bucket's selection and its predicted vs
+// observed per-image cost. A bucket serves the dispatched batch sizes
+// in (previous bucket, this bucket], mirroring EngineFor's routing.
+func (m *Model) BucketStats() []BucketStats {
+	out := make([]BucketStats, 0, len(m.Buckets))
+	lo := 1
+	for _, b := range m.Buckets {
+		prims := make(map[string]string, len(b.Plan.Primitives))
+		for id, p := range b.Plan.Primitives {
+			prims[m.Net.Layers[id].Name] = p.Name
+		}
+		out = append(out, BucketStats{
+			Batch:               b.Batch,
+			Primitives:          prims,
+			PredictedNsPerImage: b.Plan.CostPerImage() * 1e9,
+			ObservedNsPerImage:  m.Metrics.ObservedNsPerImage(lo, b.Batch),
+			Optimal:             b.Plan.Optimal,
+		})
+		lo = b.Batch + 1
+	}
+	return out
+}
+
 // Registry hosts multiple named models behind one server process.
 type Registry struct {
 	mu     sync.RWMutex
 	models map[string]*Model
 }
 
-// NewRegistry loads every named model. On any failure it closes the
-// models already loaded and returns the error.
+// calibrationProfiler resolves the profiler a calibrating registry
+// selects against: the table at cfg.TablePath when it exists (a
+// restarted server reuses its previous calibration), else a fresh
+// measured calibration, persisted to cfg.TablePath when set. A reused
+// table is topped up, not trusted blindly: every hosted network is
+// merged at every current batch bucket (Table.AddNetTopK skips entries
+// already measured), so a restart with a larger -max-batch or a newly
+// hosted model measures exactly the missing entries — instead of
+// silently selecting non-amortized fallback plans for uncovered
+// buckets, or failing startup on an uncovered model — and the enriched
+// table is persisted back.
+func calibrationProfiler(names []string, cfg *Config) (*cost.Table, error) {
+	var tab *cost.Table
+	if cfg.TablePath != "" {
+		if f, err := os.Open(cfg.TablePath); err == nil {
+			tab, err = cost.LoadTable(f)
+			f.Close()
+			if err != nil {
+				return nil, fmt.Errorf("serve: reusing calibration %s: %w", cfg.TablePath, err)
+			}
+		}
+	}
+	fresh := tab == nil
+	if fresh {
+		tab = cost.NewTable("calibrated-"+runtime.GOOS+"-"+runtime.GOARCH, cfg.Threads)
+	}
+	before := tab.NumEntries()
+
+	bo := cfg.Batch
+	bo.defaults()
+	buckets := batchBuckets(bo.MaxBatch)
+	ranker := cfg.Prof
+	meas := &cost.Measure{Reps: cfg.CalibrateReps, Threads: cfg.Threads}
+	lib := conv.Library()
+	seen := map[string]bool{}
+	for _, name := range names {
+		if seen[name] {
+			continue
+		}
+		seen[name] = true
+		net, err := models.Build(name)
+		if err != nil {
+			return nil, err
+		}
+		tab.AddNetTopK(net, lib, ranker, meas, buckets, cfg.CalibrateTopK)
+	}
+
+	if cfg.TablePath != "" && (fresh || tab.NumEntries() != before) {
+		f, err := os.Create(cfg.TablePath)
+		if err != nil {
+			return nil, fmt.Errorf("serve: persisting calibration: %w", err)
+		}
+		defer f.Close()
+		if err := tab.Save(f); err != nil {
+			return nil, fmt.Errorf("serve: persisting calibration: %w", err)
+		}
+	}
+	return tab, nil
+}
+
+// NewRegistry loads every named model. With cfg.Calibrate it first
+// resolves the measured cost table (reused from cfg.TablePath or
+// profiled on the spot and persisted there) and selects every bucket
+// plan against it. On any failure it closes the models already loaded
+// and returns the error.
 func NewRegistry(names []string, cfg Config) (*Registry, error) {
+	cfg.defaults()
+	if cfg.Calibrate {
+		tab, err := calibrationProfiler(names, &cfg)
+		if err != nil {
+			return nil, err
+		}
+		cfg.Prof = tab
+	}
 	r := &Registry{models: make(map[string]*Model, len(names))}
 	for _, name := range names {
 		if _, ok := r.models[name]; ok {

@@ -37,11 +37,34 @@ type modelInfo struct {
 	Optimal     bool   `json:"pbqp_optimal"`
 }
 
+// ModelStats is one model's /stats entry: the batcher's serving
+// counters plus, per batch bucket, the bucket's selected primitives and
+// its predicted versus observed ns/image — the live view of whether the
+// per-bucket PBQP plans deliver what the cost model promised.
+type ModelStats struct {
+	Stats
+	Buckets []BucketStats `json:"buckets"`
+}
+
+func modelStats(reg *Registry) map[string]ModelStats {
+	stats := map[string]ModelStats{}
+	for _, name := range reg.Names() {
+		m, _ := reg.Get(name)
+		stats[name] = ModelStats{
+			Stats:   m.Metrics.Snapshot(),
+			Buckets: m.BucketStats(),
+		}
+	}
+	return stats
+}
+
 // NewServer wires a Registry into an http.Handler:
 //
 //	GET  /healthz                     liveness probe
 //	GET  /models                      hosted models and their shapes
-//	GET  /stats                       per-model serving metrics (JSON)
+//	GET  /stats                       per-model serving metrics (JSON),
+//	                                  including per-bucket plans and
+//	                                  predicted vs observed ns/image
 //	POST /v1/models/{model}/infer     one inference through the batcher
 //
 // Inference honors an optional ?timeout_ms= deadline: expired requests
@@ -62,18 +85,13 @@ func NewServer(reg *Registry) http.Handler {
 				InputShape:  [3]int{m.InC, m.InH, m.InW},
 				OutputShape: [3]int{m.OutC, m.OutH, m.OutW},
 				Layers:      m.Net.NumLayers(),
-				Optimal:     m.Plan.Optimal,
+				Optimal:     m.Plan().Optimal,
 			})
 		}
 		writeJSON(w, http.StatusOK, infos)
 	})
 	mux.HandleFunc("GET /stats", func(w http.ResponseWriter, r *http.Request) {
-		stats := map[string]Stats{}
-		for _, name := range reg.Names() {
-			m, _ := reg.Get(name)
-			stats[name] = m.Metrics.Snapshot()
-		}
-		writeJSON(w, http.StatusOK, stats)
+		writeJSON(w, http.StatusOK, modelStats(reg))
 	})
 	mux.HandleFunc("POST /v1/models/{model}/infer", func(w http.ResponseWriter, r *http.Request) {
 		handleInfer(reg, w, r)
@@ -86,12 +104,7 @@ func NewServer(reg *Registry) http.Handler {
 // expvar.Handler). Call at most once per process.
 func PublishExpvar(reg *Registry) {
 	expvar.Publish("serve", expvar.Func(func() any {
-		stats := map[string]Stats{}
-		for _, name := range reg.Names() {
-			m, _ := reg.Get(name)
-			stats[name] = m.Metrics.Snapshot()
-		}
-		return stats
+		return modelStats(reg)
 	}))
 }
 
