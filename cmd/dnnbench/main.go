@@ -29,6 +29,7 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"sort"
 	"strconv"
 	"strings"
 
@@ -60,12 +61,20 @@ func main() {
 	flag.Parse()
 
 	if *dump {
+		if err := validateNet(*netName); err != nil {
+			log.Fatal(err)
+		}
 		if err := dumpProgram(*netName, *strategy, *threads); err != nil {
 			log.Fatal(err)
 		}
 		return
 	}
 
+	if *exp == "batchsweep" || *exp == "plansweep" {
+		if err := validateNet(*netName); err != nil {
+			log.Fatal(err)
+		}
+	}
 	batches, err := parseBatches(*batch)
 	if err != nil {
 		log.Fatal(err)
@@ -203,7 +212,7 @@ func main() {
 	}
 	run, ok := runners[*exp]
 	if !ok {
-		log.Fatalf("unknown experiment %q (have %v, all)", *exp, order)
+		log.Fatalf("unknown experiment %q (have %v, all, batchsweep, plansweep)", *exp, order)
 	}
 	if err := run(); err != nil {
 		log.Fatal(err)
@@ -352,7 +361,15 @@ func dumpProgram(netName, strategy string, threads int) error {
 	if !ok {
 		fam, okf := families[strategy]
 		if !okf {
-			return fmt.Errorf("unknown strategy %q", strategy)
+			names := make([]string, 0, len(builders)+len(families))
+			for n := range builders {
+				names = append(names, n)
+			}
+			for n := range families {
+				names = append(names, n)
+			}
+			sort.Strings(names)
+			return fmt.Errorf("unknown strategy %q (have %s)", strategy, strings.Join(names, ", "))
 		}
 		build = func() (*selector.Plan, error) { return selector.FamilyBest(g, fam, opts) }
 	}
@@ -366,6 +383,18 @@ func dumpProgram(netName, strategy string, threads int) error {
 	}
 	fmt.Print(prog.Source())
 	return nil
+}
+
+// validateNet rejects unknown -net values up front, listing every
+// buildable network so a typo fails before minutes of sweeping.
+func validateNet(name string) error {
+	known := append(models.Names(), models.DemoNames()...)
+	for _, n := range known {
+		if n == name {
+			return nil
+		}
+	}
+	return fmt.Errorf("unknown -net %q (have %s)", name, strings.Join(known, ", "))
 }
 
 // parseBatches parses the -batch flag's comma-separated size list.

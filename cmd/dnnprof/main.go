@@ -43,7 +43,7 @@ import (
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("dnnprof: ")
-	netName := flag.String("net", "alexnet", "network: "+fmt.Sprint(models.Names()))
+	netName := flag.String("net", "alexnet", "network: "+strings.Join(append(models.Names(), models.DemoNames()...), ", "))
 	platform := flag.String("platform", "intel", "platform: intel or arm (model profiler)")
 	threads := flag.Int("threads", 1, "thread count")
 	top := flag.Int("top", 5, "candidates to print per layer")

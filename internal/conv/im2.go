@@ -23,22 +23,32 @@ func im2colPatches(in *tensor.Tensor, s Scenario) []float32 {
 // column block starting at colOff of a (C·K²)×totalCols matrix. The
 // zero-filled destination is assumed (the builder only writes in-range
 // taps); batched im2col lays images side by side as column blocks.
+// Source and destination rows are taken as x[off:][:w] views so the
+// inner tap loop indexes two slices whose lengths the range guard
+// already bounds, and carries no bounds checks.
+//
+//dnn:hotpath
 func im2colPatchesIntoCols(p []float32, totalCols, colOff int, in *tensor.Tensor, s Scenario) {
 	oh, ow := s.OutH(), s.OutW()
+	sW, stride, pad := s.W, s.Stride, s.Pad
+	data := in.Data
 	for c := 0; c < s.C; c++ {
 		for kh := 0; kh < s.K; kh++ {
 			for kw := 0; kw < s.K; kw++ {
 				r := (c*s.K+kh)*s.K + kw
-				dst := p[r*totalCols+colOff : r*totalCols+colOff+oh*ow]
-				i := 0
+				dst := p[r*totalCols+colOff:][:oh*ow]
 				for y := 0; y < oh; y++ {
-					ih := y*s.Stride - s.Pad + kh
-					for x := 0; x < ow; x++ {
-						iw := x*s.Stride - s.Pad + kw
-						if ih >= 0 && ih < s.H && iw >= 0 && iw < s.W {
-							dst[i] = in.Data[(c*s.H+ih)*s.W+iw]
+					ih := y*stride - pad + kh
+					if ih < 0 || ih >= s.H {
+						continue // whole row out of range: stays zero
+					}
+					drow := dst[y*ow:][:ow]
+					srcRow := data[(c*s.H+ih)*sW:][:sW]
+					for x := range drow {
+						iw := x*stride - pad + kw
+						if iw >= 0 && iw < sW {
+							drow[x] = srcRow[iw]
 						}
-						i++
 					}
 				}
 			}
@@ -56,23 +66,33 @@ func im2rowPatches(in *tensor.Tensor, s Scenario) []float32 {
 
 // im2rowPatchesInto writes the (Ho·Wo)×(C·K²) patch matrix into p,
 // which must be zero-filled and exactly sized. Batched im2row stacks
-// one image's row block after another in a tall patch matrix.
+// one image's row block after another in a tall patch matrix. Each
+// in-range tap is one channel-vector copy from a hoisted source row
+// view; the out-of-range branch hoists past whole kernel rows at once.
+//
+//dnn:hotpath
 func im2rowPatchesInto(p []float32, in *tensor.Tensor, s Scenario) {
 	oh, ow := s.OutH(), s.OutW()
-	cols := s.K * s.K * s.C
+	cC := s.C
+	cols := s.K * s.K * cC
+	data := in.Data
 	for y := 0; y < oh; y++ {
 		for x := 0; x < ow; x++ {
-			r := y*ow + x
-			dst := p[r*cols : r*cols+cols]
+			dst := p[(y*ow+x)*cols:][:cols]
 			i := 0
 			for kh := 0; kh < s.K; kh++ {
 				ih := y*s.Stride - s.Pad + kh
+				if ih < 0 || ih >= s.H {
+					i += s.K * cC // whole kernel row out of range: stays zero
+					continue
+				}
+				srcRow := data[ih*s.W*cC:][:s.W*cC]
 				for kw := 0; kw < s.K; kw++ {
 					iw := x*s.Stride - s.Pad + kw
-					if ih >= 0 && ih < s.H && iw >= 0 && iw < s.W {
-						copy(dst[i:i+s.C], in.Data[(ih*s.W+iw)*s.C:(ih*s.W+iw)*s.C+s.C])
+					if iw >= 0 && iw < s.W {
+						copy(dst[i:i+cC], srcRow[iw*cC:][:cC])
 					}
-					i += s.C
+					i += cC
 				}
 			}
 		}

@@ -36,6 +36,21 @@ func gatherTile2D(in *tensor.Tensor, c, y0, x0, t, pad int, dst []float64) {
 	}
 }
 
+// winoAccumRow accumulates the elementwise product of urow and vrow
+// into acc: acc[i] += urow[i]·vrow[i]. Both operand rows are re-sliced
+// to acc's length so all three indexes share one SSA length value and
+// the loop carries no bounds checks. This is the Winograd pointwise
+// stage — the family's only O(C·M·tiles) inner loop.
+//
+//dnn:hotpath
+func winoAccumRow(acc, urow, vrow []float64) {
+	urow = urow[:len(acc)]
+	vrow = vrow[:len(acc)]
+	for i, uv := range urow {
+		acc[i] += uv * vrow[i]
+	}
+}
+
 // wino2D returns a 2D tiled Winograd Run for F(m×m, r×r) with channel
 // accumulation blocked by vf. layout selects the activation layout.
 func wino2D(m, r, vf int, layout tensor.Layout) func(*tensor.Tensor, *Kernel, Scenario, int) *tensor.Tensor {
@@ -69,7 +84,11 @@ func wino2D(m, r, vf int, layout tensor.Layout) func(*tensor.Tensor, *Kernel, Sc
 			d := make([]float64, tt)
 			v := make([]float64, s.C*tt) // transformed input tiles, all channels
 			sum := make([]float64, tt)
-			lanes := make([]float64, vf)
+			laneAcc := make([][]float64, vf)
+			for l := range laneAcc {
+				laneAcc[l] = make([]float64, tt)
+			}
+			tailAcc := make([]float64, tt)
 			for tx := 0; tx < tilesX; tx++ {
 				y0, x0 := ty*m, tx*m
 				for c := 0; c < s.C; c++ {
@@ -77,26 +96,28 @@ func wino2D(m, r, vf int, layout tensor.Layout) func(*tensor.Tensor, *Kernel, Sc
 					copy(v[c*tt:(c+1)*tt], plan.InputTransform2D(d))
 				}
 				for mm := 0; mm < s.M; mm++ {
-					for i := range sum {
-						sum[i] = 0
+					// Channel accumulation blocked by vf lanes: each lane
+					// keeps its own running row, tail channels theirs, and
+					// the rows combine tail-first then lanes in order — the
+					// same per-element addition sequence as an interleaved
+					// scalar loop, so results are bitwise identical.
+					for l := range laneAcc {
+						clear(laneAcc[l])
 					}
-					// Channel accumulation blocked by vf lanes.
-					for i := 0; i < tt; i++ {
-						for l := range lanes {
-							lanes[l] = 0
+					clear(tailAcc)
+					c := 0
+					for ; c+vf <= s.C; c += vf {
+						for l := 0; l < vf; l++ {
+							winoAccumRow(laneAcc[l], u[mm*s.C+c+l], v[(c+l)*tt:][:tt])
 						}
-						var tail float64
-						c := 0
-						for ; c+vf <= s.C; c += vf {
-							for l := 0; l < vf; l++ {
-								lanes[l] += u[mm*s.C+c+l][i] * v[(c+l)*tt+i]
-							}
-						}
-						for ; c < s.C; c++ {
-							tail += u[mm*s.C+c][i] * v[c*tt+i]
-						}
-						for _, lv := range lanes {
-							tail += lv
+					}
+					for ; c < s.C; c++ {
+						winoAccumRow(tailAcc, u[mm*s.C+c], v[c*tt:][:tt])
+					}
+					for i := range sum {
+						tail := tailAcc[i]
+						for _, lrow := range laneAcc {
+							tail += lrow[i]
 						}
 						sum[i] = tail
 					}
@@ -144,7 +165,11 @@ func wino1D(m, r, vf int, layout tensor.Layout) func(*tensor.Tensor, *Kernel, Sc
 		parallelFor(threads, oh, func(y int) {
 			d := make([]float64, t)
 			sum := make([]float64, t)
-			lanes := make([]float64, vf)
+			laneAcc := make([][]float64, vf)
+			for l := range laneAcc {
+				laneAcc[l] = make([]float64, t)
+			}
+			tailAcc := make([]float64, t)
 			// Transformed input row-tiles for (c,kh) pairs of this output
 			// row: v[c*r+kh] — each input row is shared by all kernel rows
 			// that reference it, but per output row we just transform the
@@ -170,27 +195,28 @@ func wino1D(m, r, vf int, layout tensor.Layout) func(*tensor.Tensor, *Kernel, Sc
 					}
 				}
 				for mm := 0; mm < s.M; mm++ {
-					for i := range sum {
-						sum[i] = 0
+					// Same lane-blocked accumulation as wino2D, over
+					// (channel, kernel-row) pairs; per-lane rows keep the
+					// addition sequence bitwise identical to the scalar
+					// interleaving.
+					for l := range laneAcc {
+						clear(laneAcc[l])
 					}
-					for i := 0; i < t; i++ {
-						for l := range lanes {
-							lanes[l] = 0
+					clear(tailAcc)
+					pairs := s.C * r
+					p := 0
+					for ; p+vf <= pairs; p += vf {
+						for l := 0; l < vf; l++ {
+							winoAccumRow(laneAcc[l], u[mm*pairs+p+l], v[p+l])
 						}
-						var tail float64
-						pairs := s.C * r
-						p := 0
-						for ; p+vf <= pairs; p += vf {
-							for l := 0; l < vf; l++ {
-								tail2 := u[mm*pairs+p+l][i] * v[p+l][i]
-								lanes[l] += tail2
-							}
-						}
-						for ; p < pairs; p++ {
-							tail += u[mm*pairs+p][i] * v[p][i]
-						}
-						for _, lv := range lanes {
-							tail += lv
+					}
+					for ; p < pairs; p++ {
+						winoAccumRow(tailAcc, u[mm*pairs+p], v[p])
+					}
+					for i := range sum {
+						tail := tailAcc[i]
+						for _, lrow := range laneAcc {
+							tail += lrow[i]
 						}
 						sum[i] = tail
 					}

@@ -125,6 +125,40 @@ func NewEngineBatch(plan *selector.Plan, w *Weights, maxBatch int) (*Engine, err
 	return e, nil
 }
 
+// NewEngineFromProgram binds kernels over an already-compiled program,
+// skipping compilation. It exists for the translation validator's fuzz
+// and mutation harnesses, which need to execute instruction streams
+// that never came out of CompileBatch. The program must be structurally
+// sound (Validate-level) or construction and execution may panic; the
+// worker budget comes from the program's plan, capped at GOMAXPROCS
+// like NewEngineBatch.
+func NewEngineFromProgram(prog *program.Program, w *Weights) (*Engine, error) {
+	if prog == nil || prog.Plan == nil {
+		return nil, fmt.Errorf("exec: nil program")
+	}
+	if prog.Batch < 1 {
+		return nil, fmt.Errorf("exec: program compiled for invalid batch %d", prog.Batch)
+	}
+	workers := prog.Plan.Threads
+	if workers < 1 {
+		workers = 1
+	}
+	if procs := runtime.GOMAXPROCS(0); workers > procs {
+		workers = procs
+	}
+	e := &Engine{
+		prog:     prog,
+		w:        w,
+		workers:  workers,
+		maxBatch: prog.Batch,
+		arena:    newArena(),
+	}
+	if err := e.bindKernels(); err != nil {
+		return nil, err
+	}
+	return e, nil
+}
+
 // Program exposes the compiled IR (for stats reporting and tests).
 func (e *Engine) Program() *program.Program { return e.prog }
 
@@ -436,6 +470,10 @@ func (e *Engine) runParallel(st *batchState) error {
 	st.tasks = make(chan int, n)
 	st.stop = make(chan struct{})
 	st.total = int64(n)
+	// Bound once here so the completion check in runTask passes a
+	// prebuilt func to sync.Once instead of allocating a closure per
+	// task.
+	st.closeStop = func() { close(st.stop) }
 	for i := range e.prog.Instrs {
 		st.deps[i] = int32(e.prog.Instrs[i].NumDeps)
 		if e.prog.Instrs[i].NumDeps == 0 {
@@ -481,11 +519,14 @@ type batchState struct {
 	errOnce sync.Once
 	err     atomic.Value // error
 	done    sync.Once
+	// closeStop closes stop; hoisted into a field so the per-task
+	// completion path stays allocation-free.
+	closeStop func()
 }
 
 func (st *batchState) fail(err error) {
 	st.errOnce.Do(func() { st.err.Store(err) })
-	st.done.Do(func() { close(st.stop) })
+	st.done.Do(st.closeStop)
 }
 
 func (st *batchState) loadErr() error {
@@ -499,6 +540,8 @@ func (st *batchState) loadErr() error {
 // heavy lifting — conversions, destination policy, kernel dispatch —
 // was all resolved at compile time; nothing here consults a map or
 // switches on a type.
+//
+//dnn:hotpath
 func (e *Engine) runTask(st *batchState, t int) {
 	atomic.AddInt32(&st.running, 1)
 	out, err := e.kerns[t](st, e.taskThreads(st))
@@ -515,7 +558,7 @@ func (e *Engine) runTask(st *batchState, t int) {
 		}
 	}
 	if atomic.AddInt64(&st.completed, 1) == st.total {
-		st.done.Do(func() { close(st.stop) })
+		st.done.Do(st.closeStop)
 	}
 }
 
@@ -525,6 +568,8 @@ func (e *Engine) runTask(st *batchState, t int) {
 // whole budget — its batched kernel then splits images, GEMM rows or
 // Winograd points across the pool, so chain segments of the DAG do not
 // serialize the minibatch onto a single worker.
+//
+//dnn:hotpath
 func (e *Engine) taskThreads(st *batchState) int {
 	if e.workers > 1 && atomic.LoadInt32(&st.running) == 1 && len(st.tasks) == 0 {
 		return e.workers

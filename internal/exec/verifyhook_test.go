@@ -1,0 +1,15 @@
+package exec
+
+import (
+	"pbqpdnn/internal/program"
+	"pbqpdnn/internal/verify"
+)
+
+// init arms the compiler's DebugVerify hook for the whole exec test
+// suite: every program NewEngine/NewEngineBatch compiles here — every
+// model, batch size and strategy the engine tests exercise — is
+// re-checked by the independent translation validator before a single
+// kernel is bound.
+func init() {
+	program.DebugVerify = verify.Program
+}

@@ -37,20 +37,24 @@ func Naive(m, n, k int, a, b, c []float32) {
 }
 
 // IKJ computes C = A·B with the cache-friendlier ikj loop order, which
-// streams both B and C rows. C is overwritten.
+// streams both B and C rows. C is overwritten. Row views are taken as
+// x[off:][:n] so every panel shares the one length value n and the
+// accumulation loops carry no bounds checks.
+//
+//dnn:hotpath
 func IKJ(m, n, k int, a, b, c []float32) {
 	checkDims(m, n, k, a, b, c)
 	for i := 0; i < m; i++ {
-		ci := c[i*n : i*n+n]
+		ai := a[i*k:][:k]
+		ci := c[i*n:][:n]
 		for j := range ci {
 			ci[j] = 0
 		}
-		for p := 0; p < k; p++ {
-			av := a[i*k+p]
+		for p, av := range ai {
 			if av == 0 {
 				continue
 			}
-			bp := b[p*n : p*n+n]
+			bp := b[p*n:][:n]
 			for j, bv := range bp {
 				ci[j] += av * bv
 			}
@@ -61,16 +65,18 @@ func IKJ(m, n, k int, a, b, c []float32) {
 // Accumulate computes C += A·B using the ikj order. Unlike the other
 // kernels it does not clear C first; the kn2 convolution family relies on
 // this to sum partial products in place.
+//
+//dnn:hotpath
 func Accumulate(m, n, k int, a, b, c []float32) {
 	checkDims(m, n, k, a, b, c)
 	for i := 0; i < m; i++ {
-		ci := c[i*n : i*n+n]
-		for p := 0; p < k; p++ {
-			av := a[i*k+p]
+		ai := a[i*k:][:k]
+		ci := c[i*n:][:n]
+		for p, av := range ai {
 			if av == 0 {
 				continue
 			}
-			bp := b[p*n : p*n+n]
+			bp := b[p*n:][:n]
 			for j, bv := range bp {
 				ci[j] += av * bv
 			}
@@ -81,19 +87,22 @@ func Accumulate(m, n, k int, a, b, c []float32) {
 // TransB computes C = A·Bᵀ where bt holds B transposed as an n×k
 // row-major matrix. Both input panels are then traversed row-wise, which
 // is the "BT" kernel variant the paper's Figure 4 selects on ARM.
+//
+//dnn:hotpath
 func TransB(m, n, k int, a, bt, c []float32) {
 	if len(a) < m*k || len(bt) < n*k || len(c) < m*n {
-		panic(fmt.Sprintf("gemm: buffer too small for TransB m=%d n=%d k=%d", m, n, k))
+		panic("gemm: buffer too small for TransB")
 	}
 	for i := 0; i < m; i++ {
-		ai := a[i*k : i*k+k]
-		for j := 0; j < n; j++ {
-			bj := bt[j*k : j*k+k]
+		ai := a[i*k:][:k]
+		ci := c[i*n:][:n]
+		for j := range ci {
+			bj := bt[j*k:][:k]
 			var s float32
-			for p := range ai {
-				s += ai[p] * bj[p]
+			for p, av := range ai {
+				s += av * bj[p]
 			}
-			c[i*n+j] = s
+			ci[j] = s
 		}
 	}
 }
@@ -103,14 +112,19 @@ func TransB(m, n, k int, a, bt, c []float32) {
 const DefaultBlock = 48
 
 // Blocked computes C = A·B with three-level loop tiling (block×block
-// tiles, ikj inside each tile). C is overwritten.
+// tiles, ikj inside each tile). C is overwritten. The innermost loop
+// ranges over the tile's B sub-row while writing a same-length C
+// sub-row view, so the accumulation carries no bounds checks.
+//
+//dnn:hotpath
 func Blocked(m, n, k, block int, a, b, c []float32) {
 	checkDims(m, n, k, a, b, c)
 	if block <= 0 {
 		block = DefaultBlock
 	}
-	for i := range c[:m*n] {
-		c[i] = 0
+	cc := c[:m*n]
+	for i := range cc {
+		cc[i] = 0
 	}
 	for i0 := 0; i0 < m; i0 += block {
 		imax := min(i0+block, m)
@@ -119,15 +133,17 @@ func Blocked(m, n, k, block int, a, b, c []float32) {
 			for j0 := 0; j0 < n; j0 += block {
 				jmax := min(j0+block, n)
 				for i := i0; i < imax; i++ {
-					ci := c[i*n : i*n+n]
+					ci := c[i*n:][:n]
+					ai := a[i*k:][:k]
 					for p := p0; p < pmax; p++ {
-						av := a[i*k+p]
+						av := ai[p]
 						if av == 0 {
 							continue
 						}
-						bp := b[p*n : p*n+n]
-						for j := j0; j < jmax; j++ {
-							ci[j] += av * bp[j]
+						cb := ci[j0:jmax]
+						bb := b[p*n:][:n][j0:jmax]
+						for j, bv := range bb {
+							cb[j] += av * bv
 						}
 					}
 				}
@@ -140,18 +156,21 @@ func Blocked(m, n, k, block int, a, b, c []float32) {
 // every row of C is cleared and accumulated only on that span. The
 // row-major operands make a column range a strided but directly
 // addressable subpanel, so no repacking is needed.
+//
+//dnn:hotpath
 func ikjCols(m, n, k, j0, j1 int, a, b, c []float32) {
+	span := j1 - j0
 	for i := 0; i < m; i++ {
-		ci := c[i*n+j0 : i*n+j1]
+		ai := a[i*k:][:k]
+		ci := c[i*n+j0:][:span]
 		for j := range ci {
 			ci[j] = 0
 		}
-		for p := 0; p < k; p++ {
-			av := a[i*k+p]
+		for p, av := range ai {
 			if av == 0 {
 				continue
 			}
-			bp := b[p*n+j0 : p*n+j1]
+			bp := b[p*n+j0:][:span]
 			for j, bv := range bp {
 				ci[j] += av * bv
 			}

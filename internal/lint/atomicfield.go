@@ -1,0 +1,90 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// AtomicField enforces access-mode consistency for lock-free counters:
+// a struct field whose address is ever passed to a sync/atomic function
+// must be accessed through sync/atomic everywhere in the package — a
+// single plain read or write tears the happens-before story the atomic
+// calls were bought for. Element-wise atomics (&x.f[i], the scheduler's
+// dependency counters) do not claim the whole field: the slice header
+// is read plainly, only the elements are atomic.
+var AtomicField = &Analyzer{
+	Name: "atomicfield",
+	Doc:  "report plain accesses to fields that are accessed via sync/atomic",
+	Run:  runAtomicField,
+}
+
+func runAtomicField(pkg *Package) []Diagnostic {
+	atomicFields := map[types.Object]bool{}
+	sanctioned := map[*ast.SelectorExpr]bool{}
+
+	// Pass 1: find &x.f arguments to sync/atomic calls.
+	for _, f := range pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || !isAtomicCall(pkg, call) {
+				return true
+			}
+			for _, arg := range call.Args {
+				ue, ok := ast.Unparen(arg).(*ast.UnaryExpr)
+				if !ok || ue.Op != token.AND {
+					continue
+				}
+				sel, ok := ast.Unparen(ue.X).(*ast.SelectorExpr)
+				if !ok {
+					continue // &x.f[i] and friends: per-element atomics
+				}
+				if s := pkg.Info.Selections[sel]; s != nil && s.Kind() == types.FieldVal {
+					atomicFields[s.Obj()] = true
+					sanctioned[sel] = true
+				}
+			}
+			return true
+		})
+	}
+	if len(atomicFields) == 0 {
+		return nil
+	}
+
+	// Pass 2: every other selection of those fields is a plain access.
+	var diags []Diagnostic
+	for _, f := range pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok || sanctioned[sel] {
+				return true
+			}
+			if s := pkg.Info.Selections[sel]; s != nil && s.Kind() == types.FieldVal && atomicFields[s.Obj()] {
+				diags = append(diags, Diagnostic{
+					Pos:      pkg.Fset.Position(sel.Pos()),
+					Analyzer: "atomicfield",
+					Message: "field " + s.Obj().Name() +
+						" is accessed via sync/atomic elsewhere; plain access races",
+				})
+			}
+			return true
+		})
+	}
+	return diags
+}
+
+// isAtomicCall reports whether the call is a qualified sync/atomic
+// function call (atomic.AddInt64 and friends, not atomic.Value
+// methods).
+func isAtomicCall(pkg *Package, call *ast.CallExpr) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	id, ok := ast.Unparen(sel.X).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	pn, ok := pkg.Info.Uses[id].(*types.PkgName)
+	return ok && pn.Imported().Path() == "sync/atomic"
+}

@@ -1,0 +1,177 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// HotPathAlloc enforces the //dnn:hotpath contract: the compiled
+// executor's per-instruction kernels and the scheduler's inner loops
+// run once per instruction per inference, so they must not allocate or
+// touch runtime machinery with unpredictable cost. Flagged inside an
+// annotated function's body: make/new/append, composite and function
+// literals, defer and go statements, map iteration, string
+// concatenation, string conversions, and implicit boxing at interface
+// conversions or interface-typed call arguments. Arguments to panic are
+// exempt (a panicking hot path is already cold), and a //dnn:allow
+// comment on the offending line suppresses a finding. The check is
+// body-only: calls to unannotated helpers are the callee's business.
+var HotPathAlloc = &Analyzer{
+	Name: "hotpathalloc",
+	Doc:  "report allocations and runtime hazards in //dnn:hotpath functions",
+	Run:  runHotPathAlloc,
+}
+
+func runHotPathAlloc(pkg *Package) []Diagnostic {
+	var diags []Diagnostic
+	for _, f := range pkg.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !hasDirective(fd.Doc, "//dnn:hotpath") {
+				continue
+			}
+			diags = append(diags, checkHotBody(pkg, fd)...)
+		}
+	}
+	return diags
+}
+
+func checkHotBody(pkg *Package, fd *ast.FuncDecl) []Diagnostic {
+	var diags []Diagnostic
+	report := func(n ast.Node, msg string) {
+		diags = append(diags, Diagnostic{
+			Pos:      pkg.Fset.Position(n.Pos()),
+			Analyzer: "hotpathalloc",
+			Message:  fd.Name.Name + ": " + msg,
+		})
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if name, ok := builtinName(pkg, n); ok {
+				switch name {
+				case "panic":
+					return false // cold path: its arguments may allocate
+				case "make", "new", "append":
+					report(n, name+" allocates in hot path")
+				}
+				return true
+			}
+			if tv, ok := pkg.Info.Types[n.Fun]; ok && tv.IsType() {
+				diags = append(diags, checkConversion(pkg, fd, n)...)
+				return true
+			}
+			diags = append(diags, checkCallBoxing(pkg, fd, n)...)
+		case *ast.CompositeLit:
+			report(n, "composite literal allocates in hot path")
+		case *ast.FuncLit:
+			report(n, "function literal in hot path (closure allocation)")
+			return false // the closure body is not the hot body
+		case *ast.DeferStmt:
+			report(n, "defer in hot path")
+		case *ast.GoStmt:
+			report(n, "go statement in hot path (goroutine spawn)")
+		case *ast.RangeStmt:
+			if t := pkg.Info.TypeOf(n.X); t != nil {
+				if _, isMap := t.Underlying().(*types.Map); isMap {
+					report(n, "map iteration in hot path")
+				}
+			}
+		case *ast.BinaryExpr:
+			if n.Op == token.ADD && isString(pkg.Info.TypeOf(n)) {
+				report(n, "string concatenation allocates in hot path")
+			}
+		}
+		return true
+	})
+	return diags
+}
+
+// checkConversion flags conversions that allocate or box: concrete →
+// interface, and the copying string ⇄ []byte/[]rune conversions.
+func checkConversion(pkg *Package, fd *ast.FuncDecl, call *ast.CallExpr) []Diagnostic {
+	if len(call.Args) != 1 {
+		return nil
+	}
+	dst := pkg.Info.TypeOf(call)
+	src := pkg.Info.TypeOf(call.Args[0])
+	if dst == nil || src == nil {
+		return nil
+	}
+	pos := pkg.Fset.Position(call.Pos())
+	if types.IsInterface(dst) && !types.IsInterface(src) {
+		return []Diagnostic{{Pos: pos, Analyzer: "hotpathalloc",
+			Message: fd.Name.Name + ": conversion to interface boxes in hot path"}}
+	}
+	if (isString(dst) && isByteOrRuneSlice(src)) || (isByteOrRuneSlice(dst) && isString(src)) {
+		return []Diagnostic{{Pos: pos, Analyzer: "hotpathalloc",
+			Message: fd.Name.Name + ": string conversion copies in hot path"}}
+	}
+	return nil
+}
+
+// checkCallBoxing flags concrete (or untyped-constant) arguments passed
+// to interface-typed parameters, including the variadic ...any of the
+// fmt functions — each such argument is a heap box.
+func checkCallBoxing(pkg *Package, fd *ast.FuncDecl, call *ast.CallExpr) []Diagnostic {
+	sig, ok := pkg.Info.TypeOf(call.Fun).(*types.Signature)
+	if !ok {
+		return nil
+	}
+	params := sig.Params()
+	var diags []Diagnostic
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case sig.Variadic() && i >= params.Len()-1:
+			if call.Ellipsis != token.NoPos {
+				continue // s... passes the slice itself, no boxing
+			}
+			pt = params.At(params.Len() - 1).Type().(*types.Slice).Elem()
+		case i < params.Len():
+			pt = params.At(i).Type()
+		}
+		if pt == nil || !types.IsInterface(pt) {
+			continue
+		}
+		tv := pkg.Info.Types[arg]
+		if tv.IsNil() || (tv.Type != nil && types.IsInterface(tv.Type)) {
+			continue
+		}
+		diags = append(diags, Diagnostic{
+			Pos:      pkg.Fset.Position(arg.Pos()),
+			Analyzer: "hotpathalloc",
+			Message:  fd.Name.Name + ": argument boxed into interface parameter in hot path",
+		})
+	}
+	return diags
+}
+
+func builtinName(pkg *Package, call *ast.CallExpr) (string, bool) {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok {
+		return "", false
+	}
+	if b, ok := pkg.Info.Uses[id].(*types.Builtin); ok {
+		return b.Name(), true
+	}
+	return "", false
+}
+
+func isString(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+func isByteOrRuneSlice(t types.Type) bool {
+	s, ok := t.Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	b, ok := s.Elem().Underlying().(*types.Basic)
+	return ok && (b.Kind() == types.Byte || b.Kind() == types.Rune)
+}

@@ -1,0 +1,179 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// KernelAlias enforces the *Into kernel contract: a kernel named
+// "...Into" writes results through caller-provided buffers (slot-backed
+// tensors, recycled frames, in-place aliases) and must not retain
+// memory reachable from its reference parameters beyond the call. The
+// analyzer taints the pointer- and slice-typed parameters plus locals
+// assigned from them and flags any route that could publish a tainted
+// value: returning it, assigning it to a struct field or package-level
+// variable, or sending it on a channel. Passing tainted values to other
+// functions is deliberately not flagged — wrapping a caller's buffer in
+// a temporary view (tensor.NewWith style) is the idiomatic way these
+// kernels compose.
+var KernelAlias = &Analyzer{
+	Name: "kernelalias",
+	Doc:  "report *Into kernels that retain or return caller-provided memory",
+	Run:  runKernelAlias,
+}
+
+func runKernelAlias(pkg *Package) []Diagnostic {
+	var diags []Diagnostic
+	for _, f := range pkg.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			name := fd.Name.Name
+			if len(name) <= len("Into") || name[len(name)-len("Into"):] != "Into" {
+				continue
+			}
+			diags = append(diags, checkKernel(pkg, fd)...)
+		}
+	}
+	return diags
+}
+
+func checkKernel(pkg *Package, fd *ast.FuncDecl) []Diagnostic {
+	// tainted maps each variable that may alias caller memory to the
+	// parameter it originates from.
+	tainted := map[*types.Var]*types.Var{}
+	for _, field := range fd.Type.Params.List {
+		for _, id := range field.Names {
+			if v, ok := pkg.Info.Defs[id].(*types.Var); ok && isRefType(v.Type()) {
+				tainted[v] = v
+			}
+		}
+	}
+	if len(tainted) == 0 {
+		return nil
+	}
+
+	derived := func(e ast.Expr) *types.Var {
+		return derivedFrom(pkg, tainted, e)
+	}
+
+	// Propagate taint through simple local assignments (x := dst.Data)
+	// to a fixpoint; the body is small, so iterate until stable.
+	for changed := true; changed; {
+		changed = false
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			as, ok := n.(*ast.AssignStmt)
+			if !ok || len(as.Lhs) != len(as.Rhs) {
+				return true
+			}
+			for i, lhs := range as.Lhs {
+				id, ok := ast.Unparen(lhs).(*ast.Ident)
+				if !ok {
+					continue
+				}
+				origin := derived(as.Rhs[i])
+				if origin == nil {
+					continue
+				}
+				obj := pkg.Info.Defs[id]
+				if obj == nil {
+					obj = pkg.Info.Uses[id]
+				}
+				if v, ok := obj.(*types.Var); ok && tainted[v] == nil {
+					tainted[v] = origin
+					changed = true
+				}
+			}
+			return true
+		})
+	}
+
+	var diags []Diagnostic
+	report := func(n ast.Node, v *types.Var, how string) {
+		diags = append(diags, Diagnostic{
+			Pos:      pkg.Fset.Position(n.Pos()),
+			Analyzer: "kernelalias",
+			Message:  fd.Name.Name + ": " + how + " memory derived from parameter " + v.Name(),
+		})
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.ReturnStmt:
+			for _, res := range n.Results {
+				if v := derived(res); v != nil {
+					report(n, v, "returns")
+				}
+			}
+		case *ast.AssignStmt:
+			if len(n.Lhs) != len(n.Rhs) {
+				return true
+			}
+			for i, lhs := range n.Lhs {
+				v := derived(n.Rhs[i])
+				if v == nil {
+					continue
+				}
+				switch l := ast.Unparen(lhs).(type) {
+				case *ast.SelectorExpr:
+					if pkg.Info.Selections[l] != nil { // field write, not a qualified ident
+						report(n, v, "stores in a struct field")
+					}
+				case *ast.Ident:
+					if obj, ok := pkg.Info.Uses[l].(*types.Var); ok && obj.Parent() == pkg.Types.Scope() {
+						report(n, v, "stores in package variable "+l.Name)
+					}
+				}
+			}
+		case *ast.SendStmt:
+			if v := derived(n.Value); v != nil {
+				report(n, v, "sends on a channel")
+			}
+		}
+		return true
+	})
+	return diags
+}
+
+// derivedFrom resolves an expression to the originating tainted
+// parameter it aliases through selectors, indexing, slicing,
+// dereference and address-of; a function call breaks derivation (its
+// result is the callee's memory).
+func derivedFrom(pkg *Package, tainted map[*types.Var]*types.Var, e ast.Expr) *types.Var {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		obj := pkg.Info.Uses[e]
+		if obj == nil {
+			obj = pkg.Info.Defs[e]
+		}
+		if v, ok := obj.(*types.Var); ok {
+			return tainted[v]
+		}
+	case *ast.SelectorExpr:
+		return derivedFrom(pkg, tainted, e.X)
+	case *ast.IndexExpr:
+		return derivedFrom(pkg, tainted, e.X)
+	case *ast.SliceExpr:
+		return derivedFrom(pkg, tainted, e.X)
+	case *ast.StarExpr:
+		return derivedFrom(pkg, tainted, e.X)
+	case *ast.UnaryExpr:
+		if e.Op == token.AND {
+			return derivedFrom(pkg, tainted, e.X)
+		}
+	}
+	return nil
+}
+
+// isRefType reports whether values of t can carry caller memory:
+// pointers, slices, maps and channels qualify; scalars and pure value
+// structs do not.
+func isRefType(t types.Type) bool {
+	switch t.Underlying().(type) {
+	case *types.Pointer, *types.Slice, *types.Map, *types.Chan:
+		return true
+	}
+	return false
+}

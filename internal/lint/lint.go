@@ -1,0 +1,107 @@
+// Package lint implements the repository's custom static analyzers and
+// the bounds-check-elimination guard behind cmd/dnnlint. The analyzers
+// enforce contracts the compiler and runtime rely on but go vet cannot
+// see:
+//
+//   - hotpathalloc: functions annotated //dnn:hotpath (the compiled
+//     executor's leaf kernels and scheduler inner loops) must not
+//     allocate, iterate maps, defer, or convert to interfaces;
+//   - kernelalias: *Into kernels write through caller-provided buffers
+//     and must not retain or return memory derived from their
+//     reference parameters;
+//   - atomicfield: a struct field accessed through sync/atomic anywhere
+//     must be accessed through sync/atomic everywhere.
+//
+// Everything here is built on the standard library's go/ast and
+// go/types only — the loader shells out to `go list` for package
+// structure and export data instead of depending on golang.org/x/tools.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// Diagnostic is one analyzer finding at a source position.
+type Diagnostic struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: %s: %s", d.Pos, d.Analyzer, d.Message)
+}
+
+// Analyzer is a named check run over one typechecked package at a time.
+type Analyzer struct {
+	Name string
+	Doc  string
+	Run  func(*Package) []Diagnostic
+}
+
+// All is the analyzer suite cmd/dnnlint runs by default.
+var All = []*Analyzer{HotPathAlloc, KernelAlias, AtomicField}
+
+// RunAnalyzers applies every analyzer to every package and returns the
+// findings sorted by position, with //dnn:allow-suppressed lines
+// removed.
+func RunAnalyzers(analyzers []*Analyzer, pkgs []*Package) []Diagnostic {
+	var diags []Diagnostic
+	for _, pkg := range pkgs {
+		allowed := allowedLines(pkg)
+		for _, a := range analyzers {
+			for _, d := range a.Run(pkg) {
+				if allowed[d.Pos.Filename+":"+fmt.Sprint(d.Pos.Line)] {
+					continue
+				}
+				diags = append(diags, d)
+			}
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		if diags[i].Pos.Filename != diags[j].Pos.Filename {
+			return diags[i].Pos.Filename < diags[j].Pos.Filename
+		}
+		if diags[i].Pos.Line != diags[j].Pos.Line {
+			return diags[i].Pos.Line < diags[j].Pos.Line
+		}
+		return diags[i].Pos.Column < diags[j].Pos.Column
+	})
+	return diags
+}
+
+// allowedLines collects the file:line positions carrying a //dnn:allow
+// comment, which suppresses any diagnostic reported on that line.
+func allowedLines(pkg *Package) map[string]bool {
+	allowed := map[string]bool{}
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if strings.HasPrefix(c.Text, "//dnn:allow") {
+					p := pkg.Fset.Position(c.Pos())
+					allowed[p.Filename+":"+fmt.Sprint(p.Line)] = true
+				}
+			}
+		}
+	}
+	return allowed
+}
+
+// hasDirective reports whether a function's doc comment carries the
+// given //-style directive (directives are invisible to CommentGroup
+// Text, so the raw list is scanned).
+func hasDirective(doc *ast.CommentGroup, directive string) bool {
+	if doc == nil {
+		return false
+	}
+	for _, c := range doc.List {
+		if c.Text == directive || strings.HasPrefix(c.Text, directive+" ") {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,194 @@
+package lint
+
+import (
+	"go/ast"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func moduleRoot(t *testing.T) string {
+	t.Helper()
+	dir, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return filepath.Clean(filepath.Join(dir, "..", ".."))
+}
+
+// loadFixture typechecks the deliberately-broken testdata package.
+func loadFixture(t *testing.T) []*Package {
+	t.Helper()
+	pkgs, err := Load(moduleRoot(t), "./internal/lint/testdata/src/lintme")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) != 1 {
+		t.Fatalf("loaded %d packages, want 1", len(pkgs))
+	}
+	return pkgs
+}
+
+// expectFindings asserts that each wanted substring matches at least
+// one diagnostic and that no diagnostic mentions a forbidden name.
+func expectFindings(t *testing.T, diags []Diagnostic, wanted, forbidden []string) {
+	t.Helper()
+	for _, w := range wanted {
+		found := false
+		for _, d := range diags {
+			if strings.Contains(d.Message, w) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("no diagnostic matching %q in:\n%s", w, render(diags))
+		}
+	}
+	for _, f := range forbidden {
+		for _, d := range diags {
+			if strings.Contains(d.Message, f) {
+				t.Errorf("unexpected diagnostic mentioning %q: %s", f, d)
+			}
+		}
+	}
+}
+
+func render(diags []Diagnostic) string {
+	var b strings.Builder
+	for _, d := range diags {
+		b.WriteString("  " + d.String() + "\n")
+	}
+	return b.String()
+}
+
+func TestHotPathAllocFindsFixtureViolations(t *testing.T) {
+	diags := RunAnalyzers([]*Analyzer{HotPathAlloc}, loadFixture(t))
+	expectFindings(t, diags,
+		[]string{
+			"hotAlloc: make allocates",
+			"hotAlloc: composite literal",
+			"hotAlloc: argument boxed into interface parameter",
+			"hotDefer: defer in hot path",
+			"hotDefer: function literal",
+			"hotDefer: map iteration",
+		},
+		[]string{"hotAllowed", "hotClean"})
+	if len(diags) != 6 {
+		t.Errorf("got %d findings, want 6:\n%s", len(diags), render(diags))
+	}
+}
+
+func TestKernelAliasFindsFixtureViolations(t *testing.T) {
+	diags := RunAnalyzers([]*Analyzer{KernelAlias}, loadFixture(t))
+	expectFindings(t, diags,
+		[]string{
+			"BadInto: stores in a struct field memory derived from parameter dst",
+			"BadInto: stores in package variable leaked memory derived from parameter dst",
+			"BadInto: sends on a channel memory derived from parameter dst",
+			"BadInto: returns memory derived from parameter dst",
+		},
+		[]string{"GoodInto"})
+	if len(diags) != 4 {
+		t.Errorf("got %d findings, want 4:\n%s", len(diags), render(diags))
+	}
+}
+
+func TestAtomicFieldFindsFixtureViolations(t *testing.T) {
+	diags := RunAnalyzers([]*Analyzer{AtomicField}, loadFixture(t))
+	expectFindings(t, diags,
+		[]string{"field hits is accessed via sync/atomic elsewhere"},
+		[]string{"total", "deps"})
+	if len(diags) != 1 {
+		t.Errorf("got %d findings, want 1:\n%s", len(diags), render(diags))
+	}
+}
+
+// TestRealTreeClean is satellite #1's enforcement: the analyzer suite
+// must pass over the whole module, and not vacuously — the hot-path
+// annotations it audits must actually be present.
+func TestRealTreeClean(t *testing.T) {
+	pkgs, err := Load(moduleRoot(t), "./...")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if diags := RunAnalyzers(All, pkgs); len(diags) != 0 {
+		t.Errorf("analyzer findings on the real tree:\n%s", render(diags))
+	}
+	annotated := 0
+	for _, pkg := range pkgs {
+		annotated += countHotpath(pkg)
+	}
+	if annotated < 15 {
+		t.Errorf("only %d //dnn:hotpath functions found; the hotpathalloc sweep looks vacuous", annotated)
+	}
+}
+
+// countHotpath counts the //dnn:hotpath-annotated functions in a
+// package.
+func countHotpath(pkg *Package) int {
+	n := 0
+	for _, f := range pkg.Files {
+		for _, decl := range f.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && hasDirective(fd.Doc, "//dnn:hotpath") {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+func TestBCEClassification(t *testing.T) {
+	root := moduleRoot(t)
+	idx, err := buildBCEIndex(root, []string{"pbqpdnn/internal/gemm"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	src, err := os.ReadFile(filepath.Join(root, "internal", "gemm", "gemm.go"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	lineOf := func(needle string) int {
+		for i, l := range strings.Split(string(src), "\n") {
+			if strings.Contains(l, needle) {
+				return i + 1
+			}
+		}
+		t.Fatalf("pattern %q not found in gemm.go", needle)
+		return 0
+	}
+
+	// A check on the accumulation statement of IKJ's leaf loop is a
+	// violation.
+	c := BCECheck{File: "internal/gemm/gemm.go", Line: lineOf("ci[j] += av * bv"), Col: 5, Kind: "IsInBounds"}
+	idx.classify(&c)
+	if !c.Violation || c.Func != "IKJ" {
+		t.Errorf("leaf-loop check misclassified: %+v", c)
+	}
+
+	// A check on the hoisted row view sits in a non-leaf loop.
+	c = BCECheck{File: "internal/gemm/gemm.go", Line: lineOf("bp := b[p*n:][:n]"), Col: 5, Kind: "IsSliceInBounds"}
+	idx.classify(&c)
+	if c.Violation || !strings.Contains(c.Why, "non-leaf") {
+		t.Errorf("row-view check misclassified: %+v", c)
+	}
+
+	// Naive is deliberately unregistered: its checks are reported but
+	// never violations.
+	c = BCECheck{File: "internal/gemm/gemm.go", Line: lineOf("s += a[i*k+p] * b[p*n+j]"), Col: 5, Kind: "IsInBounds"}
+	idx.classify(&c)
+	if c.Violation || c.Func != "Naive" {
+		t.Errorf("unregistered-function check misclassified: %+v", c)
+	}
+}
+
+func TestParseBCELine(t *testing.T) {
+	c, ok := parseBCELine("internal/gemm/gemm.go:48:10: Found IsSliceInBounds")
+	if !ok || c.File != "internal/gemm/gemm.go" || c.Line != 48 || c.Col != 10 || c.Kind != "IsSliceInBounds" {
+		t.Errorf("parse: got %+v ok=%v", c, ok)
+	}
+	if _, ok := parseBCELine("# pbqpdnn/internal/gemm"); ok {
+		t.Error("package header line should not parse as a check")
+	}
+}

@@ -1,0 +1,118 @@
+package lint
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+)
+
+// Package is one typechecked target package: syntax plus full type
+// information, ready for the analyzers.
+type Package struct {
+	PkgPath string
+	Dir     string
+	Fset    *token.FileSet
+	Files   []*ast.File
+	Types   *types.Package
+	Info    *types.Info
+}
+
+// listEntry is the subset of `go list -json` output the loader needs.
+type listEntry struct {
+	ImportPath string
+	Dir        string
+	GoFiles    []string
+	Export     string
+	Standard   bool
+	DepOnly    bool
+}
+
+// Load typechecks the packages matched by the patterns (relative to
+// dir; "./..." when none) from source. Dependencies — standard library
+// and module-internal alike — are resolved from compiled export data
+// reported by `go list -deps -export`, so the loader needs nothing
+// beyond the standard library and an installed go toolchain.
+func Load(dir string, patterns ...string) ([]*Package, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	args := append([]string{"list", "-deps", "-export",
+		"-json=ImportPath,Dir,GoFiles,Export,Standard,DepOnly"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var out, errb bytes.Buffer
+	cmd.Stdout = &out
+	cmd.Stderr = &errb
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("lint: go list: %v\n%s", err, errb.String())
+	}
+
+	exports := map[string]string{}
+	var targets []listEntry
+	dec := json.NewDecoder(&out)
+	for {
+		var e listEntry
+		if err := dec.Decode(&e); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("lint: decoding go list output: %v", err)
+		}
+		if e.Export != "" {
+			exports[e.ImportPath] = e.Export
+		}
+		if !e.DepOnly && !e.Standard {
+			targets = append(targets, e)
+		}
+	}
+
+	fset := token.NewFileSet()
+	imp := importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
+		f := exports[path]
+		if f == "" {
+			return nil, fmt.Errorf("lint: no export data for %q", path)
+		}
+		return os.Open(f)
+	})
+
+	var pkgs []*Package
+	for _, e := range targets {
+		var files []*ast.File
+		for _, name := range e.GoFiles {
+			f, err := parser.ParseFile(fset, filepath.Join(e.Dir, name), nil, parser.ParseComments)
+			if err != nil {
+				return nil, fmt.Errorf("lint: parsing %s: %v", name, err)
+			}
+			files = append(files, f)
+		}
+		info := &types.Info{
+			Types:      map[ast.Expr]types.TypeAndValue{},
+			Defs:       map[*ast.Ident]types.Object{},
+			Uses:       map[*ast.Ident]types.Object{},
+			Selections: map[*ast.SelectorExpr]*types.Selection{},
+			Implicits:  map[ast.Node]types.Object{},
+		}
+		conf := types.Config{Importer: imp}
+		tpkg, err := conf.Check(e.ImportPath, fset, files, info)
+		if err != nil {
+			return nil, fmt.Errorf("lint: typechecking %s: %v", e.ImportPath, err)
+		}
+		pkgs = append(pkgs, &Package{
+			PkgPath: e.ImportPath,
+			Dir:     e.Dir,
+			Fset:    fset,
+			Files:   files,
+			Types:   tpkg,
+			Info:    info,
+		})
+	}
+	return pkgs, nil
+}

@@ -1,0 +1,102 @@
+// Package lintme is the analyzers' fixture: every construct below is a
+// deliberate violation — or a deliberate non-violation — that the lint
+// tests assert on. It lives under testdata so the real tree's ./...
+// sweep never matches it.
+package lintme
+
+import (
+	"fmt"
+	"sync/atomic"
+)
+
+// hotAlloc violates hotpathalloc three ways: make, a composite
+// literal, and boxing ints into Sprintf's ...any.
+//
+//dnn:hotpath
+func hotAlloc(n int) []float32 {
+	buf := make([]float32, n)
+	pair := [2]int{n, n}
+	_ = fmt.Sprintf("n=%d", pair[0])
+	return buf
+}
+
+// hotDefer violates hotpathalloc with defer (and its closure literal)
+// and a map iteration.
+//
+//dnn:hotpath
+func hotDefer(m map[string]int) int {
+	defer func() {}()
+	s := 0
+	for _, v := range m {
+		s += v
+	}
+	return s
+}
+
+// hotAllowed allocates, but the finding is suppressed on its line.
+//
+//dnn:hotpath
+func hotAllowed(n int) []float32 {
+	return make([]float32, n) //dnn:allow preallocation, measured harmless
+}
+
+// hotClean is the negative control: slice views, a range loop, and a
+// panic whose argument concatenation must not be flagged.
+//
+//dnn:hotpath
+func hotClean(dst, src []float32) {
+	if len(dst) < len(src) {
+		panic("lintme: short dst " + "for copy")
+	}
+	d := dst[:len(src)]
+	for i, v := range src {
+		d[i] = v
+	}
+}
+
+var leaked []float32
+
+type sink struct {
+	buf []float32
+	ch  chan []float32
+}
+
+// BadInto violates kernelalias four ways: field store, package-variable
+// store, channel send, and returning a taint-propagated local.
+func BadInto(dst []float32, s *sink) []float32 {
+	s.buf = dst[1:]
+	leaked = dst
+	s.ch <- dst[:1]
+	d := dst[:2]
+	return d
+}
+
+// GoodInto is the negative control: it writes through its parameters
+// and passes a derived view to a callee, both allowed.
+func GoodInto(dst, src []float32) {
+	copy(dst, src)
+	clearAll(dst[:len(dst)/2])
+}
+
+func clearAll(x []float32) {
+	for i := range x {
+		x[i] = 0
+	}
+}
+
+type counters struct {
+	hits  int64
+	total int64
+	deps  []int32
+}
+
+func (c *counters) bump() { atomic.AddInt64(&c.hits, 1) }
+
+func (c *counters) bumpDep(i int) { atomic.AddInt32(&c.deps[i], 1) }
+
+// read violates atomicfield: c.hits is atomically written in bump but
+// read plainly here. c.total (never atomic) and c.deps (element-wise
+// atomics only) are fine.
+func (c *counters) read() int64 {
+	return c.hits + c.total + int64(len(c.deps))
+}

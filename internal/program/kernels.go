@@ -27,19 +27,26 @@ import (
 
 // ReLUInto clamps negatives elementwise. Layout-independent: dst and in
 // share a layout, and the padding lanes of blocked layouts hold zeros,
-// which relu maps to zero.
+// which relu maps to zero. The destination is clamped to the source
+// length up front so the loop indexes two same-length slices with no
+// bounds checks.
+//
+//dnn:hotpath
 func ReLUInto(dst, in *tensor.Tensor) {
+	d := dst.Data[:len(in.Data)]
 	for i, v := range in.Data {
 		if v < 0 {
-			dst.Data[i] = 0
+			d[i] = 0
 		} else {
-			dst.Data[i] = v
+			d[i] = v
 		}
 	}
 }
 
 // CopyInto copies in's payload into dst (dropout identity). dst and in
 // share layout and shape, so the physical slabs correspond 1:1.
+//
+//dnn:hotpath
 func CopyInto(dst, in *tensor.Tensor) {
 	copy(dst.Data, in.Data)
 }
@@ -48,6 +55,8 @@ func CopyInto(dst, in *tensor.Tensor) {
 // layout — the legalized plan guarantees it — the physical slabs
 // correspond and the sum runs over contiguous memory. dst may alias
 // ins[0] (in-place accumulation) but no other input.
+//
+//dnn:hotpath
 func AddInto(dst *tensor.Tensor, ins []*tensor.Tensor) {
 	same := true
 	for _, t := range ins {
@@ -59,8 +68,9 @@ func AddInto(dst *tensor.Tensor, ins []*tensor.Tensor) {
 	if same {
 		copy(dst.Data, ins[0].Data)
 		for _, t := range ins[1:] {
+			d := dst.Data[:len(t.Data)]
 			for i, v := range t.Data {
-				dst.Data[i] += v
+				d[i] += v
 			}
 		}
 		return
@@ -82,6 +92,8 @@ func AddInto(dst *tensor.Tensor, ins []*tensor.Tensor) {
 // the channel-planar CHW layout (window walks one contiguous plane per
 // channel) and the channels-last HWC layout (window cells are
 // contiguous C-runs).
+//
+//dnn:hotpath
 func PoolInto(dst, in *tensor.Tensor, l *dnn.Layer, isMax bool) {
 	switch {
 	case in.Layout == tensor.CHW && dst.Layout == tensor.CHW:
@@ -93,6 +105,7 @@ func PoolInto(dst, in *tensor.Tensor, l *dnn.Layer, isMax bool) {
 	}
 }
 
+//dnn:hotpath
 func poolCHW(dst, in *tensor.Tensor, l *dnn.Layer, isMax bool) {
 	inHW, outHW := in.H*in.W, l.OutH*l.OutW
 	for c := 0; c < l.OutC; c++ {
@@ -132,6 +145,7 @@ func poolCHW(dst, in *tensor.Tensor, l *dnn.Layer, isMax bool) {
 	}
 }
 
+//dnn:hotpath
 func poolHWC(dst, in *tensor.Tensor, l *dnn.Layer, isMax bool) {
 	C := in.C
 	for y := 0; y < l.OutH; y++ {
@@ -232,6 +246,8 @@ func poolGeneric(dst, in *tensor.Tensor, l *dnn.Layer, isMax bool) {
 // parameters, specializing CHW (channel stride is the plane size, so
 // the squared-sum window slides along a strided but directly-indexed
 // column).
+//
+//dnn:hotpath
 func LRNInto(dst, in *tensor.Tensor) {
 	const (
 		size  = 5
@@ -274,6 +290,8 @@ func LRNInto(dst, in *tensor.Tensor) {
 // ConcatInto concatenates the inputs along channels. In CHW the inputs'
 // payloads are whole contiguous slabs laid end to end; in HWC each
 // pixel's destination row is the inputs' C-runs laid end to end.
+//
+//dnn:hotpath
 func ConcatInto(dst *tensor.Tensor, ins []*tensor.Tensor) {
 	same := true
 	for _, t := range ins {
@@ -332,19 +350,32 @@ func FCInto(dst, in *tensor.Tensor, mat []float32, outN int) {
 			}
 		}
 	}
+	fcApply(dst.Data, flat, mat, outN, inN)
+}
+
+// fcApply is FCInto's arithmetic core: dst[o] = mat-row(o)·flat. Kept
+// separate from the layout dispatch (which may allocate a flatten
+// buffer) so the dot-product loop is allocation-free and, with the
+// weight row re-sliced to flat's length, carries no bounds checks.
+//
+//dnn:hotpath
+func fcApply(dst, flat, mat []float32, outN, inN int) {
+	fl := flat[:inN]
 	for o := 0; o < outN; o++ {
 		var acc float32
-		row := mat[o*inN : o*inN+inN]
-		for j, v := range flat {
+		row := mat[o*inN:][:inN]
+		for j, v := range fl {
 			acc += v * row[j]
 		}
-		dst.Data[o] = acc
+		dst[o] = acc
 	}
 }
 
 // SoftmaxInto normalizes across channels at each spatial position,
 // specializing HWC (each pixel is one contiguous C-run) and CHW (the
 // channel column has a fixed plane stride).
+//
+//dnn:hotpath
 func SoftmaxInto(dst, in *tensor.Tensor) {
 	switch {
 	case in.Layout == tensor.HWC && dst.Layout == tensor.HWC:
@@ -381,6 +412,8 @@ func SoftmaxInto(dst, in *tensor.Tensor) {
 // softmaxRun normalizes one channel column given as a strided slice
 // (stride 1 for HWC runs, the plane size for CHW columns). The slice
 // covers exactly the elements {0, stride, 2·stride, …}.
+//
+//dnn:hotpath
 func softmaxRun(dst, src []float32, stride int) {
 	max := math.Inf(-1)
 	for i := 0; i < len(src); i += stride {

@@ -242,6 +242,35 @@ func inPlaceable(o Op) bool {
 	return o == OpReLU || o == OpAdd || o == OpDropout
 }
 
+// DebugVerify, when non-nil, is invoked on every program CompileBatch
+// produces, after Validate has accepted it. The independent translation
+// validator (internal/verify) registers itself here in tests, so every
+// program the suite compiles is re-checked from first principles by
+// code that shares nothing with the compiler that built it. Production
+// builds leave it nil; it must be set before any Compile call and never
+// mutated concurrently with compilation.
+var DebugVerify func(*Program) error
+
+// Clone returns a deep copy of the program: the instruction stream,
+// per-instruction Args/Succs/Chain slices, slot capacities and layer
+// map are all fresh storage. The immutable referents — the Plan, the
+// network layers, the primitives — are shared. Mutation tests and
+// future plan hot-swapping corrupt or patch clones without touching
+// the engine-owned original.
+func (p *Program) Clone() *Program {
+	q := *p
+	q.Instrs = append([]Instr(nil), p.Instrs...)
+	for i := range q.Instrs {
+		ins := &q.Instrs[i]
+		ins.Args = append([]int(nil), ins.Args...)
+		ins.Succs = append([]int(nil), ins.Succs...)
+		ins.Chain = append([]tensor.Transform(nil), ins.Chain...)
+	}
+	q.SlotCap = append([]int(nil), p.SlotCap...)
+	q.InstrOf = append([]int(nil), p.InstrOf...)
+	return &q
+}
+
 // Compile lowers a checked plan into the batch-1 Program IR: the
 // per-image program whose convolution outputs are primitive-allocated.
 // It is CompileBatch at N = 1.
@@ -343,6 +372,11 @@ func CompileBatch(plan *selector.Plan, batch int) (*Program, error) {
 	p.computeStats()
 	if err := p.Validate(); err != nil {
 		return nil, err
+	}
+	if DebugVerify != nil {
+		if err := DebugVerify(p); err != nil {
+			return nil, fmt.Errorf("program: translation validation: %w", err)
+		}
 	}
 	return p, nil
 }

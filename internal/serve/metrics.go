@@ -3,6 +3,7 @@ package serve
 import (
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -19,11 +20,14 @@ type Metrics struct {
 
 	start time.Time
 
+	// The admission counters sit on every request's entry path and are
+	// bumped lock-free; all access goes through sync/atomic.
 	accepted int64 // admitted into the queue
 	rejected int64 // turned away at admission (queue full)
 	expired  int64 // pruned at flush time: request deadline passed while queued
-	served   int64 // completed through the engine
-	failed   int64 // completed with an engine error
+
+	served int64 // completed through the engine
+	failed int64 // completed with an engine error
 
 	batches   int64   // RunBatch dispatches
 	batchSum  int64   // sum of dispatched batch sizes
@@ -49,23 +53,11 @@ func NewMetrics() *Metrics {
 	return &Metrics{start: time.Now()}
 }
 
-func (m *Metrics) admit() {
-	m.mu.Lock()
-	m.accepted++
-	m.mu.Unlock()
-}
+func (m *Metrics) admit() { atomic.AddInt64(&m.accepted, 1) }
 
-func (m *Metrics) reject() {
-	m.mu.Lock()
-	m.rejected++
-	m.mu.Unlock()
-}
+func (m *Metrics) reject() { atomic.AddInt64(&m.rejected, 1) }
 
-func (m *Metrics) expire(n int) {
-	m.mu.Lock()
-	m.expired += int64(n)
-	m.mu.Unlock()
-}
+func (m *Metrics) expire(n int) { atomic.AddInt64(&m.expired, int64(n)) }
 
 // observeBatch records one engine dispatch: its size, the engine wall
 // time the dispatch spent in RunBatch, and, per request, the
@@ -153,9 +145,9 @@ func (m *Metrics) Snapshot() Stats {
 	m.mu.Lock()
 	s := Stats{
 		UptimeSec: time.Since(m.start).Seconds(),
-		Accepted:  m.accepted,
-		Rejected:  m.rejected,
-		Expired:   m.expired,
+		Accepted:  atomic.LoadInt64(&m.accepted),
+		Rejected:  atomic.LoadInt64(&m.rejected),
+		Expired:   atomic.LoadInt64(&m.expired),
 		Served:    m.served,
 		Failed:    m.failed,
 		Batches:   m.batches,

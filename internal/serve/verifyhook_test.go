@@ -1,0 +1,13 @@
+package serve
+
+import (
+	"pbqpdnn/internal/program"
+	"pbqpdnn/internal/verify"
+)
+
+// init arms the compiler's DebugVerify hook for the serving tests, so
+// every per-bucket program the registry compiles is re-checked by the
+// independent translation validator.
+func init() {
+	program.DebugVerify = verify.Program
+}

@@ -1,0 +1,123 @@
+package verify
+
+import (
+	"testing"
+
+	"pbqpdnn/internal/conv"
+	"pbqpdnn/internal/cost"
+	"pbqpdnn/internal/dnn"
+	"pbqpdnn/internal/dnn/models"
+	"pbqpdnn/internal/program"
+	"pbqpdnn/internal/selector"
+	"pbqpdnn/internal/tensor"
+)
+
+// init wires the verifier into the compiler for every program this
+// package's tests (including the fuzz harness) compile.
+func init() {
+	program.DebugVerify = Program
+}
+
+// strategyFns names every selection strategy the acceptance matrix
+// runs. FamilyBest is pinned to im2, the one family whose primitives
+// cover every scenario in the evaluation networks.
+func strategyFns() map[string]func(net *dnn.Graph, opts selector.Options) (*selector.Plan, error) {
+	return map[string]func(net *dnn.Graph, opts selector.Options) (*selector.Plan, error){
+		"pbqp":         selector.Select,
+		"baseline":     selector.Baseline,
+		"no-edge-cost": selector.NoEdgeCost,
+		"mkldnn-proxy": selector.MKLDNNProxy,
+		"armcl-proxy":  selector.ARMCLProxy,
+		"caffe-proxy":  selector.CaffeProxy,
+		"local-chw": func(net *dnn.Graph, opts selector.Options) (*selector.Plan, error) {
+			return selector.LocalOptimal(net, tensor.CHW, opts)
+		},
+		"family-im2": func(net *dnn.Graph, opts selector.Options) (*selector.Plan, error) {
+			return selector.FamilyBest(net, conv.FamilyIm2, opts)
+		},
+	}
+}
+
+func planFor(t testing.TB, model, strategy string) *selector.Plan {
+	t.Helper()
+	net, err := models.Build(model)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fn := strategyFns()[strategy]
+	if fn == nil {
+		t.Fatalf("unknown strategy %q", strategy)
+	}
+	plan, err := fn(net, selector.Options{Prof: cost.NewModel(cost.IntelHaswell), Threads: 2})
+	if err != nil {
+		t.Fatalf("%s/%s: %v", model, strategy, err)
+	}
+	return plan
+}
+
+func compileFor(t testing.TB, model, strategy string, batch int) *program.Program {
+	t.Helper()
+	p, err := program.CompileBatch(planFor(t, model, strategy), batch)
+	if err != nil {
+		t.Fatalf("%s/%s@%d: %v", model, strategy, batch, err)
+	}
+	return p
+}
+
+// TestVerifyAcceptsAllPrograms is the acceptance matrix: every
+// evaluation and demo model, at batch 1, 3 and 8, under every selection
+// strategy, must compile to a program the independent verifier accepts
+// (CompileBatch runs it via the DebugVerify hook; the explicit call
+// re-checks the returned value).
+func TestVerifyAcceptsAllPrograms(t *testing.T) {
+	names := append(append([]string{}, models.Names()...), models.DemoNames()...)
+	for strategy := range strategyFns() {
+		for _, model := range names {
+			plan := planFor(t, model, strategy)
+			for _, batch := range []int{1, 3, 8} {
+				p, err := program.CompileBatch(plan, batch)
+				if err != nil {
+					t.Fatalf("%s/%s@%d: compile: %v", model, strategy, batch, err)
+				}
+				if err := Program(p); err != nil {
+					t.Errorf("%s/%s@%d: verifier rejects compiled program: %v", model, strategy, batch, err)
+				}
+			}
+		}
+	}
+}
+
+// TestVerifyRejectsNil covers the trivial guard.
+func TestVerifyRejectsNil(t *testing.T) {
+	if err := Program(nil); err == nil {
+		t.Fatal("verifier accepted a nil program")
+	}
+}
+
+// TestCloneIsDeep asserts mutating a clone leaves the original intact —
+// the property every mutation test below depends on.
+func TestCloneIsDeep(t *testing.T) {
+	p := compileFor(t, "micronet", "pbqp", 3)
+	q := p.Clone()
+	for j := range q.Instrs {
+		ins := &q.Instrs[j]
+		ins.Slot = 99
+		ins.Donor = 7
+		for k := range ins.Args {
+			ins.Args[k] = -1
+		}
+		for k := range ins.Succs {
+			ins.Succs[k] = -1
+		}
+	}
+	for s := range q.SlotCap {
+		q.SlotCap[s] = 0
+	}
+	q.Batch = 64
+	if err := p.Validate(); err != nil {
+		t.Fatalf("original corrupted through clone: %v", err)
+	}
+	if err := Program(p); err != nil {
+		t.Fatalf("original rejected after clone mutation: %v", err)
+	}
+}
