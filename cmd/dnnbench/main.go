@@ -47,10 +47,11 @@ func main() {
 	log.SetPrefix("dnnbench: ")
 	exp := flag.String("exp", "all",
 		"experiment: table1, table2, table3, fig2, fig4, fig5, fig6, fig7a, fig7b, solver, sparsity, minibatch, trends, all; "+
-			"plus batchsweep and plansweep (excluded from 'all': they execute -net at every -batch size, minutes on the full models)")
+			"plus batchsweep, plansweep and gemmsweep (excluded from 'all': they execute real workloads, minutes on the full models)")
 	threads := flag.Int("threads", 4, "execution thread budget for the minibatch/batchsweep engines")
 	batch := flag.String("batch", "1,2,4,8,16", "comma-separated minibatch sizes for the minibatch/batchsweep experiments")
-	jsonOut := flag.Bool("json", false, "emit machine-readable JSON records (supported by -exp minibatch and -exp batchsweep)")
+	jsonOut := flag.Bool("json", false, "emit machine-readable JSON records (supported by -exp minibatch, batchsweep, plansweep and gemmsweep)")
+	sizes := flag.String("sizes", "256,512", "comma-separated square GEMM sizes for -exp gemmsweep")
 	dump := flag.Bool("dump-program", false, "compile -net under -strategy and print the Program IR (instructions + memory plan), then exit")
 	netName := flag.String("net", "googlenet", "network for -dump-program and -exp batchsweep/plansweep (alexnet, vgg-b/c/d/e, googlenet, resnet-18, smallnet, micronet)")
 	model := flag.Bool("model", false, "plansweep: select against the analytic Intel model instead of calibrating measured costs on this host")
@@ -179,6 +180,18 @@ func main() {
 			fmt.Print(experiments.FormatPlanSweep(pts))
 			return nil
 		},
+		"gemmsweep": func() error {
+			ns, err := parseBatches(*sizes)
+			if err != nil {
+				return fmt.Errorf("-sizes: %v", err)
+			}
+			pts := experiments.GemmSweep(ns, *threads, *reps)
+			if *jsonOut {
+				return writeGemmSweepJSON(pts, *threads)
+			}
+			fmt.Print(experiments.FormatGemmSweep(pts))
+			return nil
+		},
 		"trends": func() error {
 			ts, err := experiments.CheckTrends()
 			if err != nil {
@@ -198,8 +211,8 @@ func main() {
 	order := []string{"table1", "fig2", "fig4", "fig5", "fig6", "fig7a", "fig7b",
 		"table2", "table3", "solver", "sparsity", "minibatch", "trends"}
 
-	if *jsonOut && *exp != "minibatch" && *exp != "batchsweep" && *exp != "plansweep" {
-		log.Fatalf("-json is supported for -exp minibatch, batchsweep and plansweep (got -exp %s)", *exp)
+	if *jsonOut && *exp != "minibatch" && *exp != "batchsweep" && *exp != "plansweep" && *exp != "gemmsweep" {
+		log.Fatalf("-json is supported for -exp minibatch, batchsweep, plansweep and gemmsweep (got -exp %s)", *exp)
 	}
 	if *exp == "all" {
 		for _, name := range order {
@@ -212,7 +225,7 @@ func main() {
 	}
 	run, ok := runners[*exp]
 	if !ok {
-		log.Fatalf("unknown experiment %q (have %v, all, batchsweep, plansweep)", *exp, order)
+		log.Fatalf("unknown experiment %q (have %v, all, batchsweep, plansweep, gemmsweep)", *exp, order)
 	}
 	if err := run(); err != nil {
 		log.Fatal(err)
@@ -329,6 +342,41 @@ func writePlanSweepJSON(pts []experiments.PlanSweepPoint) error {
 		}
 		if recs[i].Switches == nil {
 			recs[i].Switches = []experiments.PlanSwitch{}
+		}
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	return enc.Encode(recs)
+}
+
+// gemmSweepRecord is one machine-readable raw-GEMM measurement:
+// kernel variant × square size, min-of-reps wall clock. CI archives
+// these per commit so the packed kernel's GFLOP/s trajectory (and its
+// ratio over blocked) is diffable across the project's history.
+type gemmSweepRecord struct {
+	Benchmark string  `json:"benchmark"`
+	Kernel    string  `json:"kernel"`
+	M         int     `json:"m"`
+	N         int     `json:"n"`
+	K         int     `json:"k"`
+	Threads   int     `json:"threads"`
+	Reps      int     `json:"reps"`
+	MinNs     float64 `json:"min_ns"`
+	GFLOPS    float64 `json:"gflops"`
+}
+
+// writeGemmSweepJSON emits the GEMM sweep as one JSON array of records.
+func writeGemmSweepJSON(pts []experiments.GemmSweepPoint, threads int) error {
+	recs := make([]gemmSweepRecord, len(pts))
+	for i, p := range pts {
+		recs[i] = gemmSweepRecord{
+			Benchmark: "gemmsweep",
+			Kernel:    p.Kernel,
+			M:         p.M, N: p.N, K: p.K,
+			Threads: threads,
+			Reps:    p.Reps,
+			MinNs:   p.MinNs,
+			GFLOPS:  p.GFLOPS,
 		}
 	}
 	enc := json.NewEncoder(os.Stdout)

@@ -76,8 +76,10 @@ func RunBatchInto(p *Primitive, dst, in *tensor.Batch, k *Kernel, s Scenario, th
 
 // gemmKernel runs one C = A·B multiply with the plan-selected kernel
 // variant (bt, when non-nil, is B pre-transposed for the abt variant).
-// All variants accumulate over k in the same order, so they agree
-// bitwise — the variants differ in traversal and blocking only.
+// Every variant is deterministic run to run; the scalar variants agree
+// bitwise with each other, while the packed kernel's k-unrolled product
+// grouping rounds slightly differently (within the library's 1e-4
+// equivalence tolerance).
 func gemmKernel(kind gemmKind, m, n, k int, a, b, bt, c []float32) {
 	switch kind {
 	case gemmNaive:
@@ -86,6 +88,8 @@ func gemmKernel(kind gemmKind, m, n, k int, a, b, bt, c []float32) {
 		gemm.Blocked(m, n, k, 0, a, b, c)
 	case gemmTransB:
 		gemm.TransB(m, n, k, a, bt, c)
+	case gemmPacked:
+		gemm.Packed(m, n, k, a, b, c)
 	default:
 		gemm.IKJ(m, n, k, a, b, c)
 	}
@@ -173,9 +177,10 @@ func im2colBatch(kind gemmKind) func(dst, in *tensor.Batch, k *Kernel, s Scenari
 		}
 		if threads > 1 && m < threads {
 			// Too few filter rows to feed the pool: split the batch-wide
-			// column axis instead. ParallelCols is ikj-based, so this
-			// (rare) shape collapses the kernel variant; row counts M ≥
-			// threads — every real model here — keep the selected one.
+			// column axis instead. ParallelCols runs the packed kernel on
+			// per-goroutine column stripes, so this (rare) shape collapses
+			// the kernel variant to packed; row counts M ≥ threads — every
+			// real model here — keep the selected one.
 			gemm.ParallelCols(threads, m, n, kk, a, patches, flat)
 		} else {
 			var pt []float32
@@ -267,10 +272,11 @@ func wino2DBatch(m, r int, layout tensor.Layout) func(dst, in *tensor.Batch, k *
 		})
 
 		// Pointwise stage: tt independent GEMMs (one per Winograd-domain
-		// point) — the batch's parallelism axis.
+		// point) — the batch's parallelism axis. T = N·tiles is the wide
+		// axis, so each point's multiply rides the packed kernel.
 		y := make([]float32, tt*M*T)
 		parallelFor(threads, tt, func(i int) {
-			gemm.Blocked(M, T, C, 0, u[i*M*C:(i+1)*M*C], v[i*C*T:(i+1)*C*T], y[i*M*T:(i+1)*M*T])
+			gemm.Packed(M, T, C, u[i*M*C:(i+1)*M*C], v[i*C*T:(i+1)*C*T], y[i*M*T:(i+1)*M*T])
 		})
 
 		// Output transform and scatter into per-image tiles.

@@ -128,6 +128,7 @@ const (
 	gemmBlocked
 	gemmTransB
 	gemmNaive
+	gemmPacked
 )
 
 // im2col returns an im2col primitive Run using the requested GEMM
@@ -150,6 +151,14 @@ func im2col(kind gemmKind) func(*tensor.Tensor, *Kernel, Scenario, int) *tensor.
 			// Patches transposed: build n×kk panel and use the BT kernel.
 			pt := transposeMat(kk, n, patches)
 			gemm.TransB(m, n, kk, a, pt, out.Data)
+		case gemmPacked:
+			// Columns (Ho·Wo) are the long axis of the per-image im2col
+			// GEMM, so the threaded split rides the packed column stripes.
+			if threads > 1 {
+				gemm.ParallelCols(threads, m, n, kk, a, patches, out.Data)
+			} else {
+				gemm.Packed(m, n, kk, a, patches, out.Data)
+			}
 		default:
 			if threads > 1 {
 				gemm.Parallel(threads, m, n, kk, a, patches, out.Data)
@@ -180,6 +189,11 @@ func im2row(kind gemmKind) func(*tensor.Tensor, *Kernel, Scenario, int) *tensor.
 		case gemmTransB:
 			bt := transposeMat(kk, n, b)
 			gemm.TransB(m, n, kk, patches, bt, out.Data)
+		case gemmPacked:
+			// The patch-row axis is the long one here and n = M is narrow,
+			// so one packed call keeps the whole B panel resident; the
+			// batched entry (im2rowBatch) does the row splitting.
+			gemm.Packed(m, n, kk, patches, b, out.Data)
 		default:
 			if threads > 1 {
 				gemm.Parallel(threads, m, n, kk, patches, b, out.Data)
@@ -307,10 +321,12 @@ func im2Primitives() []*Primitive {
 		{Name: "im2col-ab", Family: FamilyIm2, In: tensor.CHW, Out: tensor.CHW, VF: 4, Strided: true, Workspace: ws, Run: im2col(gemmIKJ), RunBatch: im2colBatch(gemmIKJ)},
 		{Name: "im2col-abt", Family: FamilyIm2, In: tensor.CHW, Out: tensor.CHW, VF: 4, Strided: true, Workspace: ws, Run: im2col(gemmTransB), RunBatch: im2colBatch(gemmTransB)},
 		{Name: "im2col-blk", Family: FamilyIm2, In: tensor.CHW, Out: tensor.CHW, VF: 8, Strided: true, Workspace: ws, Run: im2col(gemmBlocked), RunBatch: im2colBatch(gemmBlocked)},
+		{Name: "im2col-pack", Family: FamilyIm2, In: tensor.CHW, Out: tensor.CHW, VF: 8, Strided: true, Workspace: ws, Run: im2col(gemmPacked), RunBatch: im2colBatch(gemmPacked)},
 		{Name: "im2col-naive", Family: FamilyIm2, In: tensor.CHW, Out: tensor.CHW, VF: 1, Strided: true, Workspace: ws, Run: im2col(gemmNaive), RunBatch: im2colBatch(gemmNaive)},
 		{Name: "im2row-ab", Family: FamilyIm2, In: tensor.HWC, Out: tensor.HWC, VF: 4, Strided: true, Workspace: ws, Run: im2row(gemmIKJ), RunBatch: im2rowBatch(gemmIKJ)},
 		{Name: "im2row-abt", Family: FamilyIm2, In: tensor.HWC, Out: tensor.HWC, VF: 4, Strided: true, Workspace: ws, Run: im2row(gemmTransB), RunBatch: im2rowBatch(gemmTransB)},
 		{Name: "im2row-blk", Family: FamilyIm2, In: tensor.HWC, Out: tensor.HWC, VF: 8, Strided: true, Workspace: ws, Run: im2row(gemmBlocked), RunBatch: im2rowBatch(gemmBlocked)},
+		{Name: "im2row-pack", Family: FamilyIm2, In: tensor.HWC, Out: tensor.HWC, VF: 8, Strided: true, Workspace: ws, Run: im2row(gemmPacked), RunBatch: im2rowBatch(gemmPacked)},
 		{Name: "im2row-naive", Family: FamilyIm2, In: tensor.HWC, Out: tensor.HWC, VF: 1, Strided: true, Workspace: ws, Run: im2row(gemmNaive), RunBatch: im2rowBatch(gemmNaive)},
 		{Name: "im2col-hwcout", Family: FamilyIm2, In: tensor.CHW, Out: tensor.HWC, VF: 4, Strided: true, Workspace: ws, Run: im2colHWCOut},
 		{Name: "im2row-chwout", Family: FamilyIm2, In: tensor.HWC, Out: tensor.CHW, VF: 4, Strided: true, Workspace: ws, Run: im2rowCHWOut},

@@ -52,6 +52,7 @@ const (
 	kn2IKJ kn2Kind = iota
 	kn2TransB
 	kn2Blocked
+	kn2Packed
 )
 
 // kn2row runs one GEMM per tap on CHW data: kernel slice (M×C) times
@@ -71,11 +72,22 @@ func kn2row(kind kn2Kind) func(*tensor.Tensor, *Kernel, Scenario, int) *tensor.T
 		for kh := 0; kh < s.K; kh++ {
 			for kw := 0; kw < s.K; kw++ {
 				a := kernelSlice(k, kh, kw)
+				dy, dx := kh-s.Pad, kw-s.Pad
 				switch kind {
 				case kn2TransB:
 					gemm.TransB(s.M, hw, s.C, a, imgT, partial)
 				case kn2Blocked:
 					gemm.Blocked(s.M, hw, s.C, 0, a, in.Data, partial)
+				case kn2Packed:
+					if dy == 0 && dx == 0 && oh == s.H && ow == s.W {
+						// Unshifted tap of a same-size convolution: the
+						// partial plane lines up with the output exactly, so
+						// the packed kernel's fused accumulate epilogue sums
+						// it in place — no partial buffer, no shift pass.
+						gemm.Accumulate(s.M, hw, s.C, a, in.Data, out.Data)
+						continue
+					}
+					gemm.Packed(s.M, hw, s.C, a, in.Data, partial)
 				default:
 					if threads > 1 {
 						gemm.Parallel(threads, s.M, hw, s.C, a, in.Data, partial)
@@ -83,7 +95,7 @@ func kn2row(kind kn2Kind) func(*tensor.Tensor, *Kernel, Scenario, int) *tensor.T
 						gemm.IKJ(s.M, hw, s.C, a, in.Data, partial)
 					}
 				}
-				shiftAccumulate(out, partial, s, kh-s.Pad, kw-s.Pad)
+				shiftAccumulate(out, partial, s, dy, dx)
 			}
 		}
 		return out
@@ -229,6 +241,7 @@ func kn2Primitives() []*Primitive {
 		{Name: "kn2row-ab", Family: FamilyKn2, In: tensor.CHW, Out: tensor.CHW, VF: 4, Workspace: ws, Run: kn2row(kn2IKJ)},
 		{Name: "kn2row-abt", Family: FamilyKn2, In: tensor.CHW, Out: tensor.CHW, VF: 4, Workspace: ws, Run: kn2row(kn2TransB)},
 		{Name: "kn2row-blk", Family: FamilyKn2, In: tensor.CHW, Out: tensor.CHW, VF: 8, Workspace: ws, Run: kn2row(kn2Blocked)},
+		{Name: "kn2row-pack", Family: FamilyKn2, In: tensor.CHW, Out: tensor.CHW, VF: 8, Workspace: ws, Run: kn2row(kn2Packed)},
 		{Name: "kn2row-par", Family: FamilyKn2, In: tensor.CHW, Out: tensor.CHW, VF: 8, Workspace: ws, Run: kn2rowPar},
 		{Name: "kn2col-ab", Family: FamilyKn2, In: tensor.HWC, Out: tensor.HWC, VF: 4, Workspace: ws, Run: kn2col(false)},
 		{Name: "kn2col-abt", Family: FamilyKn2, In: tensor.HWC, Out: tensor.HWC, VF: 4, Workspace: ws, Run: kn2col(true)},

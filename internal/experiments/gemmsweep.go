@@ -1,0 +1,142 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+	"time"
+
+	"pbqpdnn/internal/gemm"
+)
+
+// GemmSweep benchmarks the GEMM kernel variants the primitive library
+// dispatches to, over a grid of sizes, so the raw-GEMM trajectory is a
+// per-commit CI artifact alongside batchsweep/plansweep. Each (kernel,
+// size) point is the minimum of `reps` wall-clocked runs — min-of-N is
+// the noise-robust statistic for a single-tenant box. Naive is skipped
+// above 256 (it alone would dominate the sweep's runtime without
+// informing the packed-vs-blocked trend CI tracks).
+
+// GemmSweepPoint is one (kernel, m, n, k) measurement.
+type GemmSweepPoint struct {
+	Kernel  string
+	M, N, K int
+	Reps    int
+	MinNs   float64
+	GFLOPS  float64
+}
+
+// gemmSweepKernels enumerates the swept variants. TransB receives the
+// same logical B, pre-transposed outside the timed region; ParallelCols
+// uses the caller's thread budget.
+func gemmSweepKernels(threads int) []struct {
+	name string
+	run  func(m, n, k int, a, b, bt, c []float32)
+} {
+	return []struct {
+		name string
+		run  func(m, n, k int, a, b, bt, c []float32)
+	}{
+		{"naive", func(m, n, k int, a, b, bt, c []float32) { gemm.Naive(m, n, k, a, b, c) }},
+		{"ikj", func(m, n, k int, a, b, bt, c []float32) { gemm.IKJ(m, n, k, a, b, c) }},
+		{"blocked", func(m, n, k int, a, b, bt, c []float32) { gemm.Blocked(m, n, k, 0, a, b, c) }},
+		{"transb", func(m, n, k int, a, b, bt, c []float32) { gemm.TransB(m, n, k, a, bt, c) }},
+		{"packed", func(m, n, k int, a, b, bt, c []float32) { gemm.Packed(m, n, k, a, b, c) }},
+		{"parallelcols", func(m, n, k int, a, b, bt, c []float32) {
+			gemm.ParallelCols(threads, m, n, k, a, b, c)
+		}},
+	}
+}
+
+// GemmSweep runs the kernel × size grid. Sizes are square (m=n=k=s);
+// the conv-shaped panels are covered by plansweep's whole-net runs.
+func GemmSweep(sizes []int, threads, reps int) []GemmSweepPoint {
+	if reps < 1 {
+		reps = 1
+	}
+	var pts []GemmSweepPoint
+	rng := rand.New(rand.NewSource(42))
+	for _, s := range sizes {
+		m, n, k := s, s, s
+		a := randSlice(rng, m*k)
+		b := randSlice(rng, k*n)
+		bt := transposeSlice(k, n, b)
+		c := make([]float32, m*n)
+		for _, kv := range gemmSweepKernels(threads) {
+			if kv.name == "naive" && s > 256 {
+				continue
+			}
+			minNs := 0.0
+			for r := 0; r < reps; r++ {
+				start := time.Now()
+				kv.run(m, n, k, a, b, bt, c)
+				ns := float64(time.Since(start).Nanoseconds())
+				if r == 0 || ns < minNs {
+					minNs = ns
+				}
+			}
+			pts = append(pts, GemmSweepPoint{
+				Kernel: kv.name, M: m, N: n, K: k,
+				Reps:  reps,
+				MinNs: minNs,
+				GFLOPS: 2 * float64(m) * float64(n) * float64(k) /
+					minNs,
+			})
+		}
+	}
+	return pts
+}
+
+func randSlice(rng *rand.Rand, n int) []float32 {
+	s := make([]float32, n)
+	for i := range s {
+		s[i] = rng.Float32()*2 - 1
+	}
+	return s
+}
+
+func transposeSlice(rows, cols int, a []float32) []float32 {
+	t := make([]float32, len(a))
+	for i := 0; i < rows; i++ {
+		for j := 0; j < cols; j++ {
+			t[j*rows+i] = a[i*cols+j]
+		}
+	}
+	return t
+}
+
+// FormatGemmSweep renders the sweep as a table with per-size speedup
+// of the packed kernel over blocked — the ratio the acceptance
+// criterion tracks.
+func FormatGemmSweep(pts []GemmSweepPoint) string {
+	var sb strings.Builder
+	sb.WriteString("== GEMM kernel sweep (square sizes, min-of-reps wall clock) ==\n")
+	bySize := map[int][]GemmSweepPoint{}
+	var sizes []int
+	for _, p := range pts {
+		if len(bySize[p.N]) == 0 {
+			sizes = append(sizes, p.N)
+		}
+		bySize[p.N] = append(bySize[p.N], p)
+	}
+	sort.Ints(sizes)
+	for _, s := range sizes {
+		var blocked, packed float64
+		sb.WriteString(fmt.Sprintf("  %d×%d×%d:\n", s, s, s))
+		for _, p := range bySize[s] {
+			sb.WriteString(fmt.Sprintf("    %-13s %8.2f ms  %6.2f GFLOP/s\n",
+				p.Kernel, p.MinNs/1e6, p.GFLOPS))
+			switch p.Kernel {
+			case "blocked":
+				blocked = p.GFLOPS
+			case "packed":
+				packed = p.GFLOPS
+			}
+		}
+		if blocked > 0 && packed > 0 {
+			sb.WriteString(fmt.Sprintf("    packed/blocked: %.2f×\n", packed/blocked))
+		}
+	}
+	return sb.String()
+}

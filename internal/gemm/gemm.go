@@ -11,6 +11,9 @@ import (
 	"sync"
 )
 
+// The packed, register-tiled kernel family (Packed, Accumulate, TransB,
+// ParallelCols) lives in pack.go.
+
 func checkDims(m, n, k int, a, b, c []float32) {
 	if m < 0 || n < 0 || k < 0 {
 		panic(fmt.Sprintf("gemm: negative dims m=%d n=%d k=%d", m, n, k))
@@ -62,51 +65,6 @@ func IKJ(m, n, k int, a, b, c []float32) {
 	}
 }
 
-// Accumulate computes C += A·B using the ikj order. Unlike the other
-// kernels it does not clear C first; the kn2 convolution family relies on
-// this to sum partial products in place.
-//
-//dnn:hotpath
-func Accumulate(m, n, k int, a, b, c []float32) {
-	checkDims(m, n, k, a, b, c)
-	for i := 0; i < m; i++ {
-		ai := a[i*k:][:k]
-		ci := c[i*n:][:n]
-		for p, av := range ai {
-			if av == 0 {
-				continue
-			}
-			bp := b[p*n:][:n]
-			for j, bv := range bp {
-				ci[j] += av * bv
-			}
-		}
-	}
-}
-
-// TransB computes C = A·Bᵀ where bt holds B transposed as an n×k
-// row-major matrix. Both input panels are then traversed row-wise, which
-// is the "BT" kernel variant the paper's Figure 4 selects on ARM.
-//
-//dnn:hotpath
-func TransB(m, n, k int, a, bt, c []float32) {
-	if len(a) < m*k || len(bt) < n*k || len(c) < m*n {
-		panic("gemm: buffer too small for TransB")
-	}
-	for i := 0; i < m; i++ {
-		ai := a[i*k:][:k]
-		ci := c[i*n:][:n]
-		for j := range ci {
-			bj := bt[j*k:][:k]
-			var s float32
-			for p, av := range ai {
-				s += av * bj[p]
-			}
-			ci[j] = s
-		}
-	}
-}
-
 // DefaultBlock is the tile edge used by Blocked when the caller passes a
 // non-positive block size.
 const DefaultBlock = 48
@@ -150,67 +108,6 @@ func Blocked(m, n, k, block int, a, b, c []float32) {
 			}
 		}
 	}
-}
-
-// ikjCols runs the ikj kernel restricted to the column range [j0, j1):
-// every row of C is cleared and accumulated only on that span. The
-// row-major operands make a column range a strided but directly
-// addressable subpanel, so no repacking is needed.
-//
-//dnn:hotpath
-func ikjCols(m, n, k, j0, j1 int, a, b, c []float32) {
-	span := j1 - j0
-	for i := 0; i < m; i++ {
-		ai := a[i*k:][:k]
-		ci := c[i*n+j0:][:span]
-		for j := range ci {
-			ci[j] = 0
-		}
-		for p, av := range ai {
-			if av == 0 {
-				continue
-			}
-			bp := b[p*n+j0:][:span]
-			for j, bv := range bp {
-				ci[j] += av * bv
-			}
-		}
-	}
-}
-
-// ParallelCols computes C = A·B splitting the *columns* of B across
-// `threads` goroutines. This is the batched-GEMM entry point: a
-// minibatch widens the n dimension (images side by side as column
-// blocks) while m — the filter count — stays fixed, so splitting rows
-// (Parallel) runs out of parallelism exactly when batching creates
-// more. Each worker streams the full A panel, which the batch shares.
-func ParallelCols(threads, m, n, k int, a, b, c []float32) {
-	checkDims(m, n, k, a, b, c)
-	if threads <= 0 {
-		threads = runtime.GOMAXPROCS(0)
-	}
-	if threads > n {
-		threads = n
-	}
-	if threads <= 1 {
-		IKJ(m, n, k, a, b, c)
-		return
-	}
-	var wg sync.WaitGroup
-	cols := (n + threads - 1) / threads
-	for t := 0; t < threads; t++ {
-		j0 := t * cols
-		j1 := min(j0+cols, n)
-		if j0 >= j1 {
-			break
-		}
-		wg.Add(1)
-		go func(j0, j1 int) {
-			defer wg.Done()
-			ikjCols(m, n, k, j0, j1, a, b, c)
-		}(j0, j1)
-	}
-	wg.Wait()
 }
 
 // Parallel computes C = A·B splitting the rows of A across `threads`

@@ -1,0 +1,226 @@
+package gemm
+
+import (
+	"runtime"
+	"sync"
+)
+
+// Packed-GEMM blocking parameters. B is packed one KC×NC block at a
+// time into a contiguous scratch buffer; the microkernel then streams
+// rows of C against the resident block. KC is sized so a block's k-slab
+// plus the A and C rows in flight stay L1/L2-resident; NC bounds the
+// scratch at KC·NC floats (256 KiB) so a pooled buffer never regrows.
+// The A operand needs no separate pack: row-major A already presents
+// each row's k-slab as a contiguous panel (an MR=1 row panel), so
+// "packing A" would be the identity copy and is elided. The transposed
+// orientation is where packing really earns its keep: a B supplied as
+// Bᵀ is un-transposed by packBT while it is staged, after which the one
+// microkernel serves both orientations.
+const (
+	packKC = 128
+	packNC = 512
+)
+
+// packPool recycles B-pack scratch across calls (and across the
+// goroutines of ParallelCols, each of which draws its own buffer). The
+// buffers are always full-size so a reused buffer never reallocates.
+var packPool = sync.Pool{
+	New: func() any {
+		s := make([]float32, packKC*packNC)
+		return &s
+	},
+}
+
+// Packed computes C = A·B with the packed, register-tiled kernel: B is
+// staged KC×NC blocks at a time into pooled scratch and each row of C
+// is updated by the k-unrolled row-streaming microkernel packedRowK4.
+// Every element's partial products accumulate in a fixed order
+// (increasing k, grouped four at a time by the unroll), so results are
+// bitwise stable across repeated calls with reused pack buffers —
+// though the grouping rounds differently than Naive's one-product
+// fold, so cross-kernel agreement is within tolerance, not bitwise.
+// C is overwritten.
+func Packed(m, n, k int, a, b, c []float32) {
+	checkDims(m, n, k, a, b, c)
+	packedRange(m, n, k, 0, n, a, b, c, false, false)
+}
+
+// Accumulate computes C += A·B — the fused-epilogue variant of Packed.
+// It does not clear C first; the kn2 convolution family and the
+// Winograd/FFT pointwise stages rely on this to sum partial products in
+// place.
+func Accumulate(m, n, k int, a, b, c []float32) {
+	checkDims(m, n, k, a, b, c)
+	packedRange(m, n, k, 0, n, a, b, c, true, false)
+}
+
+// TransB computes C = A·Bᵀ where bt holds B transposed as an n×k
+// row-major matrix — the "BT" kernel variant the paper's Figure 4
+// selects on ARM. A transposed B is just a different pack routine:
+// packBT un-transposes each KC×NC block while staging it, and the same
+// microkernel runs unchanged. Dimension checking is shared with every
+// other kernel via checkDims (an n×k operand and a k×n operand have the
+// same element count).
+func TransB(m, n, k int, a, bt, c []float32) {
+	checkDims(m, n, k, a, bt, c)
+	packedRange(m, n, k, 0, n, a, bt, c, false, true)
+}
+
+// ParallelCols computes C = A·B splitting the *columns* of B across
+// `threads` goroutines, each running the packed kernel on its own
+// column stripe with its own pooled pack buffer. This is the
+// batched-GEMM entry point: a minibatch widens the n dimension (images
+// side by side as column blocks) while m — the filter count — stays
+// fixed, so splitting rows (Parallel) runs out of parallelism exactly
+// when batching creates more. Every element of C is written by exactly
+// one goroutine in a fixed per-element order, so results are
+// deterministic run to run.
+func ParallelCols(threads, m, n, k int, a, b, c []float32) {
+	checkDims(m, n, k, a, b, c)
+	if threads <= 0 {
+		threads = runtime.GOMAXPROCS(0)
+	}
+	if threads > n {
+		threads = n
+	}
+	if threads <= 1 {
+		packedRange(m, n, k, 0, n, a, b, c, false, false)
+		return
+	}
+	var wg sync.WaitGroup
+	cols := (n + threads - 1) / threads
+	for t := 0; t < threads; t++ {
+		j0 := t * cols
+		j1 := min(j0+cols, n)
+		if j0 >= j1 {
+			break
+		}
+		wg.Add(1)
+		go func(j0, j1 int) {
+			defer wg.Done()
+			packedRange(m, n, k, j0, j1, a, b, c, false, false)
+		}(j0, j1)
+	}
+	wg.Wait()
+}
+
+// packedRange runs the packed kernel on the [j0, j1) column stripe of
+// C: stage a KC×NC block of B (or of Bᵀ, un-transposing), then stream
+// every row of C against it. The KC blocks advance in increasing-k
+// order and the unroll grouping depends only on p's alignment, never on
+// the column stripe, so every element's accumulation sequence is the
+// same no matter how the columns are split across goroutines.
+func packedRange(m, n, k, j0, j1 int, a, b, c []float32, accumulate, transB bool) {
+	if !accumulate {
+		for i := 0; i < m; i++ {
+			ci := c[i*n+j0 : i*n+j1]
+			for j := range ci {
+				ci[j] = 0
+			}
+		}
+	}
+	if m == 0 || k == 0 || j1 <= j0 {
+		return
+	}
+	sp := packPool.Get().(*[]float32)
+	buf := *sp
+	for jc := j0; jc < j1; jc += packNC {
+		nc := min(packNC, j1-jc)
+		for pc := 0; pc < k; pc += packKC {
+			kc := min(packKC, k-pc)
+			bp := buf[:kc*nc]
+			if transB {
+				packBT(kc, nc, k, b[jc*k+pc:], bp)
+			} else {
+				packB(kc, nc, n, b[pc*n+jc:], bp)
+			}
+			for i := 0; i < m; i++ {
+				packedRowK4(a[i*k+pc:][:kc], bp, c[i*n+jc:], nc)
+			}
+		}
+	}
+	packPool.Put(sp)
+}
+
+// packB stages a kc×nc block of row-major B (row stride ldb) into the
+// contiguous pack buffer dst, one row copy per k step.
+//
+//dnn:hotpath
+func packB(kc, nc, ldb int, src, dst []float32) {
+	for p := 0; p < kc; p++ {
+		copy(dst[p*nc:][:nc], src[p*ldb:][:nc])
+	}
+}
+
+// packBT stages a kc×nc block of B from its transposed storage (src is
+// Bᵀ: rows of src are columns of B, row stride ldb), un-transposing
+// into the same layout packB produces. Columns are processed four at a
+// time so the strided gather reads four source rows per pass; the
+// four-element scatter into dst is a nested loop over a same-length
+// pair of views, keeping the per-element stores check-free.
+//
+//dnn:hotpath
+func packBT(kc, nc, ldb int, src, dst []float32) {
+	for jq := 0; jq < nc; jq += 4 {
+		w := nc - jq
+		if w > 4 {
+			w = 4
+		}
+		s0 := src[jq*ldb:][:kc]
+		s1, s2, s3 := s0, s0, s0
+		if w > 1 {
+			s1 = src[(jq+1)*ldb:][:kc]
+		}
+		if w > 2 {
+			s2 = src[(jq+2)*ldb:][:kc]
+		}
+		if w > 3 {
+			s3 = src[(jq+3)*ldb:][:kc]
+		}
+		var t [4]float32
+		for p, v0 := range s0 {
+			t[0] = v0
+			t[1] = s1[p]
+			t[2] = s2[p]
+			t[3] = s3[p]
+			d := dst[p*nc+jq:][:w]
+			tt := t[:w]
+			for q, tv := range tt {
+				d[q] = tv
+			}
+		}
+	}
+}
+
+// packedRowK4 is the register-tiled microkernel: one C row updated
+// against a resident kc×nc packed B block, with k unrolled by four so
+// each pass over the row combines four B panel rows (eight FLOPs per
+// element visit). The four a-scalars live in registers; every slice in
+// the leaf loop is a [:nc] view sharing one length value, so the
+// accumulation carries no bounds checks. The caller pre-zeroes C rows
+// (or not, for the accumulate epilogue), which keeps overwrite and
+// accumulate on this single kernel.
+//
+//dnn:hotpath
+func packedRowK4(ai, bp, ci []float32, nc int) {
+	ci = ci[:nc]
+	kc := len(ai)
+	p := 0
+	for ; p+4 <= kc; p += 4 {
+		a0, a1, a2, a3 := ai[p], ai[p+1], ai[p+2], ai[p+3]
+		b0 := bp[p*nc:][:nc]
+		b1 := bp[(p+1)*nc:][:nc]
+		b2 := bp[(p+2)*nc:][:nc]
+		b3 := bp[(p+3)*nc:][:nc]
+		for j, bv := range b0 {
+			ci[j] += a0*bv + a1*b1[j] + a2*b2[j] + a3*b3[j]
+		}
+	}
+	for ; p < kc; p++ {
+		av := ai[p]
+		b0 := bp[p*nc:][:nc]
+		for j, bv := range b0 {
+			ci[j] += av * bv
+		}
+	}
+}

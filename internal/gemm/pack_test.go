@@ -1,0 +1,178 @@
+package gemm
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+// packedDims is the dimension sweep for the packed-kernel equivalence
+// tests: everything around the microkernel's k-unroll of 4 (1..5,
+// 2·4±1), small primes, a zero size, and shapes that cross the packKC
+// and packNC block boundaries so ragged final blocks are exercised.
+var packedDims = []int{0, 1, 2, 3, 4, 5, 7, 9, 11, 13, 31}
+
+// TestPackedEquivalence sweeps the packed kernel (overwrite, accumulate
+// and transposed-B entries) against Naive over the full small-dimension
+// cross product, including zero sizes and ragged edges.
+func TestPackedEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for _, m := range packedDims {
+		for _, n := range packedDims {
+			for _, k := range packedDims {
+				checkPackedShape(t, rng, m, n, k)
+			}
+		}
+	}
+}
+
+// TestPackedBlockBoundaries covers shapes straddling the KC=128 and
+// NC=512 block edges, where the last pack block is ragged.
+func TestPackedBlockBoundaries(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	shapes := [][3]int{
+		{2, 513, 129}, {3, 511, 127}, {5, 520, 131},
+		{130, 17, 128}, {9, 1025, 5}, {4, 512, 128},
+	}
+	for _, s := range shapes {
+		checkPackedShape(t, rng, s[0], s[1], s[2])
+	}
+}
+
+func checkPackedShape(t *testing.T, rng *rand.Rand, m, n, k int) {
+	t.Helper()
+	a, b := randMat(rng, m*k), randMat(rng, k*n)
+	want := make([]float32, m*n)
+	Naive(m, n, k, a, b, want)
+
+	got := make([]float32, m*n)
+	Packed(m, n, k, a, b, got)
+	if d := maxDiff(got, want); d > 1e-4 {
+		t.Errorf("Packed (%d,%d,%d): diff %g", m, n, k, d)
+	}
+
+	// Accumulate: seed C with a bias, expect want+bias.
+	acc := make([]float32, m*n)
+	wantAcc := make([]float32, m*n)
+	for i := range acc {
+		acc[i] = float32(i%5) - 2
+		wantAcc[i] = want[i] + acc[i]
+	}
+	Accumulate(m, n, k, a, b, acc)
+	if d := maxDiff(acc, wantAcc); d > 1e-4 {
+		t.Errorf("Accumulate (%d,%d,%d): diff %g", m, n, k, d)
+	}
+
+	// TransB rides the packBT pack routine; n%4 != 0 exercises its
+	// ragged column tail.
+	TransB(m, n, k, a, transpose(k, n, b), got)
+	if d := maxDiff(got, want); d > 1e-4 {
+		t.Errorf("TransB (%d,%d,%d): diff %g", m, n, k, d)
+	}
+
+	for _, th := range []int{2, 3, 7} {
+		ParallelCols(th, m, n, k, a, b, got)
+		if d := maxDiff(got, want); d > 1e-4 {
+			t.Errorf("ParallelCols(%d) (%d,%d,%d): diff %g", th, m, n, k, d)
+		}
+	}
+}
+
+// TestPackedBitwiseStable: repeated calls with reused (pooled) pack
+// buffers must produce bitwise-identical results — the pack scratch is
+// fully overwritten before use, and per-element accumulation order is
+// fixed. The threaded path only moves column-stripe boundaries, which
+// never changes any element's accumulation sequence, so ParallelCols
+// must match Packed bitwise as well (the k-unrolled product grouping
+// differs from Naive's one-product-at-a-time fold, so agreement with
+// Naive is within tolerance, not bitwise — TestPackedEquivalence
+// covers that).
+func TestPackedBitwiseStable(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	shapes := [][3]int{{17, 33, 29}, {64, 530, 140}, {5, 1025, 7}}
+	for _, s := range shapes {
+		m, n, k := s[0], s[1], s[2]
+		a, b := randMat(rng, m*k), randMat(rng, k*n)
+		ref := make([]float32, m*n)
+		Packed(m, n, k, a, b, ref)
+		out := make([]float32, m*n)
+		for rep := 0; rep < 3; rep++ {
+			// Poison the output so stale contents would show.
+			for i := range out {
+				out[i] = float32(rep) * 1e9
+			}
+			Packed(m, n, k, a, b, out)
+			for i := range out {
+				if out[i] != ref[i] {
+					t.Fatalf("Packed (%d,%d,%d) rep %d: out[%d]=%x want %x (not bitwise stable)",
+						m, n, k, rep, i, out[i], ref[i])
+				}
+			}
+		}
+		for rep := 0; rep < 3; rep++ {
+			for _, th := range []int{2, 4} {
+				ParallelCols(th, m, n, k, a, b, out)
+				for i := range out {
+					if out[i] != ref[i] {
+						t.Fatalf("ParallelCols(%d) (%d,%d,%d) rep %d: out[%d] differs from Packed",
+							th, m, n, k, rep, i)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestPackedConcurrentCalls drives many simultaneous Packed and
+// ParallelCols calls sharing input operands (run under -race in CI):
+// the pooled pack buffers must never be shared between live calls.
+func TestPackedConcurrentCalls(t *testing.T) {
+	rng := rand.New(rand.NewSource(14))
+	m, n, k := 23, 517, 131
+	a, b := randMat(rng, m*k), randMat(rng, k*n)
+	want := make([]float32, m*n)
+	Naive(m, n, k, a, b, want)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			out := make([]float32, m*n)
+			for rep := 0; rep < 4; rep++ {
+				if g%2 == 0 {
+					Packed(m, n, k, a, b, out)
+				} else {
+					ParallelCols(3, m, n, k, a, b, out)
+				}
+				if d := maxDiff(out, want); d > 1e-4 {
+					t.Errorf("goroutine %d rep %d: diff %g", g, rep, d)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}
+
+// TestPackedPanicsOnShortBuffers: the packed entries share checkDims
+// with every other kernel — including TransB, which used to carry its
+// own panic.
+func TestPackedPanicsOnShortBuffers(t *testing.T) {
+	for name, call := range map[string]func(){
+		"Packed":     func() { Packed(2, 2, 2, make([]float32, 3), make([]float32, 4), make([]float32, 4)) },
+		"Accumulate": func() { Accumulate(2, 2, 2, make([]float32, 4), make([]float32, 3), make([]float32, 4)) },
+		"TransB":     func() { TransB(2, 2, 2, make([]float32, 4), make([]float32, 4), make([]float32, 3)) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic on short buffer", name)
+				}
+			}()
+			call()
+		}()
+	}
+}
+
+func BenchmarkGemmPacked64(b *testing.B)  { benchGemm(b, Packed, 64) }
+func BenchmarkGemmPacked512(b *testing.B) { benchGemm(b, Packed, 512) }

@@ -23,7 +23,7 @@ import (
 // see. Registration is per package path so the guard rebuilds only what
 // it audits.
 var BCERegistry = map[string][]string{
-	"pbqpdnn/internal/gemm":    {"IKJ", "Accumulate", "TransB", "Blocked", "ikjCols"},
+	"pbqpdnn/internal/gemm":    {"IKJ", "Blocked", "packedRowK4", "packB", "packBT"},
 	"pbqpdnn/internal/conv":    {"im2colPatchesIntoCols", "im2rowPatchesInto", "winoAccumRow"},
 	"pbqpdnn/internal/program": {"ReLUInto", "AddInto", "fcApply"},
 }
