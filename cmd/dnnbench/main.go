@@ -47,7 +47,7 @@ func main() {
 	log.SetPrefix("dnnbench: ")
 	exp := flag.String("exp", "all",
 		"experiment: table1, table2, table3, fig2, fig4, fig5, fig6, fig7a, fig7b, solver, sparsity, minibatch, trends, all; "+
-			"plus batchsweep, plansweep and gemmsweep (excluded from 'all': they execute real workloads, minutes on the full models)")
+			"plus batchsweep, plansweep, gemmsweep and layerprof (excluded from 'all': they execute real workloads, minutes on the full models)")
 	threads := flag.Int("threads", 4, "execution thread budget for the minibatch/batchsweep engines")
 	batch := flag.String("batch", "1,2,4,8,16", "comma-separated minibatch sizes for the minibatch/batchsweep experiments")
 	jsonOut := flag.Bool("json", false, "emit machine-readable JSON records (supported by -exp minibatch, batchsweep, plansweep and gemmsweep)")
@@ -55,7 +55,7 @@ func main() {
 	dump := flag.Bool("dump-program", false, "compile -net under -strategy and print the Program IR (instructions + memory plan), then exit")
 	netName := flag.String("net", "googlenet", "network for -dump-program and -exp batchsweep/plansweep (alexnet, vgg-b/c/d/e, googlenet, resnet-18, smallnet, micronet)")
 	model := flag.Bool("model", false, "plansweep: select against the analytic Intel model instead of calibrating measured costs on this host")
-	reps := flag.Int("reps", 1, "plansweep: calibration measurement repetitions (best-of)")
+	reps := flag.Int("reps", 1, "plansweep: calibration measurement repetitions (best-of); layerprof: profiled engine runs per batch size")
 	topK := flag.Int("calibrate-top", 4, "plansweep: measure only the analytic model's k cheapest candidates per layer per batch (0 = all)")
 	strategy := flag.String("strategy", "pbqp",
 		"selection strategy for -dump-program: pbqp, baseline, local-opt, no-edge-cost, mkldnn, armcl, caffe, direct, im2, kn2, winograd, fft")
@@ -71,7 +71,7 @@ func main() {
 		return
 	}
 
-	if *exp == "batchsweep" || *exp == "plansweep" {
+	if *exp == "batchsweep" || *exp == "plansweep" || *exp == "layerprof" {
 		if err := validateNet(*netName); err != nil {
 			log.Fatal(err)
 		}
@@ -180,6 +180,19 @@ func main() {
 			fmt.Print(experiments.FormatPlanSweep(pts))
 			return nil
 		},
+		"layerprof": func() error {
+			tables, err := experiments.LayerProf(*netName, *threads, batches, *reps)
+			if err != nil {
+				return err
+			}
+			if *jsonOut {
+				enc := json.NewEncoder(os.Stdout)
+				enc.SetIndent("", "  ")
+				return enc.Encode(tables)
+			}
+			fmt.Print(experiments.FormatLayerProf(tables))
+			return nil
+		},
 		"gemmsweep": func() error {
 			ns, err := parseBatches(*sizes)
 			if err != nil {
@@ -211,8 +224,8 @@ func main() {
 	order := []string{"table1", "fig2", "fig4", "fig5", "fig6", "fig7a", "fig7b",
 		"table2", "table3", "solver", "sparsity", "minibatch", "trends"}
 
-	if *jsonOut && *exp != "minibatch" && *exp != "batchsweep" && *exp != "plansweep" && *exp != "gemmsweep" {
-		log.Fatalf("-json is supported for -exp minibatch, batchsweep, plansweep and gemmsweep (got -exp %s)", *exp)
+	if *jsonOut && *exp != "minibatch" && *exp != "batchsweep" && *exp != "plansweep" && *exp != "gemmsweep" && *exp != "layerprof" {
+		log.Fatalf("-json is supported for -exp minibatch, batchsweep, plansweep, gemmsweep and layerprof (got -exp %s)", *exp)
 	}
 	if *exp == "all" {
 		for _, name := range order {
@@ -225,7 +238,7 @@ func main() {
 	}
 	run, ok := runners[*exp]
 	if !ok {
-		log.Fatalf("unknown experiment %q (have %v, all, batchsweep, plansweep, gemmsweep)", *exp, order)
+		log.Fatalf("unknown experiment %q (have %v, all, batchsweep, plansweep, gemmsweep, layerprof)", *exp, order)
 	}
 	if err := run(); err != nil {
 		log.Fatal(err)

@@ -11,6 +11,17 @@
 //	curl -d '{"data":[...]}' localhost:8080/v1/models/smallnet/infer
 //	curl localhost:8080/stats
 //
+// Observability: GET /metrics exposes the serving counters in
+// Prometheus text format and GET /layers the per-layer
+// predicted-vs-observed execution profile (sampled 1-in-N per
+// -profile-sample). -debug-addr starts a second listener carrying
+// net/http/pprof and expvar, kept off the serving address so profiling
+// endpoints are never internet-facing by accident:
+//
+//	dnnserver -models smallnet -addr :8080 -debug-addr 127.0.0.1:6060
+//	curl localhost:8080/metrics
+//	curl localhost:6060/debug/pprof/profile?seconds=5 > cpu.pb.gz
+//
 // Load generation (the EXPERIMENTS.md acceptance run) drives N
 // closed-loop clients in process — first through the dynamic batcher,
 // then through a naive goroutine-per-request Engine.Run baseline — and
@@ -32,8 +43,10 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof/* on DefaultServeMux for -debug-addr
 	"os"
 	"os/signal"
+	"sort"
 	"strings"
 	"syscall"
 	"time"
@@ -48,6 +61,10 @@ func main() {
 	log.SetPrefix("dnnserver: ")
 
 	addr := flag.String("addr", ":8080", "HTTP listen address")
+	debugAddr := flag.String("debug-addr", "",
+		"optional second listen address for net/http/pprof and expvar (empty = disabled); keep it loopback-only in production")
+	profileSample := flag.Int("profile-sample", 16,
+		"per-instruction execution profiling: time one dispatched minibatch in every N (1 = every batch, 0 = disabled); tables on GET /layers")
 	modelList := flag.String("models", "smallnet",
 		fmt.Sprintf("comma-separated models to host (from %v)",
 			append(models.Names(), models.DemoNames()...)))
@@ -73,8 +90,42 @@ func main() {
 	jsonOut := flag.Bool("json", false, "loadgen: emit machine-readable JSON instead of the table")
 	flag.Parse()
 
+	// Validate everything up front: model selection and compilation can
+	// take minutes per hosted network, so a typo'd model name or a
+	// nonsense knob must fail before the registry starts, not after.
+	names := strings.Split(*modelList, ",")
+	for i := range names {
+		names[i] = strings.TrimSpace(names[i])
+	}
+	if err := validateModels(names); err != nil {
+		log.Fatal(err)
+	}
+	for _, f := range [...]struct {
+		name string
+		val  int
+		min  int
+	}{
+		{"-max-batch", *maxBatch, 1},
+		{"-inflight", *inflight, 1},
+		{"-threads", *threads, 0},
+		{"-queue", *queueCap, 0},
+		{"-profile-sample", *profileSample, 0},
+		{"-calibrate-reps", *calReps, 1},
+		{"-calibrate-top", *calTopK, 0},
+		{"-clients", *clients, 1},
+		{"-requests", *requests, 1},
+	} {
+		if f.val < f.min {
+			log.Fatalf("%s %d: want ≥ %d", f.name, f.val, f.min)
+		}
+	}
+	if *maxWait <= 0 {
+		log.Fatalf("-max-wait %v: want a positive duration", *maxWait)
+	}
+
 	cfg := serve.Config{
-		Threads: *threads,
+		Threads:       *threads,
+		ProfileSample: *profileSample,
 		Batch: serve.BatchOptions{
 			MaxBatch:    *maxBatch,
 			MaxWait:     *maxWait,
@@ -103,10 +154,6 @@ func main() {
 		cfg.Prof = table
 	}
 
-	names := strings.Split(*modelList, ",")
-	for i := range names {
-		names[i] = strings.TrimSpace(names[i])
-	}
 	if *loadgen {
 		// Loadgen drives exactly one model; don't pay selection and
 		// compilation for the rest of the list.
@@ -137,6 +184,18 @@ func main() {
 	}
 
 	serve.PublishExpvar(reg)
+	if *debugAddr != "" {
+		go func() {
+			// A nil handler serves http.DefaultServeMux, which carries
+			// the net/http/pprof handlers (via the blank import) and
+			// expvar's /debug/vars — a separate listener so profiling
+			// endpoints never share the serving address.
+			log.Printf("debug endpoints (pprof, expvar) on %s", *debugAddr)
+			if err := http.ListenAndServe(*debugAddr, nil); err != nil {
+				log.Printf("debug listener: %v", err)
+			}
+		}()
+	}
 	mux := http.NewServeMux()
 	mux.Handle("/", serve.NewServer(reg))
 	mux.Handle("GET /debug/vars", expvar.Handler())
@@ -203,6 +262,26 @@ func runLoadgen(reg *serve.Registry, model string, o serve.LoadOptions, jsonOut 
 		naive.MeanLatency.Round(10*time.Microsecond),
 		float64(naive.MeanLatency)/float64(batched.MeanLatency),
 		batched.MeanBatch)
+	return nil
+}
+
+// validateModels rejects unknown model names before the registry pays
+// for selection and compilation, listing every buildable network.
+func validateModels(names []string) error {
+	known := append(models.Names(), models.DemoNames()...)
+	sort.Strings(known)
+	set := make(map[string]bool, len(known))
+	for _, n := range known {
+		set[n] = true
+	}
+	for _, n := range names {
+		if n == "" {
+			return fmt.Errorf("-models: empty model name in list")
+		}
+		if !set[n] {
+			return fmt.Errorf("unknown model %q (have %s)", n, strings.Join(known, ", "))
+		}
+	}
 	return nil
 }
 

@@ -28,12 +28,16 @@ package exec
 // flushes and the comparison baseline for the batched path.
 
 import (
+	"context"
 	"fmt"
 	"runtime"
+	"runtime/trace"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"pbqpdnn/internal/conv"
+	"pbqpdnn/internal/obs"
 	"pbqpdnn/internal/program"
 	"pbqpdnn/internal/selector"
 	"pbqpdnn/internal/tensor"
@@ -72,6 +76,13 @@ type Engine struct {
 	kerns []kernelFn
 
 	arena *arena
+
+	// prof, when non-nil, is the per-instruction timing profile
+	// (internal/obs): sampled RunBatch chunks time every instruction
+	// with lock-free atomic accumulation. Set once via EnableProfiling
+	// before the engine is shared; nil keeps the hot path at two nil
+	// checks per task and zero allocations.
+	prof *obs.Profile
 }
 
 // kernelFn executes one instruction over the whole minibatch of one
@@ -428,11 +439,33 @@ func (e *Engine) runChunk(inputs []*tensor.Tensor) ([]*tensor.Tensor, error) {
 		}
 	}()
 
+	// Observability, both opt-in and off the hot path when idle: a
+	// sampled chunk (1-in-K, decided per chunk so every sampled dispatch
+	// yields a complete per-layer breakdown) times each instruction and
+	// the chunk's engine wall clock; an active runtime/trace session
+	// wraps the chunk in a trace task and every instruction in a region,
+	// so `go tool trace` shows the DAG schedule across the worker pool.
+	if p := e.prof; p != nil && p.SampleChunk() {
+		st.prof = p
+	}
+	if trace.IsEnabled() {
+		ctx, task := trace.NewTask(context.Background(), "exec.RunBatch")
+		st.ctx = ctx
+		defer task.End()
+	}
+	var t0 time.Time
+	if st.prof != nil {
+		t0 = time.Now()
+	}
+
 	var err error
 	if e.workers <= 1 {
 		err = e.runSequential(st)
 	} else {
 		err = e.runParallel(st)
+	}
+	if st.prof != nil {
+		st.prof.ObserveChunk(st.n, int64(time.Since(t0)))
 	}
 	if err != nil {
 		return nil, err
@@ -450,13 +483,39 @@ func (e *Engine) runChunk(inputs []*tensor.Tensor) ([]*tensor.Tensor, error) {
 // atomics).
 func (e *Engine) runSequential(st *batchState) error {
 	for i := range e.prog.Instrs {
-		out, err := e.kerns[i](st, 1)
+		out, err := e.runInstr(st, i, 1)
 		if err != nil {
 			return err
 		}
 		st.vals[i] = out
 	}
 	return nil
+}
+
+// runInstr executes one instruction's bound kernel, timing it when this
+// chunk is sampled and wrapping it in a trace region when a trace
+// session is active. Disabled observability costs two nil checks and
+// nothing else — no allocation, no atomics (the hotpathalloc analyzer
+// enforces the former; BenchmarkEngineObservationOverhead pins both).
+//
+//dnn:hotpath
+func (e *Engine) runInstr(st *batchState, t, threads int) (*tensor.Batch, error) {
+	var reg *trace.Region
+	if st.ctx != nil {
+		reg = trace.StartRegion(st.ctx, e.prog.Instrs[t].Name)
+	}
+	var start time.Time
+	if st.prof != nil {
+		start = time.Now()
+	}
+	out, err := e.kerns[t](st, threads)
+	if st.prof != nil {
+		st.prof.Observe(t, int64(time.Since(start)))
+	}
+	if reg != nil {
+		reg.End()
+	}
+	return out, err
 }
 
 // runParallel executes the stream with the dependency-counting DAG
@@ -508,6 +567,13 @@ type batchState struct {
 	vals   []*tensor.Batch
 	bufs   [][]float32 // per planned slot, arena-owned
 
+	// prof is non-nil iff this chunk was sampled for per-instruction
+	// profiling; ctx is non-nil iff a runtime/trace session is active
+	// (the chunk's trace task context, parent of every instruction
+	// region).
+	prof *obs.Profile
+	ctx  context.Context
+
 	deps  []int32
 	tasks chan int      // buffered to the instruction count: sends never block
 	stop  chan struct{} // closed on completion or first error
@@ -544,7 +610,7 @@ func (st *batchState) loadErr() error {
 //dnn:hotpath
 func (e *Engine) runTask(st *batchState, t int) {
 	atomic.AddInt32(&st.running, 1)
-	out, err := e.kerns[t](st, e.taskThreads(st))
+	out, err := e.runInstr(st, t, e.taskThreads(st))
 	atomic.AddInt32(&st.running, -1)
 	if err != nil {
 		st.fail(err)

@@ -1,0 +1,86 @@
+package exec
+
+// This file is the engine side of the observability layer: attaching a
+// per-instruction timing profile (internal/obs) to a compiled engine
+// and joining its observations against the plan's per-layer cost
+// predictions. The join is the calibration data the ROADMAP's online
+// adaptive re-selection controller consumes — per (instruction, batch
+// bucket), what the PBQP solve predicted versus what this machine
+// actually delivered.
+
+import (
+	"pbqpdnn/internal/obs"
+	"pbqpdnn/internal/program"
+)
+
+// EnableProfiling attaches a per-instruction profile that samples one
+// RunBatch chunk in every k (k ≤ 1 = always-on, the bench setting;
+// serving samples sparsely). It must be called after construction and
+// before the engine is shared — the engine's concurrent-use contract
+// covers prof only once it is set — and at most once. Returns the
+// profile for snapshotting.
+func (e *Engine) EnableProfiling(k int) *obs.Profile {
+	e.prof = obs.NewProfile(len(e.prog.Instrs), k)
+	return e.prof
+}
+
+// Profile returns the attached profile, or nil when profiling is
+// disabled.
+func (e *Engine) Profile() *obs.Profile { return e.prof }
+
+// LayerTable joins the profile's observed per-instruction times against
+// the plan's predicted per-layer costs, returning the per-layer
+// predicted-vs-observed table for this engine's batch bucket (nil when
+// profiling is disabled). Conv rows carry the plan's node-cost
+// prediction for the selected primitive, convert rows the legalized
+// edge's DT-closure prediction; wildcard operators are priced at zero
+// by the model and so carry no prediction — their observed share of
+// runtime is exactly the table's news.
+//
+// For a batch-aware plan (Plan.Batch = bucket) predictions are the
+// bucket costs scaled to one image; a batch-agnostic per-image plan
+// executed batched keeps its per-image predictions, which then
+// *overstate* amortizable layers — visible as ratios below 1.
+func (e *Engine) LayerTable() *obs.LayerTable {
+	if e.prof == nil {
+		return nil
+	}
+	snap := e.prof.Snapshot()
+	plan := e.prog.Plan
+	denom := float64(plan.Batch)
+	if denom < 1 {
+		denom = 1
+	}
+	t := &obs.LayerTable{
+		Net:           plan.Net.Name,
+		Batch:         e.maxBatch,
+		Threads:       e.workers,
+		SampleEvery:   snap.Every,
+		SampledChunks: snap.Chunks,
+		SampledImages: snap.Images,
+		EngineWallNS:  snap.WallNS,
+	}
+	t.Rows = make([]obs.LayerRow, len(e.prog.Instrs))
+	for i := range e.prog.Instrs {
+		ins := &e.prog.Instrs[i]
+		row := &t.Rows[i]
+		row.Instr = i
+		row.Layer = ins.Name
+		row.Op = ins.Op.String()
+		row.Samples = snap.Samples[i]
+		row.ObservedNS = snap.NS[i]
+		switch ins.Op {
+		case program.OpConv:
+			row.Primitive = ins.Prim.Name
+			row.PredictedNSPerImage = plan.LayerCost[ins.Layer.ID] / denom * 1e9
+		case program.OpConvert:
+			// The convert instruction legalizes the edge from its
+			// producer (its sole argument's layer) to its consumer (its
+			// own Layer); the plan priced that edge in EdgeCosts.
+			prod := e.prog.Instrs[ins.Args[0]].Layer.ID
+			row.PredictedNSPerImage = plan.EdgeCosts[[2]int{prod, ins.Layer.ID}] / denom * 1e9
+		}
+	}
+	t.Finish()
+	return t
+}

@@ -1,0 +1,76 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"pbqpdnn/internal/cost"
+	"pbqpdnn/internal/dnn/models"
+	"pbqpdnn/internal/exec"
+	"pbqpdnn/internal/obs"
+	"pbqpdnn/internal/selector"
+)
+
+// This file implements the layerprof experiment: the always-on flavor
+// of the per-instruction execution profile (internal/obs). Where the
+// server samples sparsely and accumulates over live traffic, the bench
+// enables profiling on every chunk and drives a fixed batch through
+// the engine repeatedly, so the predicted-vs-observed table converges
+// in seconds — the offline way to ask "where does the time actually
+// go, and which cost-model entries are lying on this machine?".
+
+// LayerProf selects and compiles netName at each batch size, runs the
+// compiled engine reps times with always-on profiling (after one
+// unprofiled warm-up run), and returns one per-layer
+// predicted-vs-observed table per batch.
+func LayerProf(netName string, threads int, batches []int, reps int) ([]*obs.LayerTable, error) {
+	if reps < 1 {
+		reps = 1
+	}
+	g, err := models.Build(netName)
+	if err != nil {
+		return nil, err
+	}
+	opts := selector.Options{Prof: cost.NewModel(cost.IntelHaswell), Threads: threads}
+	w := exec.NewWeights(g)
+
+	var tables []*obs.LayerTable
+	for _, batch := range batches {
+		plan, err := selector.SelectBatch(g, batch, opts)
+		if err != nil {
+			return nil, err
+		}
+		eng, err := exec.NewEngineBatch(plan, w, batch)
+		if err != nil {
+			return nil, err
+		}
+		inputs := makeBatch(g, batch)
+		// Warm before attaching the profile: the first run's page faults
+		// and cache warm-up would otherwise skew every layer's mean.
+		if _, err := eng.RunBatch(inputs); err != nil {
+			return nil, err
+		}
+		eng.EnableProfiling(1)
+		for i := 0; i < reps; i++ {
+			if _, err := eng.RunBatch(inputs); err != nil {
+				return nil, err
+			}
+		}
+		tables = append(tables, eng.LayerTable())
+	}
+	return tables, nil
+}
+
+// FormatLayerProf renders the tables with a one-line summary each.
+func FormatLayerProf(tables []*obs.LayerTable) string {
+	var b strings.Builder
+	for i, t := range tables {
+		if i > 0 {
+			b.WriteString("\n")
+		}
+		b.WriteString(t.Format())
+		fmt.Fprintf(&b, "totals: predicted %.3f ms/img, observed %.3f ms/img (wall)\n",
+			t.PredictedTotalNSPerImage/1e6, t.ObservedNSPerImage/1e6)
+	}
+	return b.String()
+}

@@ -1,0 +1,156 @@
+package obs
+
+import (
+	"fmt"
+	"sync/atomic"
+	"time"
+)
+
+// histBuckets is the number of exponential duration buckets: powers of
+// two of a microsecond, 1µs·2⁰ … 1µs·2²⁴ (~16.8s), plus the implicit
+// +Inf overflow bucket. Serving latencies span queue waits of
+// microseconds to overloaded tails of seconds; doubling buckets hold
+// the relative quantile error under ~50% per bucket boundary, plenty
+// for p50/p99 overload diagnosis, at 26 atomic counters per phase.
+const histBuckets = 25
+
+// histBase is the first bucket's upper bound.
+const histBase = time.Microsecond
+
+// Histogram is a fixed-bucket, lock-free duration histogram: exponential
+// upper bounds histBase·2^i, an overflow bucket, and sum/count for mean
+// rates. Observe is a single atomic add per counter and never
+// allocates; Snapshot copies the counters out for quantile estimation
+// and Prometheus exposition. The zero value is NOT usable — construct
+// with NewHistogram.
+type Histogram struct {
+	// counts[i] holds observations ≤ histBase·2^i; counts[histBuckets]
+	// is the +Inf overflow. All element access goes through sync/atomic.
+	counts [histBuckets + 1]int64
+	sumNS  int64
+	n      int64
+}
+
+// NewHistogram returns an empty histogram.
+func NewHistogram() *Histogram { return &Histogram{} }
+
+// HistogramBounds lists the bucket upper bounds (excluding +Inf),
+// shared by every Histogram.
+func HistogramBounds() []time.Duration {
+	bounds := make([]time.Duration, histBuckets)
+	for i := range bounds {
+		bounds[i] = histBase << uint(i)
+	}
+	return bounds
+}
+
+// bucketOf locates the first bucket whose upper bound holds d.
+//
+//dnn:hotpath
+func bucketOf(d time.Duration) int {
+	b := histBase
+	for i := 0; i < histBuckets; i++ {
+		if d <= b {
+			return i
+		}
+		b <<= 1
+	}
+	return histBuckets
+}
+
+// Observe records one duration. Safe for concurrent use; lock-free.
+//
+//dnn:hotpath
+func (h *Histogram) Observe(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	atomic.AddInt64(&h.counts[bucketOf(d)], 1)
+	atomic.AddInt64(&h.sumNS, int64(d))
+	atomic.AddInt64(&h.n, 1)
+}
+
+// HistogramSnapshot is a point-in-time copy of a histogram's counters.
+type HistogramSnapshot struct {
+	// Counts[i] is the number of observations ≤ HistogramBounds()[i];
+	// the final element is the +Inf overflow bucket.
+	Counts []int64 `json:"counts"`
+	SumNS  int64   `json:"sum_ns"`
+	Count  int64   `json:"count"`
+}
+
+// Snapshot copies the counters out. Concurrent Observes may land
+// between element reads; the histogram is monotone, so quantiles remain
+// valid estimates.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	s := HistogramSnapshot{
+		Counts: make([]int64, histBuckets+1),
+		SumNS:  atomic.LoadInt64(&h.sumNS),
+		Count:  atomic.LoadInt64(&h.n),
+	}
+	for i := range h.counts {
+		s.Counts[i] = atomic.LoadInt64(&h.counts[i])
+	}
+	return s
+}
+
+// MeanMS returns the mean observation in milliseconds (0 when empty).
+func (s HistogramSnapshot) MeanMS() float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	return float64(s.SumNS) / float64(s.Count) / 1e6
+}
+
+// Quantile estimates the q-th quantile (q in [0, 1]) by linear
+// interpolation within the holding bucket. Observations in the
+// overflow bucket report the last finite bound (an underestimate,
+// flagged by the bucket itself in full expositions).
+func (s HistogramSnapshot) Quantile(q float64) time.Duration {
+	total := int64(0)
+	for _, c := range s.Counts {
+		total += c
+	}
+	if total == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	// Nearest-rank target, then interpolate inside the bucket between
+	// its lower and upper bound by the rank's position in the bucket.
+	rank := int64(q*float64(total) + 0.9999)
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > total {
+		rank = total
+	}
+	var seen int64
+	for i, c := range s.Counts {
+		if seen+c < rank {
+			seen += c
+			continue
+		}
+		if i >= histBuckets {
+			return histBase << uint(histBuckets-1)
+		}
+		hi := histBase << uint(i)
+		lo := time.Duration(0)
+		if i > 0 {
+			lo = histBase << uint(i-1)
+		}
+		frac := float64(rank-seen) / float64(c)
+		return lo + time.Duration(frac*float64(hi-lo))
+	}
+	return histBase << uint(histBuckets-1)
+}
+
+// String renders count/mean/p50/p99 for logs and tests.
+func (s HistogramSnapshot) String() string {
+	return fmt.Sprintf("n=%d mean=%.3fms p50=%v p99=%v",
+		s.Count, s.MeanMS(), s.Quantile(0.50).Round(time.Microsecond), s.Quantile(0.99).Round(time.Microsecond))
+}

@@ -1,0 +1,133 @@
+// Package obs is the observability layer: low-overhead instrumentation
+// primitives threaded through the execution engine and the serving
+// stack, and the report types that join what the engine *observed*
+// against what the cost model *predicted*.
+//
+// The PBQP selector's whole premise is that per-layer cost predictions
+// drive global primitive selection — yet until this package the runtime
+// observed only end-to-end batch latency, so a plan that mispredicts
+// one layer was indistinguishable from a plan that mispredicts all of
+// them. The pieces here close that gap:
+//
+//   - Profile: a lock-free per-instruction timer. The engine samples
+//     whole RunBatch chunks (1-in-K in serving, always-on in bench) and
+//     accumulates observed ns per instruction with atomic adds — no
+//     locks, no allocation, near-zero cost when disabled (two nil
+//     checks on the task path, pinned by a benchmark).
+//   - Histogram: a fixed-bucket, atomic duration histogram for the
+//     request-lifecycle phases (queue-wait / batch-assembly / engine /
+//     respond) and for Prometheus exposition.
+//   - LayerTable: the per-layer predicted-vs-observed join — per
+//     (instruction, batch bucket), the plan's predicted ns against the
+//     profile's measured ns. This table is the calibration data an
+//     online adaptive re-selection controller will consume (ROADMAP
+//     "close the predicted-vs-observed loop").
+//
+// The package deliberately depends on nothing but the standard library
+// so every layer of the system (exec, serve, cmd) can use it without
+// import cycles.
+package obs
+
+import "sync/atomic"
+
+// Profile accumulates observed execution time per instruction of one
+// compiled program, for one batch bucket (the engine that owns the
+// profile is compiled for exactly one bucket, so the (instruction,
+// bucket) key of the aggregation is the (index, owner) pair).
+//
+// All methods are safe for concurrent use. The hot-path methods —
+// SampleChunk and Observe — are lock-free single atomics and never
+// allocate; Snapshot is the slow path for exposition.
+type Profile struct {
+	every uint32 // sample 1 chunk in every; 1 = always-on
+	tick  atomic.Uint32
+
+	// ns and samples accumulate per instruction, atomically. The slices
+	// are sized at construction and never resized; all element access
+	// goes through sync/atomic.
+	ns      []int64
+	samples []int64
+
+	chunks int64 // sampled RunBatch chunks
+	images int64 // images carried by sampled chunks
+	wallNS int64 // engine wall ns of sampled chunks
+}
+
+// NewProfile returns a profile for a program of n instructions that
+// samples one RunBatch chunk in every k (k ≤ 1 means always-on). A
+// sampled chunk times every instruction it executes, so per-layer
+// ratios stay exact within a chunk; skipped chunks pay only one atomic
+// increment.
+func NewProfile(n, k int) *Profile {
+	if k < 1 {
+		k = 1
+	}
+	return &Profile{
+		every:   uint32(k),
+		ns:      make([]int64, n),
+		samples: make([]int64, n),
+	}
+}
+
+// Every reports the sampling period (1 = always-on).
+func (p *Profile) Every() int { return int(p.every) }
+
+// Len reports the instruction count the profile was sized for.
+func (p *Profile) Len() int { return len(p.ns) }
+
+// SampleChunk decides whether the next RunBatch chunk is sampled: true
+// once per `every` calls. The decision is made per chunk, not per
+// instruction, so a sampled chunk yields a complete per-layer breakdown
+// of one real dispatch.
+//
+//dnn:hotpath
+func (p *Profile) SampleChunk() bool {
+	return p.tick.Add(1)%p.every == 0
+}
+
+// Observe accumulates one sampled instruction execution.
+//
+//dnn:hotpath
+func (p *Profile) Observe(i int, ns int64) {
+	atomic.AddInt64(&p.ns[i], ns)
+	atomic.AddInt64(&p.samples[i], 1)
+}
+
+// ObserveChunk accumulates one sampled chunk's engine wall time and
+// image count — the denominator that turns per-instruction totals into
+// per-image costs and the reference the per-layer sum is checked
+// against.
+func (p *Profile) ObserveChunk(images int, wallNS int64) {
+	atomic.AddInt64(&p.chunks, 1)
+	atomic.AddInt64(&p.images, int64(images))
+	atomic.AddInt64(&p.wallNS, wallNS)
+}
+
+// ProfileSnapshot is a consistent-enough copy of a profile's counters
+// (each counter is read atomically; the set is not a single linearized
+// cut, which per-layer aggregation tolerates).
+type ProfileSnapshot struct {
+	Every   int     `json:"sample_every"`
+	Chunks  int64   `json:"sampled_chunks"`
+	Images  int64   `json:"sampled_images"`
+	WallNS  int64   `json:"engine_wall_ns"`
+	NS      []int64 `json:"instr_ns"`
+	Samples []int64 `json:"instr_samples"`
+}
+
+// Snapshot copies the accumulated counters out for reporting.
+func (p *Profile) Snapshot() ProfileSnapshot {
+	s := ProfileSnapshot{
+		Every:   int(p.every),
+		Chunks:  atomic.LoadInt64(&p.chunks),
+		Images:  atomic.LoadInt64(&p.images),
+		WallNS:  atomic.LoadInt64(&p.wallNS),
+		NS:      make([]int64, len(p.ns)),
+		Samples: make([]int64, len(p.samples)),
+	}
+	for i := range p.ns {
+		s.NS[i] = atomic.LoadInt64(&p.ns[i])
+		s.Samples[i] = atomic.LoadInt64(&p.samples[i])
+	}
+	return s
+}

@@ -1,0 +1,234 @@
+package obs
+
+import (
+	"math"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestProfileSamplingRatio(t *testing.T) {
+	for _, k := range []int{1, 4, 16} {
+		p := NewProfile(3, k)
+		sampled := 0
+		const calls = 1600
+		for i := 0; i < calls; i++ {
+			if p.SampleChunk() {
+				sampled++
+			}
+		}
+		if want := calls / k; sampled != want {
+			t.Errorf("k=%d: sampled %d of %d chunks, want %d", k, sampled, calls, want)
+		}
+	}
+}
+
+func TestProfileAlwaysOnDefaults(t *testing.T) {
+	// k ≤ 1 clamps to always-on rather than dividing by zero.
+	for _, k := range []int{-1, 0, 1} {
+		p := NewProfile(1, k)
+		if p.Every() != 1 {
+			t.Errorf("NewProfile(1, %d).Every() = %d, want 1", k, p.Every())
+		}
+		if !p.SampleChunk() {
+			t.Errorf("k=%d: first chunk not sampled under always-on", k)
+		}
+	}
+}
+
+func TestProfileAccumulates(t *testing.T) {
+	p := NewProfile(2, 1)
+	p.Observe(0, 100)
+	p.Observe(0, 50)
+	p.Observe(1, 7)
+	p.ObserveChunk(4, 200)
+	s := p.Snapshot()
+	if s.NS[0] != 150 || s.Samples[0] != 2 {
+		t.Errorf("instr 0: ns=%d samples=%d, want 150/2", s.NS[0], s.Samples[0])
+	}
+	if s.NS[1] != 7 || s.Samples[1] != 1 {
+		t.Errorf("instr 1: ns=%d samples=%d, want 7/1", s.NS[1], s.Samples[1])
+	}
+	if s.Chunks != 1 || s.Images != 4 || s.WallNS != 200 {
+		t.Errorf("chunk totals %d/%d/%d, want 1/4/200", s.Chunks, s.Images, s.WallNS)
+	}
+}
+
+// TestProfileConcurrent hammers the hot-path methods from many
+// goroutines; under -race this proves the lock-free contract.
+func TestProfileConcurrent(t *testing.T) {
+	p := NewProfile(4, 2)
+	const (
+		workers = 8
+		perW    = 1000
+	)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perW; i++ {
+				if p.SampleChunk() {
+					p.Observe(i%4, 1)
+					p.ObserveChunk(1, 2)
+				}
+				if i%100 == 0 {
+					p.Snapshot()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	s := p.Snapshot()
+	wantChunks := int64(workers * perW / 2)
+	if s.Chunks != wantChunks {
+		t.Errorf("sampled %d chunks, want %d", s.Chunks, wantChunks)
+	}
+	var total int64
+	for _, n := range s.NS {
+		total += n
+	}
+	if total != wantChunks {
+		t.Errorf("accumulated %d ns, want %d", total, wantChunks)
+	}
+}
+
+func TestHistogramQuantileEdgeCases(t *testing.T) {
+	h := NewHistogram()
+	s := h.Snapshot()
+	if got := s.Quantile(0.5); got != 0 {
+		t.Errorf("empty histogram p50 = %v, want 0", got)
+	}
+	if s.MeanMS() != 0 {
+		t.Errorf("empty histogram mean = %v, want 0", s.MeanMS())
+	}
+
+	// Single observation: every quantile lands in its bucket.
+	h.Observe(10 * time.Microsecond) // bucket upper bound 16µs
+	s = h.Snapshot()
+	for _, q := range []float64{0, 0.5, 1} {
+		got := s.Quantile(q)
+		if got <= 0 || got > 16*time.Microsecond {
+			t.Errorf("single-sample q%.0f%% = %v, want in (0, 16µs]", q*100, got)
+		}
+	}
+
+	// Out-of-range q clamps instead of panicking.
+	if got := s.Quantile(-1); got <= 0 {
+		t.Errorf("q<0 = %v, want clamped to a positive estimate", got)
+	}
+	if got := s.Quantile(2); got <= 0 {
+		t.Errorf("q>1 = %v, want clamped to a positive estimate", got)
+	}
+
+	// Negative durations clamp to zero rather than indexing below the
+	// first bucket.
+	h2 := NewHistogram()
+	h2.Observe(-time.Second)
+	if got := h2.Snapshot().Count; got != 1 {
+		t.Errorf("negative observation count = %d, want 1", got)
+	}
+}
+
+func TestHistogramQuantileSpread(t *testing.T) {
+	h := NewHistogram()
+	// 90 fast observations and 10 slow ones: p50 must sit near the fast
+	// mode, p99 near the slow one.
+	for i := 0; i < 90; i++ {
+		h.Observe(100 * time.Microsecond)
+	}
+	for i := 0; i < 10; i++ {
+		h.Observe(50 * time.Millisecond)
+	}
+	s := h.Snapshot()
+	if p50 := s.Quantile(0.50); p50 > time.Millisecond {
+		t.Errorf("p50 = %v, want ≤ 1ms (fast mode)", p50)
+	}
+	if p99 := s.Quantile(0.99); p99 < 10*time.Millisecond {
+		t.Errorf("p99 = %v, want ≥ 10ms (slow mode)", p99)
+	}
+	if s.Count != 100 {
+		t.Errorf("count = %d, want 100", s.Count)
+	}
+}
+
+func TestHistogramOverflowBucket(t *testing.T) {
+	h := NewHistogram()
+	h.Observe(time.Hour) // beyond the last finite bound (~16.8s)
+	s := h.Snapshot()
+	if got := s.Counts[len(s.Counts)-1]; got != 1 {
+		t.Errorf("overflow bucket = %d, want 1", got)
+	}
+	// Overflow quantiles report the last finite bound, not garbage.
+	bounds := HistogramBounds()
+	if got, want := s.Quantile(1), bounds[len(bounds)-1]; got != want {
+		t.Errorf("overflow p100 = %v, want last finite bound %v", got, want)
+	}
+}
+
+func TestHistogramBoundsDouble(t *testing.T) {
+	bounds := HistogramBounds()
+	if bounds[0] != time.Microsecond {
+		t.Fatalf("first bound %v, want 1µs", bounds[0])
+	}
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] != 2*bounds[i-1] {
+			t.Fatalf("bounds[%d] = %v, want double of %v", i, bounds[i], bounds[i-1])
+		}
+	}
+}
+
+func TestHistogramConcurrent(t *testing.T) {
+	h := NewHistogram()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				h.Observe(time.Duration(w+1) * time.Microsecond)
+				if i%200 == 0 {
+					h.Snapshot()
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := h.Snapshot().Count; got != 8000 {
+		t.Errorf("count = %d, want 8000", got)
+	}
+}
+
+func TestLayerTableFinish(t *testing.T) {
+	tab := &LayerTable{
+		Net: "t", Batch: 2, SampleEvery: 1,
+		SampledChunks: 1, SampledImages: 2, EngineWallNS: 1000,
+		Rows: []LayerRow{
+			{Layer: "a", ObservedNS: 600, Samples: 1, PredictedNSPerImage: 150},
+			{Layer: "b", ObservedNS: 300, Samples: 1},
+		},
+	}
+	tab.Finish()
+	if tab.ObservedTotalNS != 900 {
+		t.Errorf("observed total = %d, want 900", tab.ObservedTotalNS)
+	}
+	if math.Abs(tab.Coverage-0.9) > 1e-9 {
+		t.Errorf("coverage = %v, want 0.9", tab.Coverage)
+	}
+	if got := tab.Rows[0].ObservedNSPerImage; got != 300 {
+		t.Errorf("row a ns/img = %v, want 300", got)
+	}
+	if got := tab.Rows[0].Ratio; math.Abs(got-2) > 1e-9 {
+		t.Errorf("row a ratio = %v, want 2", got)
+	}
+	if got := tab.Rows[1].Ratio; got != 0 {
+		t.Errorf("row b (no prediction) ratio = %v, want 0", got)
+	}
+	if got := tab.Rows[0].Share + tab.Rows[1].Share; math.Abs(got-1) > 1e-9 {
+		t.Errorf("shares sum to %v, want 1", got)
+	}
+	if out := tab.Format(); !strings.Contains(out, "covers 90.0%") {
+		t.Errorf("Format missing coverage line:\n%s", out)
+	}
+}

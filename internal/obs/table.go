@@ -1,0 +1,126 @@
+package obs
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// LayerRow is one instruction's predicted-vs-observed join: the data an
+// adaptive re-selection controller needs to decide whether *this
+// layer's* cost entry is lying on this machine.
+type LayerRow struct {
+	Instr int    `json:"instr"`
+	Layer string `json:"layer"`
+	Op    string `json:"op"`
+	// Primitive is the selected convolution primitive (conv rows only).
+	Primitive string `json:"primitive,omitempty"`
+
+	// Samples counts the sampled executions; ObservedNS their total.
+	Samples    int64 `json:"samples"`
+	ObservedNS int64 `json:"observed_ns_total"`
+
+	// ObservedNSPerImage is ObservedNS divided by the images the
+	// sampled chunks carried; PredictedNSPerImage is the plan's cost
+	// model prediction for this instruction (0 for wildcard operators
+	// the model prices at zero). Ratio is observed/predicted where a
+	// prediction exists, else 0.
+	ObservedNSPerImage  float64 `json:"observed_ns_per_image"`
+	PredictedNSPerImage float64 `json:"predicted_ns_per_image"`
+	Ratio               float64 `json:"observed_over_predicted,omitempty"`
+
+	// Share is this row's fraction of the summed per-instruction time.
+	Share float64 `json:"share_of_runtime"`
+}
+
+// LayerTable is the per-layer profile of one (program, batch bucket):
+// every instruction's observed time joined against the plan's
+// prediction, plus the totals that anchor the table to reality — the
+// engine wall time of the sampled chunks and the coverage ratio
+// (observed sum / wall) that proves the per-layer numbers account for
+// the whole execution.
+type LayerTable struct {
+	Net     string `json:"net"`
+	Batch   int    `json:"batch"`
+	Threads int    `json:"threads"`
+
+	SampleEvery   int   `json:"sample_every"`
+	SampledChunks int64 `json:"sampled_chunks"`
+	SampledImages int64 `json:"sampled_images"`
+
+	// EngineWallNS is the summed engine wall time of the sampled
+	// chunks; ObservedTotalNS the summed per-instruction time of the
+	// same chunks. Coverage = ObservedTotalNS / EngineWallNS. On a
+	// sequential schedule coverage approaches 1 from below (frame
+	// setup and output extraction are outside any instruction); under
+	// branch-parallel execution overlapped instructions can push it
+	// above 1 — per-instruction times are busy time, wall is not.
+	EngineWallNS    int64   `json:"engine_wall_ns"`
+	ObservedTotalNS int64   `json:"observed_ns_total"`
+	Coverage        float64 `json:"observed_over_wall"`
+
+	// PredictedTotalNSPerImage sums the per-image predictions;
+	// ObservedNSPerImage is the wall time per sampled image.
+	PredictedTotalNSPerImage float64 `json:"predicted_ns_per_image_total"`
+	ObservedNSPerImage       float64 `json:"observed_ns_per_image"`
+
+	Rows []LayerRow `json:"rows"`
+}
+
+// Finish derives the aggregate fields from the populated rows and
+// chunk totals: per-image costs, shares, ratios, coverage. Callers fill
+// Rows (Samples/ObservedNS/PredictedNSPerImage), the Sampled* totals
+// and EngineWallNS, then call Finish once.
+func (t *LayerTable) Finish() {
+	t.ObservedTotalNS = 0
+	t.PredictedTotalNSPerImage = 0
+	for i := range t.Rows {
+		t.ObservedTotalNS += t.Rows[i].ObservedNS
+		t.PredictedTotalNSPerImage += t.Rows[i].PredictedNSPerImage
+	}
+	for i := range t.Rows {
+		r := &t.Rows[i]
+		if t.SampledImages > 0 {
+			r.ObservedNSPerImage = float64(r.ObservedNS) / float64(t.SampledImages)
+		}
+		if r.PredictedNSPerImage > 0 {
+			r.Ratio = r.ObservedNSPerImage / r.PredictedNSPerImage
+		}
+		if t.ObservedTotalNS > 0 {
+			r.Share = float64(r.ObservedNS) / float64(t.ObservedTotalNS)
+		}
+	}
+	if t.EngineWallNS > 0 {
+		t.Coverage = float64(t.ObservedTotalNS) / float64(t.EngineWallNS)
+	}
+	if t.SampledImages > 0 {
+		t.ObservedNSPerImage = float64(t.EngineWallNS) / float64(t.SampledImages)
+	}
+}
+
+// Format renders the table for terminals: rows sorted by share of
+// runtime, with the coverage line that ties the per-layer breakdown to
+// the engine wall clock.
+func (t *LayerTable) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== per-layer profile: %s batch %d, %d thread(s), sampling 1-in-%d ==\n",
+		t.Net, t.Batch, t.Threads, t.SampleEvery)
+	fmt.Fprintf(&b, "sampled %d chunk(s) / %d image(s); engine wall %.3f ms/img; per-layer sum covers %.1f%% of wall\n",
+		t.SampledChunks, t.SampledImages, t.ObservedNSPerImage/1e6, t.Coverage*100)
+	fmt.Fprintf(&b, "%-26s %-9s %-22s %7s %12s %12s %9s %7s\n",
+		"layer", "op", "primitive", "samples", "obs ns/img", "pred ns/img", "obs/pred", "share")
+	rows := append([]LayerRow(nil), t.Rows...)
+	sort.SliceStable(rows, func(i, j int) bool { return rows[i].ObservedNS > rows[j].ObservedNS })
+	for _, r := range rows {
+		if r.Samples == 0 && r.ObservedNS == 0 {
+			continue
+		}
+		ratio := "-"
+		if r.Ratio > 0 {
+			ratio = fmt.Sprintf("%.2f", r.Ratio)
+		}
+		fmt.Fprintf(&b, "%-26s %-9s %-22s %7d %12.0f %12.0f %9s %6.1f%%\n",
+			r.Layer, r.Op, r.Primitive, r.Samples, r.ObservedNSPerImage, r.PredictedNSPerImage, ratio, r.Share*100)
+	}
+	return b.String()
+}

@@ -51,6 +51,12 @@ type Plan struct {
 
 	// NodeCost and EdgeCost split the predicted execution time (s).
 	NodeCost, EdgeCost float64
+	// LayerCost breaks NodeCost down per conv layer id, and EdgeCosts
+	// breaks EdgeCost down per legalized edge — the predicted side of
+	// the per-layer predicted-vs-observed join (internal/obs). Both are
+	// whole-batch seconds, like NodeCost/EdgeCost themselves.
+	LayerCost map[int]float64
+	EdgeCosts map[[2]int]float64
 	// Optimal reports whether the PBQP solver proved optimality.
 	Optimal bool
 	// SolveTime is the wall-clock time spent in the PBQP solver.
@@ -297,6 +303,8 @@ func (pr *problem) finish(net *dnn.Graph, opts *Options, name string) (*Plan, er
 		Primitives:  map[int]*conv.Primitive{},
 		Layouts:     map[int]tensor.Layout{},
 		Conversions: map[[2]int][]tensor.Transform{},
+		LayerCost:   map[int]float64{},
+		EdgeCosts:   map[[2]int]float64{},
 		Optimal:     sol.Optimal,
 		SolveTime:   elapsed,
 	}
@@ -306,7 +314,9 @@ func (pr *problem) finish(net *dnn.Graph, opts *Options, name string) (*Plan, er
 		plan.Layouts[l.ID] = ch.outLayout()
 		if l.IsConv() {
 			plan.Primitives[l.ID] = ch.prim
-			plan.NodeCost += cost.PrimitiveN(opts.Prof, ch.prim, l.Conv, opts.Threads, pr.batch)
+			c := cost.PrimitiveN(opts.Prof, ch.prim, l.Conv, opts.Threads, pr.batch)
+			plan.LayerCost[l.ID] = c
+			plan.NodeCost += c
 		}
 	}
 	// Legalization (§3): bisect every edge whose endpoint layouts
@@ -325,6 +335,7 @@ func (pr *problem) finish(net *dnn.Graph, opts *Options, name string) (*Plan, er
 			return nil, fmt.Errorf("selector: edge %s→%s: %w", net.Layers[u].Name, net.Layers[v].Name, err)
 		}
 		plan.Conversions[e] = chain
+		plan.EdgeCosts[e] = dt.Cost(from, to)
 		plan.EdgeCost += dt.Cost(from, to)
 	}
 	return plan, nil

@@ -1,6 +1,7 @@
 package selector
 
 import (
+	"math"
 	"strings"
 	"testing"
 
@@ -498,6 +499,52 @@ func TestSelectBatchPrunesUnpricedCandidates(t *testing.T) {
 			if c := cost.PrimitiveN(tab, plan.Primitives[id], s, 1, b); c <= 0 || c != c || c > 1e9 {
 				t.Errorf("batch %d: selected primitive %s has unpriced cost %g", b, plan.Primitives[id].Name, c)
 			}
+		}
+	}
+}
+
+// TestPlanCostBreakdowns: the per-layer and per-edge cost maps the
+// observability layer joins against must be an exact partition of the
+// aggregate NodeCost/EdgeCost — for plain selection, for batch-aware
+// selection, and through the vendor proxies' overhead scaling.
+func TestPlanCostBreakdowns(t *testing.T) {
+	net := mustNet(t, "alexnet")
+	opts := intelOpts(4)
+	plans := map[string]*Plan{}
+	var err error
+	if plans["select"], err = Select(net, opts); err != nil {
+		t.Fatal(err)
+	}
+	if plans["batch8"], err = SelectBatch(net, 8, opts); err != nil {
+		t.Fatal(err)
+	}
+	if plans["caffe"], err = CaffeProxy(net, opts); err != nil {
+		t.Fatal(err)
+	}
+	if plans["mkldnn"], err = MKLDNNProxy(net, opts); err != nil {
+		t.Fatal(err)
+	}
+	for name, plan := range plans {
+		if len(plan.LayerCost) != len(net.ConvLayers()) {
+			t.Errorf("%s: LayerCost has %d entries, want one per conv layer (%d)",
+				name, len(plan.LayerCost), len(net.ConvLayers()))
+		}
+		var nodeSum float64
+		for id, c := range plan.LayerCost {
+			if c < 0 {
+				t.Errorf("%s: negative layer cost for %d", name, id)
+			}
+			nodeSum += c
+		}
+		if rel := math.Abs(nodeSum-plan.NodeCost) / plan.NodeCost; rel > 1e-9 {
+			t.Errorf("%s: LayerCost sums to %g, NodeCost is %g", name, nodeSum, plan.NodeCost)
+		}
+		var edgeSum float64
+		for _, c := range plan.EdgeCosts {
+			edgeSum += c
+		}
+		if math.Abs(edgeSum-plan.EdgeCost) > 1e-9*math.Max(1, plan.EdgeCost) {
+			t.Errorf("%s: EdgeCosts sums to %g, EdgeCost is %g", name, edgeSum, plan.EdgeCost)
 		}
 	}
 }

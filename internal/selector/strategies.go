@@ -169,8 +169,18 @@ func CaffeProxy(net *dnn.Graph, opts Options) (*Plan, error) {
 	if err != nil {
 		return nil, err
 	}
-	plan.NodeCost *= caffeOverhead
+	plan.scaleNodeCost(caffeOverhead)
 	return plan, nil
+}
+
+// scaleNodeCost applies a vendor-proxy dispatch tax to the node side of
+// the prediction, keeping the per-layer breakdown consistent with the
+// scaled total.
+func (p *Plan) scaleNodeCost(overhead float64) {
+	p.NodeCost *= overhead
+	for id := range p.LayerCost {
+		p.LayerCost[id] *= overhead
+	}
 }
 
 // caffeOverhead is the framework dispatch-and-copy tax of the proxy.
@@ -252,7 +262,7 @@ func MKLDNNProxy(net *dnn.Graph, opts Options) (*Plan, error) {
 	if err != nil {
 		return nil, err
 	}
-	plan.NodeCost *= mkldnnOverhead
+	plan.scaleNodeCost(mkldnnOverhead)
 	return plan, nil
 }
 
@@ -280,7 +290,7 @@ func ARMCLProxy(net *dnn.Graph, opts Options) (*Plan, error) {
 	if err != nil {
 		return nil, err
 	}
-	plan.NodeCost *= armclOverhead
+	plan.scaleNodeCost(armclOverhead)
 	return plan, nil
 }
 

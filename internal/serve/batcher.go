@@ -91,10 +91,14 @@ type RunBatchFunc func(inputs []*tensor.Tensor) ([]*tensor.Tensor, error)
 
 // request is one queued inference: the input, the submitting context
 // (whose deadline is honored up to dispatch), and the reply channel.
+// enq stamps admission; deq stamps the collector pulling the request
+// out of the queue — the boundary between the queue-wait and
+// batch-assembly lifecycle phases.
 type request struct {
 	in  *tensor.Tensor
 	ctx context.Context
 	enq time.Time
+	deq time.Time
 	out chan result
 }
 
@@ -198,11 +202,13 @@ func (b *Batcher) collect() {
 	for {
 		select {
 		case first := <-b.queue:
+			first.deq = time.Now()
 			b.dispatch(b.fill(first, false))
 		case <-b.quit:
 			for {
 				select {
 				case first := <-b.queue:
+					first.deq = time.Now()
 					b.dispatch(b.fill(first, true))
 				default:
 					return
@@ -225,6 +231,7 @@ func (b *Batcher) fill(first *request, draining bool) []*request {
 		for len(batch) < b.opts.MaxBatch {
 			select {
 			case r := <-b.queue:
+				r.deq = time.Now()
 				batch = append(batch, r)
 			default:
 				return batch
@@ -237,6 +244,7 @@ func (b *Batcher) fill(first *request, draining bool) []*request {
 	for len(batch) < b.opts.MaxBatch {
 		select {
 		case r := <-b.queue:
+			r.deq = time.Now()
 			batch = append(batch, r)
 		case <-timer.C:
 			return batch
@@ -286,10 +294,22 @@ func (b *Batcher) dispatch(batch []*request) {
 		outs, err := b.run(ins)
 		now := time.Now()
 		engine := now.Sub(start)
+		// Per-request lifecycle phases: enq→deq queued behind the
+		// collector, deq→dispatch assembling the batch, then the shared
+		// engine wall time. The respond phase closes after fan-out.
+		for _, r := range live {
+			b.met.phases[phaseQueueWait].Observe(r.deq.Sub(r.enq))
+			b.met.phases[phaseAssembly].Observe(start.Sub(r.deq))
+			b.met.phases[phaseEngine].Observe(engine)
+		}
 		if err != nil {
 			b.met.observeBatch(len(live), engine, nil, err)
 			for _, r := range live {
 				r.out <- result{err: err}
+			}
+			respond := time.Since(now)
+			for range live {
+				b.met.phases[phaseRespond].Observe(respond)
 			}
 			return
 		}
@@ -302,6 +322,10 @@ func (b *Batcher) dispatch(batch []*request) {
 		b.met.observeBatch(len(live), engine, lats, nil)
 		for i, r := range live {
 			r.out <- result{t: outs[i]}
+		}
+		respond := time.Since(now)
+		for range live {
+			b.met.phases[phaseRespond].Observe(respond)
 		}
 	}()
 }

@@ -5,6 +5,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"pbqpdnn/internal/obs"
 )
 
 // latencyWindow bounds the per-model latency sample ring. 8k samples
@@ -45,12 +47,46 @@ type Metrics struct {
 	latencies []time.Duration
 	latIdx    int
 
+	// phases are the request-lifecycle histograms, one per dispatch
+	// phase (see PhaseNames): time spent queued behind the collector,
+	// time inside batch assembly (the MaxWait window), engine
+	// execution, and reply fan-out. They are lock-free — the batcher
+	// observes them outside m.mu — so overload diagnosis (queueing vs
+	// compute) costs the hot path one atomic add per phase.
+	phases [numPhases]*obs.Histogram
+
 	queueDepth func() int // reads the live queue length, set by the batcher
 }
 
+// The request-lifecycle phases, in dispatch order.
+const (
+	phaseQueueWait = iota
+	phaseAssembly
+	phaseEngine
+	phaseRespond
+	numPhases
+)
+
+// PhaseNames labels the lifecycle phases, indexed like Metrics.phases.
+var PhaseNames = [numPhases]string{"queue_wait", "batch_assembly", "engine", "respond"}
+
 // NewMetrics returns an empty metrics aggregate.
 func NewMetrics() *Metrics {
-	return &Metrics{start: time.Now()}
+	m := &Metrics{start: time.Now()}
+	for i := range m.phases {
+		m.phases[i] = obs.NewHistogram()
+	}
+	return m
+}
+
+// PhaseSnapshots copies the lifecycle-phase histograms out, keyed by
+// PhaseNames — the raw buckets the Prometheus exposition renders.
+func (m *Metrics) PhaseSnapshots() map[string]obs.HistogramSnapshot {
+	out := make(map[string]obs.HistogramSnapshot, numPhases)
+	for i, h := range m.phases {
+		out[PhaseNames[i]] = h.Snapshot()
+	}
+	return out
 }
 
 func (m *Metrics) admit() { atomic.AddInt64(&m.accepted, 1) }
@@ -136,6 +172,20 @@ type Stats struct {
 	LatencyP50MS      float64   `json:"latency_p50_ms"`
 	LatencyP99MS      float64   `json:"latency_p99_ms"`
 	LatencySamples    int       `json:"latency_samples"`
+
+	// Phases summarizes the request-lifecycle histograms (PhaseNames
+	// order): where a dispatched request's time went. Under overload,
+	// queue_wait ballooning while engine stays flat means admission is
+	// the bottleneck; the reverse means compute.
+	Phases map[string]PhaseSummary `json:"phases"`
+}
+
+// PhaseSummary is one lifecycle phase's latency digest.
+type PhaseSummary struct {
+	Count  int64   `json:"count"`
+	MeanMS float64 `json:"mean_ms"`
+	P50MS  float64 `json:"p50_ms"`
+	P99MS  float64 `json:"p99_ms"`
 }
 
 // Snapshot returns a consistent copy of the counters with derived
@@ -171,6 +221,16 @@ func (m *Metrics) Snapshot() Stats {
 
 	if depth != nil {
 		s.QueueDepth = depth()
+	}
+	s.Phases = make(map[string]PhaseSummary, numPhases)
+	for i, h := range m.phases {
+		hs := h.Snapshot()
+		s.Phases[PhaseNames[i]] = PhaseSummary{
+			Count:  hs.Count,
+			MeanMS: hs.MeanMS(),
+			P50MS:  float64(hs.Quantile(0.50).Nanoseconds()) / 1e6,
+			P99MS:  float64(hs.Quantile(0.99).Nanoseconds()) / 1e6,
+		}
 	}
 	s.LatencySamples = len(lats)
 	if len(lats) > 0 {

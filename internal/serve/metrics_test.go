@@ -1,0 +1,142 @@
+package serve
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"pbqpdnn/internal/tensor"
+)
+
+// TestPercentileEdgeCases pins the nearest-rank percentile at its
+// boundaries: empty input, a single sample, and the p0/p100 extremes.
+func TestPercentileEdgeCases(t *testing.T) {
+	if got := percentile(nil, 50); got != 0 {
+		t.Errorf("percentile(nil, 50) = %v, want 0", got)
+	}
+	one := []time.Duration{7 * time.Millisecond}
+	for _, p := range []int{0, 50, 100} {
+		if got := percentile(one, p); got != 7*time.Millisecond {
+			t.Errorf("percentile([7ms], %d) = %v, want 7ms", p, got)
+		}
+	}
+	sorted := []time.Duration{1, 2, 3, 4, 5}
+	if got := percentile(sorted, 0); got != 1 {
+		t.Errorf("p0 = %v, want the minimum (1)", got)
+	}
+	if got := percentile(sorted, 100); got != 5 {
+		t.Errorf("p100 = %v, want the maximum (5)", got)
+	}
+	if got := percentile(sorted, 101); got != 5 {
+		t.Errorf("p>100 = %v, want clamped to the maximum (5)", got)
+	}
+}
+
+// TestMetricsConcurrentSnapshot exercises every mutation path against
+// concurrent Snapshot calls; under -race this is the proof that the
+// atomic admission counters, the mutex-guarded batch state, and the
+// lock-free phase histograms compose safely.
+func TestMetricsConcurrentSnapshot(t *testing.T) {
+	m := NewMetrics()
+	m.mu.Lock()
+	m.queueDepth = func() int { return 3 }
+	m.mu.Unlock()
+
+	const (
+		workers = 4
+		iters   = 500
+	)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			lats := []time.Duration{time.Millisecond, 2 * time.Millisecond}
+			for i := 0; i < iters; i++ {
+				m.admit()
+				m.admit()
+				m.reject()
+				m.expire(1)
+				m.observeBatch(2, time.Millisecond, lats, nil)
+				for p := range m.phases {
+					m.phases[p].Observe(time.Duration(i) * time.Microsecond)
+				}
+			}
+		}()
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < workers*iters/4; i++ {
+			m.Snapshot()
+			m.PhaseSnapshots()
+			m.ObservedNsPerImage(1, 8)
+		}
+	}()
+	wg.Wait()
+
+	s := m.Snapshot()
+	total := int64(workers * iters)
+	if s.Accepted != 2*total || s.Rejected != total || s.Expired != total {
+		t.Errorf("admission counters %d/%d/%d, want %d/%d/%d",
+			s.Accepted, s.Rejected, s.Expired, 2*total, total, total)
+	}
+	if s.Served != 2*total || s.Batches != total {
+		t.Errorf("served %d batches %d, want %d/%d", s.Served, s.Batches, 2*total, total)
+	}
+	for name, ph := range s.Phases {
+		if ph.Count != total {
+			t.Errorf("phase %s count %d, want %d", name, ph.Count, total)
+		}
+	}
+	if s.QueueDepth != 3 {
+		t.Errorf("queue depth %d, want 3", s.QueueDepth)
+	}
+}
+
+// TestBatcherRecordsPhases drives real requests through a batcher and
+// checks each lifecycle phase accumulated plausible observations.
+func TestBatcherRecordsPhases(t *testing.T) {
+	met := NewMetrics()
+	run := func(ins []*tensor.Tensor) ([]*tensor.Tensor, error) {
+		time.Sleep(2 * time.Millisecond) // a visible engine phase
+		outs := make([]*tensor.Tensor, len(ins))
+		for i, in := range ins {
+			outs[i] = in.Clone()
+		}
+		return outs, nil
+	}
+	b := NewBatcher(run, BatchOptions{
+		MaxBatch: 4, MaxWait: time.Millisecond, QueueCap: 16,
+	}, met)
+	defer b.Close()
+
+	const n = 8
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if _, err := b.Infer(t.Context(), testInput()); err != nil {
+				t.Error(err)
+			}
+		}()
+	}
+	wg.Wait()
+
+	s := met.Snapshot()
+	for _, name := range PhaseNames {
+		ph, ok := s.Phases[name]
+		if !ok {
+			t.Fatalf("phase %q missing from snapshot", name)
+		}
+		if ph.Count != n {
+			t.Errorf("phase %s count %d, want %d", name, ph.Count, n)
+		}
+	}
+	// The engine phase must reflect the runner's sleep; queue-wait and
+	// assembly must be bounded by the flush policy rather than the sleep.
+	if eng := s.Phases["engine"]; eng.MeanMS < 1 {
+		t.Errorf("engine phase mean %.3fms, want ≥ the 2ms runner sleep (minus timer quantization)", eng.MeanMS)
+	}
+}

@@ -1,0 +1,199 @@
+package serve
+
+// Prometheus text exposition (version 0.0.4), hand-rolled over the
+// stdlib: the serving metrics this package already aggregates, rendered
+// in the format every Prometheus-compatible scraper speaks. No client
+// library — the format is lines of `name{labels} value`, and writing it
+// directly keeps the dependency footprint at zero while making the
+// exposition an honest projection of Metrics.Snapshot/BucketStats
+// rather than a second bookkeeping system that could drift.
+
+import (
+	"fmt"
+	"net/http"
+	"sort"
+	"strings"
+
+	"pbqpdnn/internal/obs"
+)
+
+// promEscape escapes a label value per the exposition format.
+func promEscape(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	s = strings.ReplaceAll(s, `"`, `\"`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+// promWriter accumulates exposition lines, emitting each metric's
+// HELP/TYPE header once.
+type promWriter struct {
+	b      strings.Builder
+	headed map[string]bool
+}
+
+func newPromWriter() *promWriter {
+	return &promWriter{headed: make(map[string]bool)}
+}
+
+func (p *promWriter) head(name, typ, help string) {
+	if p.headed[name] {
+		return
+	}
+	p.headed[name] = true
+	fmt.Fprintf(&p.b, "# HELP %s %s\n# TYPE %s %s\n", name, help, name, typ)
+}
+
+// sample emits one sample line. Labels are key-value pairs, already in
+// the desired order; values are escaped here.
+func (p *promWriter) sample(name string, labels [][2]string, value float64) {
+	p.b.WriteString(name)
+	if len(labels) > 0 {
+		p.b.WriteByte('{')
+		for i, kv := range labels {
+			if i > 0 {
+				p.b.WriteByte(',')
+			}
+			fmt.Fprintf(&p.b, `%s="%s"`, kv[0], promEscape(kv[1]))
+		}
+		p.b.WriteByte('}')
+	}
+	fmt.Fprintf(&p.b, " %g\n", value)
+}
+
+// writeProm renders the full exposition for every hosted model.
+func writeProm(p *promWriter, reg *Registry) {
+	for _, name := range reg.Names() {
+		m, _ := reg.Get(name)
+		s := m.Metrics.Snapshot()
+		model := [][2]string{{"model", name}}
+
+		p.head("dnn_uptime_seconds", "gauge", "Seconds since the model's metrics began accumulating.")
+		p.sample("dnn_uptime_seconds", model, s.UptimeSec)
+
+		p.head("dnn_requests_total", "counter", "Requests by admission/completion result.")
+		for _, rc := range [...]struct {
+			result string
+			n      int64
+		}{
+			{"accepted", s.Accepted},
+			{"rejected", s.Rejected},
+			{"expired", s.Expired},
+			{"served", s.Served},
+			{"failed", s.Failed},
+		} {
+			p.sample("dnn_requests_total", [][2]string{{"model", name}, {"result", rc.result}}, float64(rc.n))
+		}
+
+		p.head("dnn_queue_depth", "gauge", "Requests currently waiting in the admission queue.")
+		p.sample("dnn_queue_depth", model, float64(s.QueueDepth))
+
+		p.head("dnn_batches_total", "counter", "Engine minibatch dispatches.")
+		p.sample("dnn_batches_total", model, float64(s.Batches))
+
+		p.head("dnn_batch_size_total", "counter", "Dispatches by minibatch size.")
+		for size, n := range s.BatchHist {
+			if size == 0 || n == 0 {
+				continue
+			}
+			p.sample("dnn_batch_size_total",
+				[][2]string{{"model", name}, {"size", fmt.Sprint(size)}}, float64(n))
+		}
+
+		p.head("dnn_engine_ns_per_image", "gauge",
+			"Mean engine wall time per image by batch bucket; falling values as batch grows are amortization working.")
+		for _, b := range m.BucketStats() {
+			if b.ObservedNsPerImage == 0 {
+				continue
+			}
+			p.sample("dnn_engine_ns_per_image",
+				[][2]string{{"model", name}, {"batch", fmt.Sprint(b.Batch)}}, b.ObservedNsPerImage)
+		}
+
+		writePromPhases(p, name, m.Metrics)
+		writePromLayers(p, name, m.LayerTables())
+	}
+}
+
+// writePromPhases renders the request-lifecycle histograms. Prometheus
+// histogram buckets are *cumulative* ≤ le and the series must end with
+// le="+Inf" equal to _count; the internal histogram stores per-bucket
+// counts in nanoseconds, so convert both here.
+func writePromPhases(p *promWriter, model string, met *Metrics) {
+	p.head("dnn_request_phase_seconds", "histogram",
+		"Request lifecycle phase durations: queue_wait, batch_assembly, engine, respond.")
+	bounds := obs.HistogramBounds()
+	phases := met.PhaseSnapshots()
+	names := make([]string, 0, len(phases))
+	for ph := range phases {
+		names = append(names, ph)
+	}
+	sort.Strings(names)
+	for _, ph := range names {
+		hs := phases[ph]
+		cum := int64(0)
+		for i, c := range hs.Counts {
+			cum += c
+			le := "+Inf"
+			if i < len(bounds) {
+				le = fmt.Sprintf("%g", bounds[i].Seconds())
+			}
+			p.sample("dnn_request_phase_seconds_bucket",
+				[][2]string{{"model", model}, {"phase", ph}, {"le", le}}, float64(cum))
+		}
+		p.sample("dnn_request_phase_seconds_sum",
+			[][2]string{{"model", model}, {"phase", ph}}, float64(hs.SumNS)/1e9)
+		p.sample("dnn_request_phase_seconds_count",
+			[][2]string{{"model", model}, {"phase", ph}}, float64(hs.Count))
+	}
+}
+
+// writePromLayers renders the per-instruction execution profile as
+// counters: accumulated observed nanoseconds and sample counts per
+// (model, batch bucket, instruction). Zero-sample rows are skipped —
+// with sparse sampling most scrape intervals add no samples, and the
+// series would otherwise balloon before the first sampled chunk.
+func writePromLayers(p *promWriter, model string, tables []*obs.LayerTable) {
+	if len(tables) == 0 {
+		return
+	}
+	p.head("dnn_layer_observed_ns_total", "counter",
+		"Accumulated observed execution nanoseconds per instruction (sampled chunks only).")
+	p.head("dnn_layer_samples_total", "counter",
+		"Sampled executions per instruction.")
+	for _, t := range tables {
+		batch := fmt.Sprint(t.Batch)
+		for _, row := range t.Rows {
+			if row.Samples == 0 {
+				continue
+			}
+			labels := [][2]string{
+				{"model", model}, {"batch", batch},
+				{"layer", row.Layer}, {"op", row.Op},
+			}
+			p.sample("dnn_layer_observed_ns_total", labels, float64(row.ObservedNS))
+			p.sample("dnn_layer_samples_total", labels, float64(row.Samples))
+		}
+	}
+}
+
+// handleMetrics serves GET /metrics in the Prometheus text format.
+func handleMetrics(reg *Registry, w http.ResponseWriter, _ *http.Request) {
+	p := newPromWriter()
+	writeProm(p, reg)
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	fmt.Fprint(w, p.b.String())
+}
+
+// handleLayers serves GET /layers: the per-layer predicted-vs-observed
+// profile tables, one per (model, batch bucket), as JSON. Empty map
+// when profiling is disabled.
+func handleLayers(reg *Registry, w http.ResponseWriter, _ *http.Request) {
+	out := map[string][]*obs.LayerTable{}
+	for _, name := range reg.Names() {
+		m, _ := reg.Get(name)
+		if ts := m.LayerTables(); len(ts) > 0 {
+			out[name] = ts
+		}
+	}
+	writeJSON(w, http.StatusOK, out)
+}

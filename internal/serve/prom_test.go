@@ -1,0 +1,204 @@
+package serve
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"pbqpdnn/internal/obs"
+)
+
+func TestPromEscape(t *testing.T) {
+	if got := promEscape(`a"b\c` + "\n"); got != `a\"b\\c\n` {
+		t.Errorf("promEscape = %q", got)
+	}
+}
+
+// profiledTestRegistry hosts micronet with per-instruction profiling on
+// every dispatch, so one inference populates /layers immediately.
+func profiledTestRegistry(t *testing.T) *Registry {
+	t.Helper()
+	reg, err := NewRegistry([]string{"micronet"}, Config{
+		Threads:       2,
+		ProfileSample: 1,
+		Batch:         BatchOptions{MaxBatch: 4, MaxWait: time.Millisecond, QueueCap: 32},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(reg.Close)
+	return reg
+}
+
+func inferOnce(t *testing.T, reg *Registry, srv *httptest.Server) {
+	t.Helper()
+	m, _ := reg.Get("micronet")
+	resp := postInfer(t, srv, "/v1/models/micronet/infer",
+		InferRequest{Data: make([]float32, m.InC*m.InH*m.InW)})
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("infer status %d, want 200", resp.StatusCode)
+	}
+}
+
+// TestMetricsEndpoint scrapes GET /metrics after one served request and
+// asserts the key series a Prometheus dashboard would alert on.
+func TestMetricsEndpoint(t *testing.T) {
+	reg := profiledTestRegistry(t)
+	srv := httptest.NewServer(NewServer(reg))
+	defer srv.Close()
+	inferOnce(t, reg, srv)
+
+	resp, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Errorf("Content-Type %q, want text/plain exposition", ct)
+	}
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := string(raw)
+
+	for _, want := range []string{
+		`dnn_uptime_seconds{model="micronet"}`,
+		`dnn_requests_total{model="micronet",result="accepted"} 1`,
+		`dnn_requests_total{model="micronet",result="served"} 1`,
+		`dnn_requests_total{model="micronet",result="rejected"} 0`,
+		`dnn_queue_depth{model="micronet"}`,
+		`dnn_batches_total{model="micronet"} 1`,
+		`dnn_batch_size_total{model="micronet",size="1"} 1`,
+		`dnn_request_phase_seconds_bucket{model="micronet",phase="engine",le="+Inf"} 1`,
+		`dnn_request_phase_seconds_count{model="micronet",phase="queue_wait"} 1`,
+		`dnn_layer_observed_ns_total{model="micronet",batch="1",`,
+		"# TYPE dnn_request_phase_seconds histogram",
+		"# TYPE dnn_requests_total counter",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("exposition missing %q", want)
+		}
+	}
+
+	// Histogram buckets must be cumulative in le and end at _count.
+	assertCumulativeBuckets(t, body, `phase="engine"`)
+}
+
+// assertCumulativeBuckets checks every dnn_request_phase_seconds_bucket
+// line matching sel is non-decreasing in exposition order and that the
+// +Inf bucket equals the series count.
+func assertCumulativeBuckets(t *testing.T, body, sel string) {
+	t.Helper()
+	prev := -1.0
+	last := -1.0
+	n := 0
+	for _, line := range strings.Split(body, "\n") {
+		if !strings.HasPrefix(line, "dnn_request_phase_seconds_bucket") || !strings.Contains(line, sel) {
+			continue
+		}
+		n++
+		fields := strings.Fields(line)
+		v, err := strconv.ParseFloat(fields[len(fields)-1], 64)
+		if err != nil {
+			t.Fatalf("bad bucket line %q: %v", line, err)
+		}
+		if v < prev {
+			t.Fatalf("bucket counts not cumulative at %q (%.0f after %.0f)", line, v, prev)
+		}
+		prev = v
+		last = v
+	}
+	if n == 0 {
+		t.Fatalf("no bucket lines match %q", sel)
+	}
+	for _, line := range strings.Split(body, "\n") {
+		if strings.HasPrefix(line, "dnn_request_phase_seconds_count") && strings.Contains(line, sel) {
+			fields := strings.Fields(line)
+			count, _ := strconv.ParseFloat(fields[len(fields)-1], 64)
+			if count != last {
+				t.Errorf("+Inf bucket %.0f != _count %.0f", last, count)
+			}
+			return
+		}
+	}
+	t.Errorf("no _count line matches %q", sel)
+}
+
+// TestLayersEndpoint checks GET /layers serves the per-bucket
+// predicted-vs-observed tables once a request has been sampled.
+func TestLayersEndpoint(t *testing.T) {
+	reg := profiledTestRegistry(t)
+	srv := httptest.NewServer(NewServer(reg))
+	defer srv.Close()
+	inferOnce(t, reg, srv)
+
+	resp, err := http.Get(srv.URL + "/layers")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var got map[string][]*obs.LayerTable
+	if err := json.NewDecoder(resp.Body).Decode(&got); err != nil {
+		t.Fatal(err)
+	}
+	tables := got["micronet"]
+	if len(tables) == 0 {
+		t.Fatal("no layer tables for micronet")
+	}
+	// One table per batch bucket (1, 2, 4 at MaxBatch 4), each sized to
+	// its program; the batch-1 bucket served our request.
+	if len(tables) != 3 {
+		t.Errorf("%d tables, want 3 (buckets 1, 2, 4)", len(tables))
+	}
+	b1 := tables[0]
+	if b1.Batch != 1 || b1.SampledChunks != 1 || b1.SampledImages != 1 {
+		t.Errorf("batch-1 bucket: batch=%d chunks=%d images=%d, want 1/1/1",
+			b1.Batch, b1.SampledChunks, b1.SampledImages)
+	}
+	if len(b1.Rows) == 0 {
+		t.Fatal("batch-1 table has no rows")
+	}
+	convs := 0
+	for _, r := range b1.Rows {
+		if r.Primitive != "" {
+			convs++
+			if r.PredictedNSPerImage <= 0 {
+				t.Errorf("conv row %s: no prediction joined", r.Layer)
+			}
+		}
+	}
+	if convs == 0 {
+		t.Error("no conv rows with primitives in /layers output")
+	}
+}
+
+// TestLayersEndpointDisabled: with ProfileSample 0 the endpoint serves
+// an empty object, not an error.
+func TestLayersEndpointDisabled(t *testing.T) {
+	reg := newTestRegistry(t) // ProfileSample defaults to 0
+	srv := httptest.NewServer(NewServer(reg))
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL + "/layers")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d, want 200", resp.StatusCode)
+	}
+	var got map[string][]*obs.LayerTable
+	if err := json.NewDecoder(resp.Body).Decode(&got); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Errorf("got %d entries with profiling disabled, want 0", len(got))
+	}
+}

@@ -12,6 +12,7 @@ import (
 	"pbqpdnn/internal/dnn"
 	"pbqpdnn/internal/dnn/models"
 	"pbqpdnn/internal/exec"
+	"pbqpdnn/internal/obs"
 	"pbqpdnn/internal/selector"
 	"pbqpdnn/internal/tensor"
 )
@@ -50,6 +51,16 @@ type Config struct {
 	// the default — measuring all ~70 library entries on a full-size
 	// network costs hours).
 	CalibrateTopK int
+
+	// ProfileSample enables per-instruction execution profiling on every
+	// bucket engine, timing one dispatched chunk in every ProfileSample
+	// (1 = always-on, the bench setting; serving defaults pick a sparse
+	// rate like 16 so the hot path pays one atomic counter bump per
+	// unsampled chunk). 0 disables profiling entirely: the engines carry
+	// no profile and the per-instruction path allocates and times
+	// nothing. The aggregated predicted-vs-observed tables surface on
+	// GET /layers and feed the ROADMAP's adaptive re-selection loop.
+	ProfileSample int
 
 	// Batch tunes every model's dynamic batcher.
 	Batch BatchOptions
@@ -164,6 +175,9 @@ func LoadModel(name string, cfg Config) (*Model, error) {
 		if err != nil {
 			return nil, fmt.Errorf("serve: compiling %s (batch %d): %w", name, b, err)
 		}
+		if cfg.ProfileSample > 0 {
+			eng.EnableProfiling(cfg.ProfileSample)
+		}
 		m.Buckets = append(m.Buckets, Bucket{Batch: b, Plan: plan, Engine: eng})
 	}
 	met := NewMetrics()
@@ -176,6 +190,20 @@ func LoadModel(name string, cfg Config) (*Model, error) {
 	out := net.Layers[len(net.Layers)-1]
 	m.OutC, m.OutH, m.OutW = out.OutC, out.OutH, out.OutW
 	return m, nil
+}
+
+// LayerTables snapshots every bucket engine's per-layer
+// predicted-vs-observed profile table, ascending by bucket size. Nil
+// when profiling is disabled (Config.ProfileSample = 0); buckets that
+// have not yet sampled a chunk still appear, with zero observations.
+func (m *Model) LayerTables() []*obs.LayerTable {
+	var out []*obs.LayerTable
+	for _, b := range m.Buckets {
+		if t := b.Engine.LayerTable(); t != nil {
+			out = append(out, t)
+		}
+	}
+	return out
 }
 
 // BucketStats describes one bucket's selection for /stats: which

@@ -65,6 +65,11 @@ func modelStats(reg *Registry) map[string]ModelStats {
 //	GET  /stats                       per-model serving metrics (JSON),
 //	                                  including per-bucket plans and
 //	                                  predicted vs observed ns/image
+//	GET  /metrics                     the same counters in Prometheus
+//	                                  text format (see prom.go)
+//	GET  /layers                      per-layer predicted-vs-observed
+//	                                  profile tables per batch bucket
+//	                                  (empty until profiling is enabled)
 //	POST /v1/models/{model}/infer     one inference through the batcher
 //
 // Inference honors an optional ?timeout_ms= deadline: expired requests
@@ -92,6 +97,12 @@ func NewServer(reg *Registry) http.Handler {
 	})
 	mux.HandleFunc("GET /stats", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, modelStats(reg))
+	})
+	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
+		handleMetrics(reg, w, r)
+	})
+	mux.HandleFunc("GET /layers", func(w http.ResponseWriter, r *http.Request) {
+		handleLayers(reg, w, r)
 	})
 	mux.HandleFunc("POST /v1/models/{model}/infer", func(w http.ResponseWriter, r *http.Request) {
 		handleInfer(reg, w, r)
