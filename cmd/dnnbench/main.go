@@ -47,13 +47,13 @@ func main() {
 	log.SetPrefix("dnnbench: ")
 	exp := flag.String("exp", "all",
 		"experiment: table1, table2, table3, fig2, fig4, fig5, fig6, fig7a, fig7b, solver, sparsity, minibatch, trends, all; "+
-			"plus batchsweep, plansweep, gemmsweep and layerprof (excluded from 'all': they execute real workloads, minutes on the full models)")
+			"plus batchsweep, plansweep, fusesweep, gemmsweep and layerprof (excluded from 'all': they execute real workloads, minutes on the full models)")
 	threads := flag.Int("threads", 4, "execution thread budget for the minibatch/batchsweep engines")
 	batch := flag.String("batch", "1,2,4,8,16", "comma-separated minibatch sizes for the minibatch/batchsweep experiments")
-	jsonOut := flag.Bool("json", false, "emit machine-readable JSON records (supported by -exp minibatch, batchsweep, plansweep and gemmsweep)")
+	jsonOut := flag.Bool("json", false, "emit machine-readable JSON records (supported by -exp minibatch, batchsweep, plansweep, fusesweep and gemmsweep)")
 	sizes := flag.String("sizes", "256,512", "comma-separated square GEMM sizes for -exp gemmsweep")
 	dump := flag.Bool("dump-program", false, "compile -net under -strategy and print the Program IR (instructions + memory plan), then exit")
-	netName := flag.String("net", "googlenet", "network for -dump-program and -exp batchsweep/plansweep (alexnet, vgg-b/c/d/e, googlenet, resnet-18, smallnet, micronet)")
+	netName := flag.String("net", "googlenet", "network for -dump-program and -exp batchsweep/plansweep/fusesweep (alexnet, vgg-b/c/d/e, googlenet, resnet-18, smallnet, micronet)")
 	model := flag.Bool("model", false, "plansweep: select against the analytic Intel model instead of calibrating measured costs on this host")
 	reps := flag.Int("reps", 1, "plansweep: calibration measurement repetitions (best-of); layerprof: profiled engine runs per batch size")
 	topK := flag.Int("calibrate-top", 4, "plansweep: measure only the analytic model's k cheapest candidates per layer per batch (0 = all)")
@@ -71,7 +71,7 @@ func main() {
 		return
 	}
 
-	if *exp == "batchsweep" || *exp == "plansweep" || *exp == "layerprof" {
+	if *exp == "batchsweep" || *exp == "plansweep" || *exp == "fusesweep" || *exp == "layerprof" {
 		if err := validateNet(*netName); err != nil {
 			log.Fatal(err)
 		}
@@ -180,6 +180,17 @@ func main() {
 			fmt.Print(experiments.FormatPlanSweep(pts))
 			return nil
 		},
+		"fusesweep": func() error {
+			pts, err := experiments.FuseSweep(*netName, *threads, batches)
+			if err != nil {
+				return err
+			}
+			if *jsonOut {
+				return writeFuseSweepJSON(pts)
+			}
+			fmt.Print(experiments.FormatFuseSweep(pts))
+			return nil
+		},
 		"layerprof": func() error {
 			tables, err := experiments.LayerProf(*netName, *threads, batches, *reps)
 			if err != nil {
@@ -224,8 +235,8 @@ func main() {
 	order := []string{"table1", "fig2", "fig4", "fig5", "fig6", "fig7a", "fig7b",
 		"table2", "table3", "solver", "sparsity", "minibatch", "trends"}
 
-	if *jsonOut && *exp != "minibatch" && *exp != "batchsweep" && *exp != "plansweep" && *exp != "gemmsweep" && *exp != "layerprof" {
-		log.Fatalf("-json is supported for -exp minibatch, batchsweep, plansweep, gemmsweep and layerprof (got -exp %s)", *exp)
+	if *jsonOut && *exp != "minibatch" && *exp != "batchsweep" && *exp != "plansweep" && *exp != "fusesweep" && *exp != "gemmsweep" && *exp != "layerprof" {
+		log.Fatalf("-json is supported for -exp minibatch, batchsweep, plansweep, fusesweep, gemmsweep and layerprof (got -exp %s)", *exp)
 	}
 	if *exp == "all" {
 		for _, name := range order {
@@ -238,7 +249,7 @@ func main() {
 	}
 	run, ok := runners[*exp]
 	if !ok {
-		log.Fatalf("unknown experiment %q (have %v, all, batchsweep, plansweep, gemmsweep, layerprof)", *exp, order)
+		log.Fatalf("unknown experiment %q (have %v, all, batchsweep, plansweep, fusesweep, gemmsweep, layerprof)", *exp, order)
 	}
 	if err := run(); err != nil {
 		log.Fatal(err)
@@ -355,6 +366,53 @@ func writePlanSweepJSON(pts []experiments.PlanSweepPoint) error {
 		}
 		if recs[i].Switches == nil {
 			recs[i].Switches = []experiments.PlanSwitch{}
+		}
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	return enc.Encode(recs)
+}
+
+// fuseSweepRecord is one machine-readable fused-vs-unfused
+// measurement: the same batch-N plan compiled with and without the
+// fusion pass, both executed by the batched engine. CI archives these
+// records per commit so the fusion win (and the program-shape deltas
+// behind it) is diffable across the project's history.
+type fuseSweepRecord struct {
+	Benchmark           string  `json:"benchmark"`
+	Net                 string  `json:"net"`
+	Batch               int     `json:"batch"`
+	Threads             int     `json:"threads"`
+	NsPerOp             float64 `json:"ns_per_op"` // fused engine, wall ns per image
+	UnfusedNsPerOp      float64 `json:"unfused_ns_per_op"`
+	FusedSpeedupX       float64 `json:"fused_speedup_x"`
+	Instructions        int     `json:"instructions"`
+	UnfusedInstructions int     `json:"unfused_instructions"`
+	FusedEpilogues      int     `json:"fused_epilogues"`
+	FusedConversions    int     `json:"fused_conversions"`
+	PeakBytes           int64   `json:"peak_bytes"`
+	UnfusedPeakBytes    int64   `json:"unfused_peak_bytes"`
+}
+
+// writeFuseSweepJSON emits the fusion sweep as one JSON array of
+// records.
+func writeFuseSweepJSON(pts []experiments.FuseSweepPoint) error {
+	recs := make([]fuseSweepRecord, len(pts))
+	for i, p := range pts {
+		recs[i] = fuseSweepRecord{
+			Benchmark:           "fusesweep",
+			Net:                 p.Net,
+			Batch:               p.Batch,
+			Threads:             p.Threads,
+			NsPerOp:             p.FusedNsPerImage,
+			UnfusedNsPerOp:      p.UnfusedNsPerImage,
+			FusedSpeedupX:       p.SpeedupX,
+			Instructions:        p.Instructions,
+			UnfusedInstructions: p.UnfusedInstructions,
+			FusedEpilogues:      p.FusedEpilogues,
+			FusedConversions:    p.FusedConversions,
+			PeakBytes:           p.PeakBytes,
+			UnfusedPeakBytes:    p.UnfusedPeakBytes,
 		}
 	}
 	enc := json.NewEncoder(os.Stdout)

@@ -123,23 +123,42 @@ func gemmRows(kind gemmKind, threads, m, n, k int, a, b, bt, c []float32) {
 	})
 }
 
-// im2rowBatch builds the batched im2row entry: one tall patch matrix
-// (N·Ho·Wo)×(C·K²) — the input batch slab itself for 1×1/stride-1 —
-// and one GEMM writing directly into the HWC output batch slab.
+// im2rowBatch builds the plain batched im2row entry as the fused one
+// with no fused work.
 func im2rowBatch(kind gemmKind) func(dst, in *tensor.Batch, k *Kernel, s Scenario, threads int) {
+	f := im2rowBatchFused(kind)
 	return func(dst, in *tensor.Batch, k *Kernel, s Scenario, threads int) {
+		f(dst, in, k, s, threads, gemm.EpiNone, nil)
+	}
+}
+
+// im2rowBatchFused builds the batched im2row entry: one tall patch
+// matrix (N·Ho·Wo)×(C·K²) — the input batch slab itself for
+// 1×1/stride-1 HWC input — and one GEMM writing directly into the HWC
+// output batch slab, with the epilogue applied inside the GEMM's
+// output write. CHW input is absorbed by the pack: the patch builder
+// gathers from the CHW slab directly, replacing the standalone
+// conversion instruction.
+func im2rowBatchFused(kind gemmKind) func(dst, in *tensor.Batch, k *Kernel, s Scenario, threads int, epi gemm.Epilogue, res *tensor.Batch) {
+	return func(dst, in *tensor.Batch, k *Kernel, s Scenario, threads int, epi gemm.Epilogue, res *tensor.Batch) {
 		oh, ow := s.OutH(), s.OutW()
 		rowsPerImage := oh * ow
 		m, n, kk := in.N*rowsPerImage, s.M, s.K*s.K*s.C
+		fromCHW := in.Layout == tensor.CHW
 		var patches []float32
-		if s.K == 1 && s.Stride == 1 && s.Pad == 0 {
+		if !fromCHW && s.K == 1 && s.Stride == 1 && s.Pad == 0 {
 			// A 1×1 window at stride 1 makes every HWC pixel row its own
 			// patch row: the batch slab is already the Toeplitz matrix.
 			patches = in.Data[:m*kk]
 		} else {
 			patches = make([]float32, m*kk)
 			parallelFor(threads, in.N, func(img int) {
-				im2rowPatchesInto(patches[img*rowsPerImage*kk:(img+1)*rowsPerImage*kk], in.Image(img), s)
+				seg := patches[img*rowsPerImage*kk : (img+1)*rowsPerImage*kk]
+				if fromCHW {
+					im2rowPatchesFromCHWInto(seg, in.Image(img), s)
+				} else {
+					im2rowPatchesInto(seg, in.Image(img), s)
+				}
 			})
 		}
 		b := kernelMatrixKKC(k) // packed once per batch, not per image
@@ -147,33 +166,62 @@ func im2rowBatch(kind gemmKind) func(dst, in *tensor.Batch, k *Kernel, s Scenari
 		if kind == gemmTransB {
 			bt = transposeMat(kk, n, b)
 		}
+		// The HWC output slab rows ARE the GEMM result rows, so the
+		// residual batch aligns elementwise with C.
+		var r []float32
+		if res != nil {
+			r = res.Data[:m*n]
+		}
 		// The patch-row dimension m = N·Ho·Wo is the tall axis, so the
 		// thread split is always by rows, with the selected variant run
 		// on each slab.
-		gemmRows(kind, threads, m, n, kk, patches, b, bt, dst.Data[:m*n])
+		gemmRowsEpi(kind, threads, m, n, kk, patches, b, bt, dst.Data[:m*n], epi, r)
 	}
 }
 
-// im2colBatch builds the batched im2col entry: images side by side as
-// column blocks of one (C·K²)×(N·Ho·Wo) patch matrix, one GEMM, and a
-// slab writeback de-interleaving the M×(N·Ho·Wo) result into per-image
-// CHW planes.
+// im2colBatch builds the plain batched im2col entry as the fused one
+// with no fused work.
 func im2colBatch(kind gemmKind) func(dst, in *tensor.Batch, k *Kernel, s Scenario, threads int) {
+	f := im2colBatchFused(kind)
 	return func(dst, in *tensor.Batch, k *Kernel, s Scenario, threads int) {
+		f(dst, in, k, s, threads, gemm.EpiNone, nil)
+	}
+}
+
+// im2colBatchFused builds the batched im2col entry: images side by
+// side as column blocks of one (C·K²)×(N·Ho·Wo) patch matrix, one
+// GEMM, and a slab writeback de-interleaving the M×(N·Ho·Wo) result
+// into per-image CHW planes. HWC input is absorbed by the pack. The
+// epilogue rides the GEMM output write when the result lands in dst
+// directly (N == 1); for N > 1 the interleaved flat result cannot
+// align with per-image residual slabs, so the epilogue fuses into the
+// de-interleaving writeback instead — still exactly one walk over dst.
+func im2colBatchFused(kind gemmKind) func(dst, in *tensor.Batch, k *Kernel, s Scenario, threads int, epi gemm.Epilogue, res *tensor.Batch) {
+	return func(dst, in *tensor.Batch, k *Kernel, s Scenario, threads int, epi gemm.Epilogue, res *tensor.Batch) {
 		oh, ow := s.OutH(), s.OutW()
 		colsPerImage := oh * ow
 		m, n, kk := s.M, in.N*colsPerImage, s.C*s.K*s.K
+		fromHWC := in.Layout == tensor.HWC
 		patches := make([]float32, kk*n)
 		parallelFor(threads, in.N, func(img int) {
-			im2colPatchesIntoCols(patches, n, img*colsPerImage, in.Image(img), s)
+			if fromHWC {
+				im2colPatchesFromHWCIntoCols(patches, n, img*colsPerImage, in.Image(img), s)
+			} else {
+				im2colPatchesIntoCols(patches, n, img*colsPerImage, in.Image(img), s)
+			}
 		})
 		a := kernelMatrixMCK(k)
 		// The M×(N·Ho·Wo) result interleaves images within each filter
 		// row, so N > 1 needs a de-interleaving writeback; a single-image
 		// chunk is exactly the CHW output slab and GEMMs straight into it.
 		flat := dst.Slab(0)
+		gemmEpi := epi
+		var r []float32
 		if in.N > 1 {
 			flat = make([]float32, m*n)
+			gemmEpi = gemm.EpiNone // epilogue fuses into the writeback below
+		} else if res != nil {
+			r = res.Slab(0)
 		}
 		if threads > 1 && m < threads {
 			// Too few filter rows to feed the pool: split the batch-wide
@@ -181,22 +229,31 @@ func im2colBatch(kind gemmKind) func(dst, in *tensor.Batch, k *Kernel, s Scenari
 			// per-goroutine column stripes, so this (rare) shape collapses
 			// the kernel variant to packed; row counts M ≥ threads — every
 			// real model here — keep the selected one.
-			gemm.ParallelCols(threads, m, n, kk, a, patches, flat)
+			gemm.ParallelColsEpi(threads, m, n, kk, a, patches, flat, gemmEpi, r, nil)
 		} else {
 			var pt []float32
 			if kind == gemmTransB {
 				pt = transposeMat(kk, n, patches)
 			}
-			gemmRows(kind, threads, m, n, kk, a, patches, pt, flat)
+			gemmRowsEpi(kind, threads, m, n, kk, a, patches, pt, flat, gemmEpi, r)
 		}
 		if in.N == 1 {
 			return
 		}
 		parallelFor(threads, in.N, func(img int) {
 			slab := dst.Slab(img)
+			var rs []float32
+			if res != nil {
+				rs = res.Slab(img)
+			}
 			for mm := 0; mm < m; mm++ {
-				copy(slab[mm*colsPerImage:(mm+1)*colsPerImage],
-					flat[mm*n+img*colsPerImage:mm*n+(img+1)*colsPerImage])
+				dstRow := slab[mm*colsPerImage : (mm+1)*colsPerImage]
+				srcRow := flat[mm*n+img*colsPerImage : mm*n+(img+1)*colsPerImage]
+				var rrow []float32
+				if rs != nil {
+					rrow = rs[mm*colsPerImage : (mm+1)*colsPerImage]
+				}
+				epiWritebackRow(epi, dstRow, srcRow, rrow)
 			}
 		})
 	}

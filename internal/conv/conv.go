@@ -11,6 +11,7 @@ import (
 	"math/rand"
 	"sync"
 
+	"pbqpdnn/internal/gemm"
 	"pbqpdnn/internal/tensor"
 )
 
@@ -226,6 +227,13 @@ type Primitive struct {
 	// batch-wide matrices to GEMM; primitives without one fall back to
 	// per-image Run via RunBatchInto.
 	RunBatch func(dst, in *tensor.Batch, k *Kernel, s Scenario, threads int)
+
+	// RunBatchFused, when non-nil, is the batched entry with the fused
+	// epilogue and pack-absorbed input conversion (see fused.go). in
+	// may be in p.In or a layout CanAbsorbInput accepts; epi/res follow
+	// RunBatchFusedInto's contract. Primitives without one get the
+	// post-pass fallback.
+	RunBatchFused func(dst, in *tensor.Batch, k *Kernel, s Scenario, threads int, epi gemm.Epilogue, res *tensor.Batch)
 }
 
 // Supports reports whether the primitive can legally implement the

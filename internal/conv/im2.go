@@ -317,17 +317,29 @@ func im2Workspace(s Scenario) int64 {
 // panel B; the "BT" variants hand the second panel to GEMM transposed.
 func im2Primitives() []*Primitive {
 	ws := im2Workspace
+	im2colP := func(kind gemmKind, p *Primitive) *Primitive {
+		p.Run = im2col(kind)
+		p.RunBatch = im2colBatch(kind)
+		p.RunBatchFused = im2colBatchFused(kind)
+		return p
+	}
+	im2rowP := func(kind gemmKind, p *Primitive) *Primitive {
+		p.Run = im2row(kind)
+		p.RunBatch = im2rowBatch(kind)
+		p.RunBatchFused = im2rowBatchFused(kind)
+		return p
+	}
 	return []*Primitive{
-		{Name: "im2col-ab", Family: FamilyIm2, In: tensor.CHW, Out: tensor.CHW, VF: 4, Strided: true, Workspace: ws, Run: im2col(gemmIKJ), RunBatch: im2colBatch(gemmIKJ)},
-		{Name: "im2col-abt", Family: FamilyIm2, In: tensor.CHW, Out: tensor.CHW, VF: 4, Strided: true, Workspace: ws, Run: im2col(gemmTransB), RunBatch: im2colBatch(gemmTransB)},
-		{Name: "im2col-blk", Family: FamilyIm2, In: tensor.CHW, Out: tensor.CHW, VF: 8, Strided: true, Workspace: ws, Run: im2col(gemmBlocked), RunBatch: im2colBatch(gemmBlocked)},
-		{Name: "im2col-pack", Family: FamilyIm2, In: tensor.CHW, Out: tensor.CHW, VF: 8, Strided: true, Workspace: ws, Run: im2col(gemmPacked), RunBatch: im2colBatch(gemmPacked)},
-		{Name: "im2col-naive", Family: FamilyIm2, In: tensor.CHW, Out: tensor.CHW, VF: 1, Strided: true, Workspace: ws, Run: im2col(gemmNaive), RunBatch: im2colBatch(gemmNaive)},
-		{Name: "im2row-ab", Family: FamilyIm2, In: tensor.HWC, Out: tensor.HWC, VF: 4, Strided: true, Workspace: ws, Run: im2row(gemmIKJ), RunBatch: im2rowBatch(gemmIKJ)},
-		{Name: "im2row-abt", Family: FamilyIm2, In: tensor.HWC, Out: tensor.HWC, VF: 4, Strided: true, Workspace: ws, Run: im2row(gemmTransB), RunBatch: im2rowBatch(gemmTransB)},
-		{Name: "im2row-blk", Family: FamilyIm2, In: tensor.HWC, Out: tensor.HWC, VF: 8, Strided: true, Workspace: ws, Run: im2row(gemmBlocked), RunBatch: im2rowBatch(gemmBlocked)},
-		{Name: "im2row-pack", Family: FamilyIm2, In: tensor.HWC, Out: tensor.HWC, VF: 8, Strided: true, Workspace: ws, Run: im2row(gemmPacked), RunBatch: im2rowBatch(gemmPacked)},
-		{Name: "im2row-naive", Family: FamilyIm2, In: tensor.HWC, Out: tensor.HWC, VF: 1, Strided: true, Workspace: ws, Run: im2row(gemmNaive), RunBatch: im2rowBatch(gemmNaive)},
+		im2colP(gemmIKJ, &Primitive{Name: "im2col-ab", Family: FamilyIm2, In: tensor.CHW, Out: tensor.CHW, VF: 4, Strided: true, Workspace: ws}),
+		im2colP(gemmTransB, &Primitive{Name: "im2col-abt", Family: FamilyIm2, In: tensor.CHW, Out: tensor.CHW, VF: 4, Strided: true, Workspace: ws}),
+		im2colP(gemmBlocked, &Primitive{Name: "im2col-blk", Family: FamilyIm2, In: tensor.CHW, Out: tensor.CHW, VF: 8, Strided: true, Workspace: ws}),
+		im2colP(gemmPacked, &Primitive{Name: "im2col-pack", Family: FamilyIm2, In: tensor.CHW, Out: tensor.CHW, VF: 8, Strided: true, Workspace: ws}),
+		im2colP(gemmNaive, &Primitive{Name: "im2col-naive", Family: FamilyIm2, In: tensor.CHW, Out: tensor.CHW, VF: 1, Strided: true, Workspace: ws}),
+		im2rowP(gemmIKJ, &Primitive{Name: "im2row-ab", Family: FamilyIm2, In: tensor.HWC, Out: tensor.HWC, VF: 4, Strided: true, Workspace: ws}),
+		im2rowP(gemmTransB, &Primitive{Name: "im2row-abt", Family: FamilyIm2, In: tensor.HWC, Out: tensor.HWC, VF: 4, Strided: true, Workspace: ws}),
+		im2rowP(gemmBlocked, &Primitive{Name: "im2row-blk", Family: FamilyIm2, In: tensor.HWC, Out: tensor.HWC, VF: 8, Strided: true, Workspace: ws}),
+		im2rowP(gemmPacked, &Primitive{Name: "im2row-pack", Family: FamilyIm2, In: tensor.HWC, Out: tensor.HWC, VF: 8, Strided: true, Workspace: ws}),
+		im2rowP(gemmNaive, &Primitive{Name: "im2row-naive", Family: FamilyIm2, In: tensor.HWC, Out: tensor.HWC, VF: 1, Strided: true, Workspace: ws}),
 		{Name: "im2col-hwcout", Family: FamilyIm2, In: tensor.CHW, Out: tensor.HWC, VF: 4, Strided: true, Workspace: ws, Run: im2colHWCOut},
 		{Name: "im2row-chwout", Family: FamilyIm2, In: tensor.HWC, Out: tensor.CHW, VF: 4, Strided: true, Workspace: ws, Run: im2rowCHWOut},
 		{Name: "im2col-chw4", Family: FamilyIm2, In: tensor.CHW4, Out: tensor.CHW4, VF: 4, Strided: true, MinC: 4, Workspace: ws, Run: im2colBlockedIn},

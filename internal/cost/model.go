@@ -40,6 +40,37 @@ type BatchProfiler interface {
 	TransformBatch(tr tensor.Transform, c, h, w, n int) float64
 }
 
+// EpilogueProfiler is the optional fusion-aware extension of the
+// Profiler contract: it prices the time a primitive saves by folding a
+// single elementwise consumer (relu, residual add) into its output
+// writeback instead of leaving it as a separate streaming pass over the
+// output slab. The selector subtracts this credit from the node cost of
+// every fusion-capable candidate whose layer feeds exactly one
+// elementwise consumer, so re-selection can shift toward primitives the
+// fusion pass can actually fuse.
+type EpilogueProfiler interface {
+	// EpilogueSaving returns the seconds saved per call by fusing one
+	// elementwise epilogue into p's writeback, for an n-image batch.
+	EpilogueSaving(p *conv.Primitive, s conv.Scenario, n int) float64
+}
+
+// EpilogueSavingN returns the fusion credit for p on s over an n-image
+// batch, or 0 when the profiler has no epilogue model or the primitive
+// cannot fuse (no credit may ever be claimed the fusion pass cannot
+// realize).
+func EpilogueSavingN(prof Profiler, p *conv.Primitive, s conv.Scenario, n int) float64 {
+	if p == nil || !p.CanFuseEpilogue() {
+		return 0
+	}
+	if ep, ok := prof.(EpilogueProfiler); ok {
+		if n < 1 {
+			n = 1
+		}
+		return ep.EpilogueSaving(p, s, n)
+	}
+	return 0
+}
+
 // PrimitiveN prices p over an n-image minibatch through prof,
 // dispatching to the batch-aware contract when the profiler supports it
 // and otherwise scaling the batch-1 cost linearly — the conservative
@@ -268,6 +299,25 @@ func (mo *Model) PrimitiveBatch(p *conv.Primitive, s conv.Scenario, threads, n i
 	traffic := float64(n)*float64(s.InputBytes()+s.OutputBytes()+2*ws) + float64(s.KernelBytes())
 	effMul := 1 + batchGain(p)*(1-1/float64(n))
 	return mo.time(p, s, threads, ops, traffic, effMul) + perCallOverhead
+}
+
+// EpilogueSaving implements EpilogueProfiler. A standalone elementwise
+// pass streams the output slab through memory twice (read + write) and
+// pays one dispatch; fusing it into the producing kernel's writeback
+// makes both disappear — the epilogue is applied to rows already
+// resident in registers. Scenarios carrying the legacy in-scenario
+// batch encoding are priced conservatively at zero: their per-image
+// amortization is already folded into Primitive and a second credit
+// would double-count.
+func (mo *Model) EpilogueSaving(p *conv.Primitive, s conv.Scenario, n int) float64 {
+	if p == nil || !p.CanFuseEpilogue() || s.Batch > 1 {
+		return 0
+	}
+	if n < 1 {
+		n = 1
+	}
+	bytes := 2 * float64(n) * float64(s.OutputBytes())
+	return bytes/(mo.M.MemBW*1e9) + perCallOverhead
 }
 
 // Transform implements Profiler. Layout permutations are strided

@@ -43,6 +43,12 @@ type Table struct {
 	// Transforms maps shape ("CxHxW", suffixed "@N" for batch N > 1) →
 	// transform name → seconds for the whole batch.
 	Transforms map[string]map[string]float64 `json:"transforms"`
+	// Epilogues maps scenario (suffixed "@N") → primitive name → the
+	// seconds saved by fusing one elementwise epilogue into that
+	// primitive's writeback (the selector's fusion credit). Absent in
+	// tables written before fusion-aware profiling; missing entries
+	// claim no credit, which is always sound.
+	Epilogues map[string]map[string]float64 `json:"epilogues,omitempty"`
 }
 
 func shapeKey(c, h, w int) string { return fmt.Sprintf("%dx%dx%d", c, h, w) }
@@ -138,6 +144,19 @@ func (t *Table) AddNetTopK(net *dnn.Graph, lib []*conv.Primitive, ranker, meas P
 				if _, done := row[p.Name]; !done {
 					row[p.Name] = PrimitiveN(meas, p, s, t.Threads, b)
 				}
+				if save := EpilogueSavingN(meas, p, s, b); save > 0 {
+					if t.Epilogues == nil {
+						t.Epilogues = map[string]map[string]float64{}
+					}
+					erow := t.Epilogues[key]
+					if erow == nil {
+						erow = map[string]float64{}
+						t.Epilogues[key] = erow
+					}
+					if _, done := erow[p.Name]; !done {
+						erow[p.Name] = save
+					}
+				}
 			}
 		}
 	}
@@ -214,6 +233,27 @@ func (t *Table) PrimitiveBatch(p *conv.Primitive, s conv.Scenario, threads, n in
 		}
 	}
 	return math.Inf(1)
+}
+
+// EpilogueSaving implements EpilogueProfiler from the table. A missing
+// (scenario, N) entry falls back to N times the batch-1 entry (the
+// saving is a streaming pass over the output slab, linear in the batch)
+// and to zero — never a fabricated credit — when the scenario carries
+// no epilogue entry at all.
+func (t *Table) EpilogueSaving(p *conv.Primitive, s conv.Scenario, n int) float64 {
+	if row, ok := t.Epilogues[nodeKey(s, n)]; ok {
+		if v, ok := row[p.Name]; ok {
+			return v
+		}
+	}
+	if n > 1 {
+		if row, ok := t.Epilogues[nodeKey(s, 1)]; ok {
+			if v, ok := row[p.Name]; ok {
+				return float64(n) * v
+			}
+		}
+	}
+	return 0
 }
 
 // Transform implements Profiler from the materialized table.

@@ -37,6 +37,7 @@ import (
 	"time"
 
 	"pbqpdnn/internal/conv"
+	"pbqpdnn/internal/gemm"
 	"pbqpdnn/internal/obs"
 	"pbqpdnn/internal/program"
 	"pbqpdnn/internal/selector"
@@ -246,9 +247,44 @@ func (e *Engine) bindKernels() error {
 				return fmt.Errorf("exec: layer %q kernel M=%d C=%d K=%d does not match scenario %s",
 					l.Name, k.M, k.C, k.K, sc)
 			}
+			// Fused-instruction geometry is validated at bind time too:
+			// the fused kernels treat mismatches as panics, so a program
+			// that reaches execution (fuzz-accepted mutants included) must
+			// have failed construction first if its fusion fields are
+			// inconsistent.
+			epi := ins.Epi
+			hasRes := epi == gemm.EpiAdd || epi == gemm.EpiAddReLU
+			switch epi {
+			case gemm.EpiNone, gemm.EpiReLU, gemm.EpiAdd, gemm.EpiAddReLU:
+			default:
+				return fmt.Errorf("exec: layer %q carries unsupported epilogue %s", l.Name, epi)
+			}
+			if hasRes {
+				if len(ins.Args) != 2 {
+					return fmt.Errorf("exec: layer %q epilogue %s has no residual operand", l.Name, epi)
+				}
+				r := &e.prog.Instrs[ins.Args[1]]
+				if r.Layout != ins.Layout || r.DataLen() != ins.DataLen() {
+					return fmt.Errorf("exec: layer %q residual %q mismatches output geometry", l.Name, r.Name)
+				}
+			} else if len(ins.Args) != 1 {
+				return fmt.Errorf("exec: layer %q conv has %d args", l.Name, len(ins.Args))
+			}
+			wantIn := prim.In
+			if len(ins.CvtIn) > 0 {
+				if e.maxBatch == 1 {
+					return fmt.Errorf("exec: layer %q absorbs a conversion in a per-image engine", l.Name)
+				}
+				if len(ins.CvtIn) != 1 || ins.CvtIn[0].To != prim.In || !prim.CanAbsorbInput(ins.CvtIn[0].From) {
+					return fmt.Errorf("exec: layer %q: primitive %s cannot absorb input conversion", l.Name, prim.Name)
+				}
+				wantIn = ins.CvtIn[0].From
+			}
 			if e.maxBatch == 1 {
 				// The per-image path: the primitive allocates its own
-				// output, exactly as the original engine executed.
+				// output, exactly as the original engine executed; a fused
+				// epilogue is applied in place on the fresh allocation,
+				// which is bitwise what the separate instruction computed.
 				e.kerns[i] = func(st *batchState, threads int) (*tensor.Batch, error) {
 					in := st.vals[ins.Args[0]].Image(0)
 					if in.Layout != prim.In {
@@ -260,22 +296,44 @@ func (e *Engine) bindKernels() error {
 						return nil, fmt.Errorf("exec: layer %q produced %s, want %d×%d×%d",
 							l.Name, out, l.OutC, l.OutH, l.OutW)
 					}
-					return tensor.NewBatchWith(out.Layout, 1, out.C, out.H, out.W, out.Data), nil
+					ob := tensor.NewBatchWith(out.Layout, 1, out.C, out.H, out.W, out.Data)
+					if epi != gemm.EpiNone {
+						var res *tensor.Batch
+						if hasRes {
+							res = st.vals[ins.Args[1]]
+							if res.Layout != ob.Layout || len(res.Data) < len(ob.Data) {
+								return nil, fmt.Errorf("exec: layer %q: residual batch mismatches output", l.Name)
+							}
+						}
+						conv.ApplyEpilogueBatch(ob, epi, res, threads)
+					}
+					return ob, nil
 				}
 				break
 			}
 			e.kerns[i] = func(st *batchState, threads int) (*tensor.Batch, error) {
 				in := st.vals[ins.Args[0]]
-				if in.Layout != prim.In {
+				if in.Layout != wantIn {
 					return nil, fmt.Errorf("exec: layer %q: got %s input, primitive %s wants %s",
-						l.Name, in.Layout, prim.Name, prim.In)
+						l.Name, in.Layout, prim.Name, wantIn)
 				}
 				if in.C != sc.C || in.H != sc.H || in.W != sc.W {
 					return nil, fmt.Errorf("exec: layer %q: input %s does not match scenario %s",
 						l.Name, in, sc)
 				}
 				out := e.out(st, ins)
-				conv.RunBatchInto(prim, out, in, k, sc, threads)
+				var res *tensor.Batch
+				if hasRes {
+					res = st.vals[ins.Args[1]]
+					if res.Layout != out.Layout || res.N != st.n || len(res.Data) < len(out.Data) {
+						return nil, fmt.Errorf("exec: layer %q: residual batch mismatches output", l.Name)
+					}
+				}
+				if epi == gemm.EpiNone && len(ins.CvtIn) == 0 {
+					conv.RunBatchInto(prim, out, in, k, sc, threads)
+				} else {
+					conv.RunBatchFusedInto(prim, out, in, k, sc, threads, epi, res)
+				}
 				return out, nil
 			}
 
@@ -338,10 +396,14 @@ func (e *Engine) bindKernels() error {
 			if mat == nil {
 				return fmt.Errorf("exec: no weights for fc layer %q", l.Name)
 			}
+			if ins.Epi != gemm.EpiNone && ins.Epi != gemm.EpiReLU {
+				return fmt.Errorf("exec: fc layer %q carries epilogue %s (relu only)", l.Name, ins.Epi)
+			}
 			outN := l.FCOut
+			fcEpi := ins.Epi
 			e.kerns[i] = func(st *batchState, threads int) (*tensor.Batch, error) {
 				out := e.out(st, ins)
-				program.FCBatchInto(out, st.vals[ins.Args[0]], mat, outN, threads)
+				program.FCBatchEpiInto(out, st.vals[ins.Args[0]], mat, outN, threads, fcEpi)
 				return out, nil
 			}
 

@@ -183,14 +183,17 @@ func TestGenerateProgram(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	for _, want := range []string{"// program for tiny-dag", "stem =", "cat = concat", "prob = softmax"} {
+	// The stem conv fuses its relu, so the value carries the relu's name
+	// and the call site renders the epilogue marker.
+	for _, want := range []string{"// program for tiny-dag", "stem-relu =", "+relu(", "cat = concat", "prob = softmax"} {
 		if !strings.Contains(prog, want) {
 			t.Errorf("program missing %q:\n%s", want, prog)
 		}
 	}
-	// Every selected primitive appears in the emitted program.
+	// Every selected primitive appears in the emitted program, fused or
+	// not.
 	for _, p := range plan.Primitives {
-		if !strings.Contains(prog, p.Name+"(") {
+		if !strings.Contains(prog, p.Name+"(") && !strings.Contains(prog, p.Name+"+") {
 			t.Errorf("program does not call %s", p.Name)
 		}
 	}

@@ -72,7 +72,23 @@ func (e *Engine) LayerTable() *obs.LayerTable {
 		switch ins.Op {
 		case program.OpConv:
 			row.Primitive = ins.Prim.Name
-			row.PredictedNSPerImage = plan.LayerCost[ins.Layer.ID] / denom * 1e9
+			// A fused instruction computes its conv layer plus the folded
+			// epilogue layers, and an absorbed input conversion folds the
+			// legalized edge's cost in too — its prediction is the sum of
+			// everything it executes, so the fused row compares observed
+			// time against the whole fused chain's prediction (and the
+			// absorbed edge's prediction is not orphaned on a row no
+			// instruction backs).
+			pred := plan.LayerCost[ins.Layer.ID]
+			for _, fl := range ins.EpiLayers {
+				pred += plan.LayerCost[fl.ID]
+			}
+			if len(ins.CvtIn) > 0 {
+				if preds := plan.Net.Preds(ins.Layer.ID); len(preds) == 1 {
+					pred += plan.EdgeCosts[[2]int{preds[0], ins.Layer.ID}]
+				}
+			}
+			row.PredictedNSPerImage = pred / denom * 1e9
 		case program.OpConvert:
 			// The convert instruction legalizes the edge from its
 			// producer (its sole argument's layer) to its consumer (its

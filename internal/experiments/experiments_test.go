@@ -267,6 +267,44 @@ func TestBatchSweep(t *testing.T) {
 	}
 }
 
+// TestFuseSweep: the fused-vs-unfused comparison must run end to end
+// on the smallest model — one solve per batch, both compiles, two
+// engines, measured ratio — with self-consistent program-shape stats,
+// and its report must render.
+func TestFuseSweep(t *testing.T) {
+	pts, err := FuseSweep("micronet", 1, []int{1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 2 {
+		t.Fatalf("points = %d, want 2", len(pts))
+	}
+	for _, p := range pts {
+		if p.Net != "micronet" || p.Threads != 1 {
+			t.Errorf("mislabeled point: %+v", p)
+		}
+		if p.FusedNsPerImage <= 0 || p.UnfusedNsPerImage <= 0 {
+			t.Errorf("batch %d: non-positive measurement: %+v", p.Batch, p)
+		}
+		if want := p.UnfusedNsPerImage / p.FusedNsPerImage; p.SpeedupX != want {
+			t.Errorf("batch %d: speedup %v inconsistent with ratio %v", p.Batch, p.SpeedupX, want)
+		}
+		if p.Instructions > p.UnfusedInstructions {
+			t.Errorf("batch %d: fused stream longer than unfused (%d vs %d)",
+				p.Batch, p.Instructions, p.UnfusedInstructions)
+		}
+		if p.FusedEpilogues == 0 {
+			t.Errorf("batch %d: micronet fused no epilogues", p.Batch)
+		}
+		if p.PeakBytes <= 0 || p.UnfusedPeakBytes <= 0 {
+			t.Errorf("batch %d: missing peak-resident figures: %+v", p.Batch, p)
+		}
+	}
+	if out := FormatFuseSweep(pts); !strings.Contains(out, "no-fuse compile") {
+		t.Errorf("report misses the comparison header:\n%s", out)
+	}
+}
+
 // TestPlanSweep: the batch-aware selection comparison must run end to
 // end on the smallest model — calibration, two PBQP solves per batch,
 // two compiled engines, measured ratio — and its report must render.

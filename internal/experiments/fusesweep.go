@@ -1,0 +1,151 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"pbqpdnn/internal/cost"
+	"pbqpdnn/internal/dnn/models"
+	"pbqpdnn/internal/exec"
+	"pbqpdnn/internal/program"
+	"pbqpdnn/internal/selector"
+)
+
+// This file implements the fusesweep experiment: the end-to-end proof
+// that instruction fusion pays. For each batch size N it solves the
+// batch-N PBQP instance once (fusion credit included — the selection
+// is the fused backend's), then compiles the same plan twice — through
+// the fusion pass (CompileBatch) and with fusion disabled
+// (CompileBatchNoFuse) — and measures the real batched engine on both
+// programs. The same plan executes on both sides, so the ratio
+// isolates what the fused epilogues and pack-absorbed conversions are
+// worth on this machine, separate from any selection difference.
+
+// FuseSweepPoint is one row of the sweep: the static program shape
+// under fusion and the measured per-image cost of each program.
+type FuseSweepPoint struct {
+	Net     string
+	Batch   int
+	Threads int
+
+	// Static program shape, fused vs the no-fuse compile of the same
+	// plan: instruction counts, what was folded, and the peak resident
+	// bytes of each memory plan (batch totals).
+	Instructions        int
+	UnfusedInstructions int
+	FusedEpilogues      int
+	FusedConversions    int
+	PeakBytes           int64
+	UnfusedPeakBytes    int64
+
+	// Min-of-batchSweepReps wall times per image. SpeedupX > 1 means
+	// the fused program wins.
+	FusedNsPerImage   float64
+	UnfusedNsPerImage float64
+	SpeedupX          float64
+}
+
+// FuseSweep runs the fused-vs-unfused comparison on one of the model
+// zoo networks.
+func FuseSweep(netName string, threads int, batches []int) ([]FuseSweepPoint, error) {
+	g, err := models.Build(netName)
+	if err != nil {
+		return nil, err
+	}
+	opts := selector.Options{Prof: cost.NewModel(cost.IntelHaswell), Threads: threads}
+	w := exec.NewWeights(g)
+
+	var pts []FuseSweepPoint
+	for _, batch := range batches {
+		plan, err := selector.SelectBatch(g, batch, opts)
+		if err != nil {
+			return nil, err
+		}
+		fused, err := program.CompileBatch(plan, batch)
+		if err != nil {
+			return nil, err
+		}
+		unfused, err := program.CompileBatchNoFuse(plan, batch)
+		if err != nil {
+			return nil, err
+		}
+		pt := FuseSweepPoint{
+			Net:                 netName,
+			Batch:               batch,
+			Threads:             threads,
+			Instructions:        fused.Stats.Instructions,
+			UnfusedInstructions: unfused.Stats.Instructions,
+			FusedEpilogues:      fused.Stats.FusedEpilogues,
+			FusedConversions:    fused.Stats.FusedConversions,
+			PeakBytes:           fused.Stats.PeakBytes,
+			UnfusedPeakBytes:    unfused.Stats.PeakBytes,
+		}
+
+		inputs := makeBatch(g, batch)
+		engF, err := exec.NewEngineFromProgram(fused, w)
+		if err != nil {
+			return nil, err
+		}
+		engU, err := exec.NewEngineFromProgram(unfused, w)
+		if err != nil {
+			return nil, err
+		}
+		// Warm both engines, then interleave the timed reps pairwise,
+		// alternating which program runs first in each pair: machine
+		// speed drifts over a measurement window (and consistently
+		// favors whichever run came later), while the fusion effect is
+		// a few percent — alternation gives both programs early- and
+		// late-position samples and the min absorbs the drift.
+		for _, eng := range []*exec.Engine{engF, engU} {
+			if _, err := eng.RunBatch(inputs); err != nil {
+				return nil, err
+			}
+		}
+		bestF, bestU := 0.0, 0.0
+		for rep := 0; rep < 2*batchSweepReps; rep++ {
+			pair := []struct {
+				eng  *exec.Engine
+				best *float64
+			}{{engF, &bestF}, {engU, &bestU}}
+			if rep%2 == 1 {
+				pair[0], pair[1] = pair[1], pair[0]
+			}
+			for _, m := range pair {
+				ns, err := minWallNs(1, func() error {
+					_, err := m.eng.RunBatch(inputs)
+					return err
+				})
+				if err != nil {
+					return nil, err
+				}
+				if *m.best == 0 || ns < *m.best {
+					*m.best = ns
+				}
+			}
+		}
+		pt.FusedNsPerImage = bestF / float64(batch)
+		pt.UnfusedNsPerImage = bestU / float64(batch)
+		pt.SpeedupX = pt.UnfusedNsPerImage / pt.FusedNsPerImage
+		pts = append(pts, pt)
+	}
+	return pts, nil
+}
+
+// FormatFuseSweep renders the comparison with the folded-work counts.
+func FormatFuseSweep(pts []FuseSweepPoint) string {
+	var b strings.Builder
+	if len(pts) > 0 {
+		fmt.Fprintf(&b, "== fused vs no-fuse compile of the same batch-N plan (%s, %d threads) ==\n",
+			pts[0].Net, pts[0].Threads)
+	}
+	fmt.Fprintf(&b, "%-7s %-13s %-11s %-18s %-17s %-17s %s\n",
+		"batch", "instrs", "folded", "peak KB", "fused ms/img", "unfused ms/img", "speedup")
+	for _, p := range pts {
+		fmt.Fprintf(&b, "%-7d %4d vs %-4d  %2d+%-2d      %6d vs %-6d   %-17.1f %-17.1f %.2fx\n",
+			p.Batch, p.Instructions, p.UnfusedInstructions,
+			p.FusedEpilogues, p.FusedConversions,
+			p.PeakBytes/1024, p.UnfusedPeakBytes/1024,
+			p.FusedNsPerImage/1e6, p.UnfusedNsPerImage/1e6, p.SpeedupX)
+	}
+	return b.String()
+}

@@ -1,6 +1,7 @@
 package gemm
 
 import (
+	"fmt"
 	"runtime"
 	"sync"
 )
@@ -31,6 +32,57 @@ var packPool = sync.Pool{
 	},
 }
 
+// Epilogue selects a fused elementwise post-pass the packed kernel
+// applies to each output stripe immediately after its accumulation
+// completes, while the stripe is still cache-resident — the
+// generalization of the fused-Accumulate mechanism. The operand
+// conventions match the conv-as-GEMM orientations: Bias adds a
+// per-column vector (output channels sit in columns for the im2row and
+// FC/TransB orientations), Add/AddReLU add a residual slab r aligned
+// element-for-element with C.
+type Epilogue int
+
+const (
+	EpiNone    Epilogue = iota
+	EpiReLU             // C = max(C, 0)
+	EpiBias             // C[i,j] += bias[j]
+	EpiAdd              // C += R
+	EpiAddReLU          // C = max(C + R, 0)
+)
+
+// String names the epilogue the way program listings render it.
+func (e Epilogue) String() string {
+	switch e {
+	case EpiNone:
+		return "none"
+	case EpiReLU:
+		return "relu"
+	case EpiBias:
+		return "bias"
+	case EpiAdd:
+		return "add"
+	case EpiAddReLU:
+		return "add+relu"
+	}
+	return "epi?"
+}
+
+// checkEpi validates the epilogue operands against the output shape,
+// mirroring checkDims' panic-on-misuse contract.
+func checkEpi(m, n int, epi Epilogue, r, bias []float32) {
+	switch epi {
+	case EpiAdd, EpiAddReLU:
+		if len(r) < m*n {
+			panic(fmt.Sprintf("gemm: epilogue %v residual too small for m=%d n=%d (r=%d)",
+				epi, m, n, len(r)))
+		}
+	case EpiBias:
+		if len(bias) < n {
+			panic(fmt.Sprintf("gemm: epilogue bias too small for n=%d (bias=%d)", n, len(bias)))
+		}
+	}
+}
+
 // Packed computes C = A·B with the packed, register-tiled kernel: B is
 // staged KC×NC blocks at a time into pooled scratch and each row of C
 // is updated by the k-unrolled row-streaming microkernel packedRowK4.
@@ -42,7 +94,20 @@ var packPool = sync.Pool{
 // C is overwritten.
 func Packed(m, n, k int, a, b, c []float32) {
 	checkDims(m, n, k, a, b, c)
-	packedRange(m, n, k, 0, n, a, b, c, false, false)
+	packedRange(m, n, k, 0, n, a, b, c, false, false, EpiNone, nil, nil)
+}
+
+// PackedEpi is Packed with a fused epilogue: each output stripe gets
+// the elementwise post-pass applied right after its last partial
+// product lands, so the slab is written once instead of
+// written-then-rewalked. The epilogue runs per fully-accumulated
+// column stripe (the jc loop is outermost), so it sees exactly the
+// values Packed would have produced — a fused ReLU or residual add is
+// bitwise identical to running the separate pass afterwards.
+func PackedEpi(m, n, k int, a, b, c []float32, epi Epilogue, r, bias []float32) {
+	checkDims(m, n, k, a, b, c)
+	checkEpi(m, n, epi, r, bias)
+	packedRange(m, n, k, 0, n, a, b, c, false, false, epi, r, bias)
 }
 
 // Accumulate computes C += A·B — the fused-epilogue variant of Packed.
@@ -51,7 +116,7 @@ func Packed(m, n, k int, a, b, c []float32) {
 // place.
 func Accumulate(m, n, k int, a, b, c []float32) {
 	checkDims(m, n, k, a, b, c)
-	packedRange(m, n, k, 0, n, a, b, c, true, false)
+	packedRange(m, n, k, 0, n, a, b, c, true, false, EpiNone, nil, nil)
 }
 
 // TransB computes C = A·Bᵀ where bt holds B transposed as an n×k
@@ -63,7 +128,14 @@ func Accumulate(m, n, k int, a, b, c []float32) {
 // same element count).
 func TransB(m, n, k int, a, bt, c []float32) {
 	checkDims(m, n, k, a, bt, c)
-	packedRange(m, n, k, 0, n, a, bt, c, false, true)
+	packedRange(m, n, k, 0, n, a, bt, c, false, true, EpiNone, nil, nil)
+}
+
+// TransBEpi is TransB with a fused epilogue (see PackedEpi).
+func TransBEpi(m, n, k int, a, bt, c []float32, epi Epilogue, r, bias []float32) {
+	checkDims(m, n, k, a, bt, c)
+	checkEpi(m, n, epi, r, bias)
+	packedRange(m, n, k, 0, n, a, bt, c, false, true, epi, r, bias)
 }
 
 // ParallelCols computes C = A·B splitting the *columns* of B across
@@ -76,7 +148,17 @@ func TransB(m, n, k int, a, bt, c []float32) {
 // one goroutine in a fixed per-element order, so results are
 // deterministic run to run.
 func ParallelCols(threads, m, n, k int, a, b, c []float32) {
+	ParallelColsEpi(threads, m, n, k, a, b, c, EpiNone, nil, nil)
+}
+
+// ParallelColsEpi is ParallelCols with a fused epilogue. The epilogue
+// is elementwise and each output element belongs to exactly one column
+// stripe, so each goroutine applies it to its own stripe with no
+// cross-stripe dependency — determinism and the per-element write-once
+// discipline are unchanged.
+func ParallelColsEpi(threads, m, n, k int, a, b, c []float32, epi Epilogue, r, bias []float32) {
 	checkDims(m, n, k, a, b, c)
+	checkEpi(m, n, epi, r, bias)
 	if threads <= 0 {
 		threads = runtime.GOMAXPROCS(0)
 	}
@@ -84,7 +166,7 @@ func ParallelCols(threads, m, n, k int, a, b, c []float32) {
 		threads = n
 	}
 	if threads <= 1 {
-		packedRange(m, n, k, 0, n, a, b, c, false, false)
+		packedRange(m, n, k, 0, n, a, b, c, false, false, epi, r, bias)
 		return
 	}
 	var wg sync.WaitGroup
@@ -98,7 +180,7 @@ func ParallelCols(threads, m, n, k int, a, b, c []float32) {
 		wg.Add(1)
 		go func(j0, j1 int) {
 			defer wg.Done()
-			packedRange(m, n, k, j0, j1, a, b, c, false, false)
+			packedRange(m, n, k, j0, j1, a, b, c, false, false, epi, r, bias)
 		}(j0, j1)
 	}
 	wg.Wait()
@@ -109,8 +191,11 @@ func ParallelCols(threads, m, n, k int, a, b, c []float32) {
 // every row of C against it. The KC blocks advance in increasing-k
 // order and the unroll grouping depends only on p's alignment, never on
 // the column stripe, so every element's accumulation sequence is the
-// same no matter how the columns are split across goroutines.
-func packedRange(m, n, k, j0, j1 int, a, b, c []float32, accumulate, transB bool) {
+// same no matter how the columns are split across goroutines. The
+// epilogue is applied to each NC stripe right after its pc loop ends —
+// the jc loop is outermost, so every element of the stripe is fully
+// accumulated there and still warm in cache.
+func packedRange(m, n, k, j0, j1 int, a, b, c []float32, accumulate, transB bool, epi Epilogue, r, bias []float32) {
 	if !accumulate {
 		for i := 0; i < m; i++ {
 			ci := c[i*n+j0 : i*n+j1]
@@ -120,6 +205,13 @@ func packedRange(m, n, k, j0, j1 int, a, b, c []float32, accumulate, transB bool
 		}
 	}
 	if m == 0 || k == 0 || j1 <= j0 {
+		// Degenerate product: C's stripe is all zeros (or untouched
+		// under accumulate) but the epilogue still owes its pass.
+		if epi != EpiNone {
+			for i := 0; i < m; i++ {
+				applyEpiRow(epi, c[i*n+j0:i*n+j1], epiResidual(epi, r, i*n+j0, j1-j0), epiBias(epi, bias, j0, j1-j0))
+			}
+		}
 		return
 	}
 	sp := packPool.Get().(*[]float32)
@@ -138,8 +230,81 @@ func packedRange(m, n, k, j0, j1 int, a, b, c []float32, accumulate, transB bool
 				packedRowK4(a[i*k+pc:][:kc], bp, c[i*n+jc:], nc)
 			}
 		}
+		if epi != EpiNone {
+			for i := 0; i < m; i++ {
+				applyEpiRow(epi, c[i*n+jc:][:nc], epiResidual(epi, r, i*n+jc, nc), epiBias(epi, bias, jc, nc))
+			}
+		}
 	}
 	packPool.Put(sp)
+}
+
+// epiResidual slices the residual operand aligned with a C row segment,
+// tolerating nil when the epilogue doesn't read it.
+func epiResidual(epi Epilogue, r []float32, off, nc int) []float32 {
+	if epi != EpiAdd && epi != EpiAddReLU {
+		return nil
+	}
+	return r[off:][:nc]
+}
+
+// epiBias slices the per-column bias aligned with a C row segment,
+// tolerating nil when the epilogue doesn't read it.
+func epiBias(epi Epilogue, bias []float32, jc, nc int) []float32 {
+	if epi != EpiBias {
+		return nil
+	}
+	return bias[jc:][:nc]
+}
+
+// ApplyEpi applies the epilogue to an m×n output slab as a standalone
+// post-pass — the fallback for kernel variants without a fused form.
+// The arithmetic is identical to the fused application, so fused and
+// post-pass results agree bitwise.
+func ApplyEpi(epi Epilogue, m, n int, c, r, bias []float32) {
+	if epi == EpiNone {
+		return
+	}
+	checkEpi(m, n, epi, r, bias)
+	for i := 0; i < m; i++ {
+		applyEpiRow(epi, c[i*n:][:n], epiResidual(epi, r, i*n, n), epiBias(epi, bias, 0, n))
+	}
+}
+
+// applyEpiRow applies the fused epilogue to one fully-accumulated row
+// segment of C. ri and bv (when the epilogue reads them) are views of
+// exactly len(ci) elements, so the paired indexing carries no bounds
+// checks.
+//
+//dnn:hotpath
+func applyEpiRow(epi Epilogue, ci, ri, bv []float32) {
+	switch epi {
+	case EpiReLU:
+		for j, v := range ci {
+			if v < 0 {
+				ci[j] = 0
+			}
+		}
+	case EpiBias:
+		bv = bv[:len(ci)]
+		for j := range ci {
+			ci[j] += bv[j]
+		}
+	case EpiAdd:
+		ri = ri[:len(ci)]
+		for j := range ci {
+			ci[j] += ri[j]
+		}
+	case EpiAddReLU:
+		ri = ri[:len(ci)]
+		for j := range ci {
+			v := ci[j] + ri[j]
+			if v < 0 {
+				v = 0
+			}
+			ci[j] = v
+		}
+	}
 }
 
 // packB stages a kc×nc block of row-major B (row stride ldb) into the

@@ -154,6 +154,92 @@ func TestPackedConcurrentCalls(t *testing.T) {
 	wg.Wait()
 }
 
+// TestPackedEpilogues: every fused epilogue must be bitwise identical
+// to running the plain packed kernel and then the separate elementwise
+// pass — the fusion only moves the pass to when the stripe is
+// cache-resident, never changes any arithmetic. Sweep covers ragged
+// block edges, a zero-k degenerate product (the epilogue still owes
+// its pass over the zeroed output), and the threaded column split.
+func TestPackedEpilogues(t *testing.T) {
+	rng := rand.New(rand.NewSource(15))
+	shapes := [][3]int{
+		{3, 5, 4}, {2, 513, 129}, {17, 33, 29}, {5, 1025, 7}, {4, 9, 0},
+	}
+	for _, s := range shapes {
+		m, n, k := s[0], s[1], s[2]
+		a, b := randMat(rng, m*k), randMat(rng, k*n)
+		r, bias := randMat(rng, m*n), randMat(rng, n)
+		bt := transpose(k, n, b)
+		plain := make([]float32, m*n)
+		Packed(m, n, k, a, b, plain)
+		for _, epi := range []Epilogue{EpiReLU, EpiBias, EpiAdd, EpiAddReLU} {
+			want := make([]float32, m*n)
+			copy(want, plain)
+			for i := 0; i < m; i++ {
+				for j := 0; j < n; j++ {
+					v := want[i*n+j]
+					switch epi {
+					case EpiBias:
+						v += bias[j]
+					case EpiAdd:
+						v += r[i*n+j]
+					case EpiAddReLU:
+						v += r[i*n+j]
+					}
+					if epi == EpiReLU || epi == EpiAddReLU {
+						if v < 0 {
+							v = 0
+						}
+					}
+					want[i*n+j] = v
+				}
+			}
+			got := make([]float32, m*n)
+			PackedEpi(m, n, k, a, b, got, epi, r, bias)
+			for i := range got {
+				if got[i] != want[i] {
+					t.Fatalf("PackedEpi %v (%d,%d,%d): out[%d]=%v want %v (not bitwise)",
+						epi, m, n, k, i, got[i], want[i])
+				}
+			}
+			TransBEpi(m, n, k, a, bt, got, epi, r, bias)
+			for i := range got {
+				if got[i] != want[i] {
+					t.Fatalf("TransBEpi %v (%d,%d,%d): out[%d]=%v want %v", epi, m, n, k, i, got[i], want[i])
+				}
+			}
+			for _, th := range []int{2, 5} {
+				ParallelColsEpi(th, m, n, k, a, b, got, epi, r, bias)
+				for i := range got {
+					if got[i] != want[i] {
+						t.Fatalf("ParallelColsEpi(%d) %v (%d,%d,%d): out[%d]=%v want %v",
+							th, epi, m, n, k, i, got[i], want[i])
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestEpiPanicsOnShortOperands: the epilogue operand checks share
+// checkDims' panic contract.
+func TestEpiPanicsOnShortOperands(t *testing.T) {
+	a, b, c := make([]float32, 4), make([]float32, 4), make([]float32, 4)
+	for name, call := range map[string]func(){
+		"short-residual": func() { PackedEpi(2, 2, 2, a, b, c, EpiAdd, make([]float32, 3), nil) },
+		"short-bias":     func() { TransBEpi(2, 2, 2, a, b, c, EpiBias, nil, make([]float32, 1)) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic", name)
+				}
+			}()
+			call()
+		}()
+	}
+}
+
 // TestPackedPanicsOnShortBuffers: the packed entries share checkDims
 // with every other kernel — including TransB, which used to carry its
 // own panic.

@@ -23,8 +23,9 @@ import (
 // see. Registration is per package path so the guard rebuilds only what
 // it audits.
 var BCERegistry = map[string][]string{
-	"pbqpdnn/internal/gemm":    {"IKJ", "Blocked", "packedRowK4", "packB", "packBT"},
-	"pbqpdnn/internal/conv":    {"im2colPatchesIntoCols", "im2rowPatchesInto", "winoAccumRow"},
+	"pbqpdnn/internal/gemm": {"IKJ", "Blocked", "packedRowK4", "packB", "packBT", "applyEpiRow"},
+	"pbqpdnn/internal/conv": {"im2colPatchesIntoCols", "im2rowPatchesInto", "winoAccumRow",
+		"epiWritebackRow", "im2rowPatchesFromCHWInto", "im2colPatchesFromHWCIntoCols"},
 	"pbqpdnn/internal/program": {"ReLUInto", "AddInto", "fcApply"},
 }
 

@@ -242,31 +242,73 @@ func poolGeneric(dst, in *tensor.Tensor, l *dnn.Layer, isMax bool) {
 	}
 }
 
+// lrnSize/lrnAlpha are the oracle's fixed AlexNet LRN parameters
+// (β = 0.75 is baked into lrnScale's square-root form).
+const (
+	lrnSize  = 5
+	lrnAlpha = 1e-4
+)
+
+// lrnScale is the LRN divisor (1 + α/size·Σv²)^0.75, computed as
+// t^½·t^¼ — two hardware square roots per element instead of a
+// math.Pow call, which profiled as the bulk of every LRN layer's
+// runtime. The square-root form is the same real number to ~2 ulp in
+// float64, far below the float32 results it divides into.
+func lrnScale(sum float64) float64 {
+	s := math.Sqrt(1 + lrnAlpha/lrnSize*sum)
+	return s * math.Sqrt(s)
+}
+
 // LRNInto applies across-channel LRN with the oracle's fixed AlexNet
-// parameters, specializing CHW (channel stride is the plane size, so
-// the squared-sum window slides along a strided but directly-indexed
-// column).
+// parameters. The HWC path is the hot one (the selector's plans keep
+// conv→LRN chains in HWC): each pixel's channels are contiguous, so
+// the squared-sum window slides along the pixel row — two
+// multiply-adds per element however wide the window. CHW keeps the
+// strided directly-indexed column walk; anything else goes through
+// the layout-blind accessors.
 //
 //dnn:hotpath
 func LRNInto(dst, in *tensor.Tensor) {
-	const (
-		size  = 5
-		alpha = 1e-4
-		beta  = 0.75
-	)
-	half := size / 2
+	half := lrnSize / 2
+	if in.Layout == tensor.HWC && dst.Layout == tensor.HWC {
+		cC := in.C
+		for p := 0; p < in.H*in.W; p++ {
+			src := in.Data[p*cC:][:cC]
+			d := dst.Data[p*cC:][:cC]
+			var sum float64
+			lead := half + 1
+			if lead > cC {
+				lead = cC
+			}
+			for cc := 0; cc < lead; cc++ {
+				v := float64(src[cc])
+				sum += v * v
+			}
+			for c := 0; c < cC; c++ {
+				d[c] = float32(float64(src[c]) / lrnScale(sum))
+				if nc := c + half + 1; nc < cC {
+					v := float64(src[nc])
+					sum += v * v
+				}
+				if oc := c - half; oc >= 0 {
+					v := float64(src[oc])
+					sum -= v * v
+				}
+			}
+		}
+		return
+	}
 	if in.Layout == tensor.CHW && dst.Layout == tensor.CHW {
 		plane := in.H * in.W
 		for off := 0; off < plane; off++ {
 			for c := 0; c < in.C; c++ {
 				var sum float64
-				lo, hi := clampWindow(c-half, size, in.C)
+				lo, hi := clampWindow(c-half, lrnSize, in.C)
 				for cc := lo; cc < hi; cc++ {
 					v := float64(in.Data[cc*plane+off])
 					sum += v * v
 				}
-				scale := math.Pow(1+alpha/size*sum, beta)
-				dst.Data[c*plane+off] = float32(float64(in.Data[c*plane+off]) / scale)
+				dst.Data[c*plane+off] = float32(float64(in.Data[c*plane+off]) / lrnScale(sum))
 			}
 		}
 		return
@@ -275,13 +317,12 @@ func LRNInto(dst, in *tensor.Tensor) {
 		for w := 0; w < in.W; w++ {
 			for c := 0; c < in.C; c++ {
 				var sum float64
-				lo, hi := clampWindow(c-half, size, in.C)
+				lo, hi := clampWindow(c-half, lrnSize, in.C)
 				for cc := lo; cc < hi; cc++ {
 					v := float64(in.At(cc, h, w))
 					sum += v * v
 				}
-				scale := math.Pow(1+alpha/size*sum, beta)
-				dst.Set(c, h, w, float32(float64(in.At(c, h, w))/scale))
+				dst.Set(c, h, w, float32(float64(in.At(c, h, w))/lrnScale(sum)))
 			}
 		}
 	}

@@ -130,6 +130,39 @@ func FCBatchInto(dst, in *tensor.Batch, mat []float32, outN, threads int) {
 	})
 }
 
+// FCBatchEpiInto is FCBatchInto with a fused elementwise epilogue
+// (EpiReLU only — the fully connected layer has no residual form in
+// the graph). The fast path rides the epilogue on TransBEpi's output
+// write; the per-image fallback applies it as a post-pass, which is
+// bitwise identical because ReLU is elementwise over fully written
+// slabs (blocked-layout padding stays zero under ReLU).
+func FCBatchEpiInto(dst, in *tensor.Batch, mat []float32, outN, threads int, epi gemm.Epilogue) {
+	switch epi {
+	case gemm.EpiNone:
+		FCBatchInto(dst, in, mat, outN, threads)
+		return
+	case gemm.EpiReLU:
+	default:
+		panic(fmt.Sprintf("program: fc epilogue %s unsupported", epi))
+	}
+	if in.Layout == tensor.CHW && dst.Stride == outN {
+		inN := in.C * in.H * in.W
+		if threads > 1 && in.N > 1 {
+			parallelImages(threads, in.N, func(i int) {
+				gemm.TransBEpi(1, outN, inN, in.Slab(i), mat, dst.Slab(i), epi, nil, nil)
+			})
+			return
+		}
+		gemm.TransBEpi(in.N, outN, inN, in.Data[:in.N*inN], mat, dst.Data[:in.N*outN], epi, nil, nil)
+		return
+	}
+	parallelImages(threads, in.N, func(i int) {
+		FCInto(dst.Image(i), in.Image(i), mat, outN)
+		slab := dst.Slab(i)
+		gemm.ApplyEpi(epi, 1, len(slab), slab, nil, nil)
+	})
+}
+
 // ConcatBatchInto concatenates the input batches along channels, image
 // by image.
 func ConcatBatchInto(dst *tensor.Batch, ins []*tensor.Batch, threads int) {

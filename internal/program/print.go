@@ -20,6 +20,11 @@ func (p *Program) Source() string {
 	s := p.Stats
 	fmt.Fprintf(&b, "// %d instructions (%d conversions, %d in-place), %d slots, batch %d\n",
 		s.Instructions, s.Conversions, s.InPlace, s.Slots, p.Batch)
+	if s.FusedEpilogues > 0 || s.FusedConversions > 0 {
+		fmt.Fprintf(&b, "// fusion: %d epilogue layers + %d conversions folded; %d instructions vs %d unfused (Δ%d), peak resident %s vs %s unfused\n",
+			s.FusedEpilogues, s.FusedConversions, s.Instructions, s.UnfusedInstructions,
+			s.UnfusedInstructions-s.Instructions, fmtBytes(s.PeakBytes), fmtBytes(s.UnfusedPeakBytes))
+	}
 	// Byte figures are batch totals: a batched program's slots hold
 	// N-image slabs, so what actually sits resident scales with N.
 	per := ""
@@ -45,27 +50,45 @@ func (p *Program) Source() string {
 	return b.String()
 }
 
-// call renders an instruction's right-hand side.
+// call renders an instruction's right-hand side. Fused instructions
+// render explicitly: an epilogue appends "+relu"/"+add"/"+add+relu" to
+// the callee, an absorbed input conversion inserts a ⟨cvt-in:FROM⟩
+// marker, and an EpiAdd residual appears as a second argument.
 func (p *Program) call(ins *Instr) string {
+	names := make([]string, len(ins.Args))
+	for i, a := range ins.Args {
+		names[i] = p.Instrs[a].Name
+	}
+	args := strings.Join(names, ", ")
 	switch ins.Op {
 	case OpInput:
 		return "input()"
 	case OpConv:
-		return fmt.Sprintf("%s(%s)", ins.Prim.Name, p.Instrs[ins.Args[0]].Name)
+		callee := ins.Prim.Name
+		if len(ins.CvtIn) > 0 {
+			callee += fmt.Sprintf("⟨cvt-in:%s⟩", ins.CvtIn[0].From)
+		}
+		callee += epiSuffix(ins)
+		return fmt.Sprintf("%s(%s)", callee, args)
 	case OpConvert:
 		// A fused chain renders as nested direct-transform calls.
-		arg := p.Instrs[ins.Args[0]].Name
+		arg := names[0]
 		for _, tr := range ins.Chain {
 			arg = fmt.Sprintf("%s(%s)", tr.Name, arg)
 		}
 		return arg
 	default:
-		names := make([]string, len(ins.Args))
-		for i, a := range ins.Args {
-			names[i] = p.Instrs[a].Name
-		}
-		return fmt.Sprintf("%s(%s)", ins.Op, strings.Join(names, ", "))
+		return fmt.Sprintf("%s%s(%s)", ins.Op, epiSuffix(ins), args)
 	}
+}
+
+// epiSuffix renders the fused-epilogue marker ("+relu", "+add",
+// "+add+relu"), empty for unfused instructions.
+func epiSuffix(ins *Instr) string {
+	if len(ins.EpiLayers) == 0 {
+		return ""
+	}
+	return "+" + ins.Epi.String()
 }
 
 // annotate renders an instruction's trailing comment: operator detail,
@@ -81,6 +104,13 @@ func (p *Program) annotate(ins *Instr) string {
 		parts = append(parts, ins.Layout.String())
 	}
 	parts = append(parts, fmt.Sprintf("%d×%d×%d", ins.C, ins.H, ins.W))
+	if len(ins.EpiLayers) > 0 {
+		names := make([]string, len(ins.EpiLayers))
+		for i, fl := range ins.EpiLayers {
+			names[i] = fl.Name
+		}
+		parts = append(parts, "fuses "+strings.Join(names, "+"))
+	}
 	switch {
 	case ins.Alias:
 		parts = append(parts, fmt.Sprintf("alias of %s", p.Instrs[ins.Args[ins.Donor]].Name))

@@ -28,6 +28,7 @@ import (
 
 	"pbqpdnn/internal/conv"
 	"pbqpdnn/internal/dnn"
+	"pbqpdnn/internal/gemm"
 	"pbqpdnn/internal/selector"
 	"pbqpdnn/internal/tensor"
 )
@@ -130,6 +131,22 @@ type Instr struct {
 	// Chain[last].To.
 	Chain []tensor.Transform
 
+	// Epi is the fused epilogue (OpConv and OpFC only): the elementwise
+	// consumer folded into this instruction's output write by the fusion
+	// pass. EpiAdd/EpiAddReLU instructions carry the residual operand as
+	// Args[1]. EpiLayers lists the fused-away network layers in
+	// application order (e.g. [add, relu] for EpiAddReLU); the value this
+	// instruction produces is the LAST fused layer's value.
+	Epi       gemm.Epilogue
+	EpiLayers []*dnn.Layer
+
+	// CvtIn, when non-empty, is a legalized input-conversion chain the
+	// fusion pass absorbed into the convolution's patch-building pack
+	// (OpConv at batch > 1 only): Args[0] arrives in CvtIn[0].From and the
+	// layout-general packer gathers it directly, so the intermediate
+	// converted slab is never materialized.
+	CvtIn []tensor.Transform
+
 	// NumDeps is the number of distinct producing instructions; Succs
 	// lists the distinct consuming instructions. The engine's
 	// dependency-counting scheduler reads both without recomputation.
@@ -140,6 +157,16 @@ type Instr struct {
 // DataLen returns the physical element count of the produced value.
 func (in *Instr) DataLen() int {
 	return tensor.DataLen(in.Layout, in.C, in.H, in.W)
+}
+
+// ValueLayer returns the network layer whose value this instruction
+// produces: the last fused epilogue layer when the instruction carries
+// one, else its own layer.
+func (in *Instr) ValueLayer() *dnn.Layer {
+	if n := len(in.EpiLayers); n > 0 {
+		return in.EpiLayers[n-1]
+	}
+	return in.Layer
 }
 
 // Bytes returns the payload size of the produced value in bytes.
@@ -178,6 +205,18 @@ type Stats struct {
 	// what an executor without buffer reuse or in-place execution
 	// would hold.
 	NaiveBytes int64
+	// FusedEpilogues counts the elementwise layers folded into conv/FC
+	// output writes; FusedConversions counts the conversion instructions
+	// absorbed into convolution packs.
+	FusedEpilogues   int
+	FusedConversions int
+	// UnfusedInstructions and UnfusedPeakBytes are the instruction count
+	// and peak resident bytes the same plan compiles to with the fusion
+	// pass disabled — the baseline the fusion deltas are reported
+	// against. For CompileBatchNoFuse programs they equal the program's
+	// own figures.
+	UnfusedInstructions int
+	UnfusedPeakBytes    int64
 }
 
 // Program is a compiled, executable lowering of one selector.Plan for
@@ -265,6 +304,8 @@ func (p *Program) Clone() *Program {
 		ins.Args = append([]int(nil), ins.Args...)
 		ins.Succs = append([]int(nil), ins.Succs...)
 		ins.Chain = append([]tensor.Transform(nil), ins.Chain...)
+		ins.EpiLayers = append([]*dnn.Layer(nil), ins.EpiLayers...)
+		ins.CvtIn = append([]tensor.Transform(nil), ins.CvtIn...)
 	}
 	q.SlotCap = append([]int(nil), p.SlotCap...)
 	q.InstrOf = append([]int(nil), p.InstrOf...)
@@ -298,6 +339,19 @@ func Compile(plan *selector.Plan) (*Program, error) {
 // wildcard values in the planned slots and the whole batch executes
 // against a statically planned, arena-recycled frame.
 func CompileBatch(plan *selector.Plan, batch int) (*Program, error) {
+	return compilePlan(plan, batch, true)
+}
+
+// CompileBatchNoFuse is CompileBatch with the instruction-fusion pass
+// disabled: every epilogue layer and legalized conversion stays a
+// separate instruction. It is the baseline arm for fused-vs-unfused
+// comparisons (dnnbench -exp fusesweep) and for tests that pin the
+// pre-fusion stream shape.
+func CompileBatchNoFuse(plan *selector.Plan, batch int) (*Program, error) {
+	return compilePlan(plan, batch, false)
+}
+
+func compilePlan(plan *selector.Plan, batch int, fuse bool) (*Program, error) {
 	if batch < 1 {
 		return nil, fmt.Errorf("program: invalid batch size %d", batch)
 	}
@@ -367,9 +421,21 @@ func CompileBatch(plan *selector.Plan, batch int) (*Program, error) {
 		p.InstrOf[id] = emit(ins)
 	}
 	p.Output = p.InstrOf[order[len(order)-1]]
+	var base *Program
+	if fuse {
+		base = p.unfusedBaseline()
+		p.fuseInstructions()
+	}
 	p.link()
 	p.planMemory()
 	p.computeStats()
+	if base != nil {
+		p.Stats.UnfusedInstructions = base.Stats.Instructions
+		p.Stats.UnfusedPeakBytes = base.Stats.PeakBytes
+	} else {
+		p.Stats.UnfusedInstructions = p.Stats.Instructions
+		p.Stats.UnfusedPeakBytes = p.Stats.PeakBytes
+	}
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
@@ -379,6 +445,27 @@ func CompileBatch(plan *selector.Plan, batch int) (*Program, error) {
 		}
 	}
 	return p, nil
+}
+
+// unfusedBaseline snapshots the raw pre-fusion stream and runs the
+// rest of the compilation pipeline on the copy, yielding the
+// instruction count and memory plan the plan would have without
+// fusion. Called before fuseInstructions mutates the stream.
+func (p *Program) unfusedBaseline() *Program {
+	q := &Program{
+		Plan:    p.Plan,
+		Batch:   p.Batch,
+		Output:  p.Output,
+		InstrOf: append([]int(nil), p.InstrOf...),
+		Instrs:  append([]Instr(nil), p.Instrs...),
+	}
+	for i := range q.Instrs {
+		q.Instrs[i].Args = append([]int(nil), q.Instrs[i].Args...)
+	}
+	q.link()
+	q.planMemory()
+	q.computeStats()
+	return q
 }
 
 // link fills NumDeps and Succs from the argument lists.
@@ -605,6 +692,10 @@ func (p *Program) computeStats() {
 		case ins.Donor >= 0:
 			s.InPlace++
 		}
+		s.FusedEpilogues += len(ins.EpiLayers)
+		if len(ins.CvtIn) > 0 {
+			s.FusedConversions++
+		}
 		if ins.Slot == NoSlot && ins.Donor < 0 {
 			live += ins.Bytes()
 			if live > peak {
@@ -633,6 +724,50 @@ func (p *Program) computeStats() {
 	s.PeakBytes = s.SlotBytes + s.DynamicPeakBytes
 }
 
+// validateFused checks the fused-instruction invariants: which ops may
+// carry an epilogue, the epilogue↔EpiLayers↔Args shape coupling, the
+// residual operand's physical match, and that absorbed input
+// conversions appear only on convolutions.
+func (p *Program) validateFused(ins *Instr) error {
+	switch ins.Epi {
+	case gemm.EpiNone:
+		if len(ins.EpiLayers) != 0 {
+			return fmt.Errorf("program: instr %q has %d fused layers but no epilogue", ins.Name, len(ins.EpiLayers))
+		}
+	case gemm.EpiReLU, gemm.EpiAdd, gemm.EpiAddReLU:
+		if ins.Op != OpConv && ins.Op != OpFC {
+			return fmt.Errorf("program: instr %q (%s) cannot carry epilogue %s", ins.Name, ins.Op, ins.Epi)
+		}
+		if ins.Op == OpFC && ins.Epi != gemm.EpiReLU {
+			return fmt.Errorf("program: fc instr %q carries epilogue %s (relu only)", ins.Name, ins.Epi)
+		}
+		wantLayers := 1
+		if ins.Epi == gemm.EpiAddReLU {
+			wantLayers = 2
+		}
+		if len(ins.EpiLayers) != wantLayers {
+			return fmt.Errorf("program: instr %q epilogue %s records %d fused layers, wants %d",
+				ins.Name, ins.Epi, len(ins.EpiLayers), wantLayers)
+		}
+		if ins.Epi == gemm.EpiAdd || ins.Epi == gemm.EpiAddReLU {
+			if len(ins.Args) != 2 {
+				return fmt.Errorf("program: instr %q epilogue %s has no residual operand", ins.Name, ins.Epi)
+			}
+			r := &p.Instrs[ins.Args[1]]
+			if r.Layout != ins.Layout || r.DataLen() != ins.DataLen() {
+				return fmt.Errorf("program: instr %q residual %q mismatches (%s/%d vs %s/%d)",
+					ins.Name, r.Name, r.Layout, r.DataLen(), ins.Layout, ins.DataLen())
+			}
+		}
+	default:
+		return fmt.Errorf("program: instr %q carries unsupported epilogue %s", ins.Name, ins.Epi)
+	}
+	if len(ins.CvtIn) > 0 && ins.Op != OpConv {
+		return fmt.Errorf("program: instr %q (%s) absorbs an input conversion", ins.Name, ins.Op)
+	}
+	return nil
+}
+
 // Validate checks the structural invariants of the compiled stream,
 // including the parallel-safety of the memory plan: any two tenancies
 // of one slot must be fully ordered by the dependency DAG, counting
@@ -659,12 +794,34 @@ func (p *Program) Validate() error {
 			if ins.Prim == nil {
 				return fmt.Errorf("program: conv instr %q has no primitive", ins.Name)
 			}
-			if len(ins.Args) != 1 {
-				return fmt.Errorf("program: conv instr %q has %d args", ins.Name, len(ins.Args))
+			wantArgs := 1
+			if ins.Epi == gemm.EpiAdd || ins.Epi == gemm.EpiAddReLU {
+				wantArgs = 2
 			}
-			if got := p.Instrs[ins.Args[0]].Layout; got != ins.Prim.In {
+			if len(ins.Args) != wantArgs {
+				return fmt.Errorf("program: conv instr %q has %d args, wants %d", ins.Name, len(ins.Args), wantArgs)
+			}
+			wantIn := ins.Prim.In
+			if len(ins.CvtIn) > 0 {
+				if p.Batch < 2 {
+					return fmt.Errorf("program: conv instr %q absorbs a conversion in a batch-1 program", ins.Name)
+				}
+				if len(ins.CvtIn) != 1 {
+					return fmt.Errorf("program: conv instr %q absorbs a %d-step chain", ins.Name, len(ins.CvtIn))
+				}
+				if ins.CvtIn[0].To != ins.Prim.In {
+					return fmt.Errorf("program: conv instr %q absorbed chain ends at %s, primitive %s wants %s",
+						ins.Name, ins.CvtIn[0].To, ins.Prim.Name, ins.Prim.In)
+				}
+				if !ins.Prim.CanAbsorbInput(ins.CvtIn[0].From) {
+					return fmt.Errorf("program: conv instr %q: primitive %s cannot absorb %s input",
+						ins.Name, ins.Prim.Name, ins.CvtIn[0].From)
+				}
+				wantIn = ins.CvtIn[0].From
+			}
+			if got := p.Instrs[ins.Args[0]].Layout; got != wantIn {
 				return fmt.Errorf("program: conv instr %q receives %s, primitive %s wants %s",
-					ins.Name, got, ins.Prim.Name, ins.Prim.In)
+					ins.Name, got, ins.Prim.Name, wantIn)
 			}
 			if ins.Prim.Out != ins.Layout {
 				return fmt.Errorf("program: conv instr %q produces %s, primitive emits %s",
@@ -682,6 +839,9 @@ func (p *Program) Validate() error {
 				return fmt.Errorf("program: convert instr %q produces %s, chain ends at %s",
 					ins.Name, ins.Layout, to)
 			}
+		}
+		if err := p.validateFused(ins); err != nil {
+			return err
 		}
 		if ins.Donor >= 0 {
 			if !inPlaceable(ins.Op) {

@@ -25,6 +25,20 @@ func compile(t *testing.T, net *dnn.Graph, threads int) *Program {
 	return p
 }
 
+func compileNoFuse(t *testing.T, net *dnn.Graph, threads int) *Program {
+	t.Helper()
+	plan, err := selector.Select(net, selector.Options{
+		Prof: cost.NewModel(cost.IntelHaswell), Threads: threads})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := CompileBatchNoFuse(plan, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
 // inceptionNet is a small inception-style DAG with parallel branches, a
 // residual add and every wildcard operator — the planner's obstacle
 // course.
@@ -57,19 +71,32 @@ func TestCompileStructure(t *testing.T) {
 	for _, threads := range []int{1, 4} {
 		p := compile(t, inceptionNet(), threads)
 		net := p.Plan.Net
-		// One instruction per layer plus one per legalized edge.
+		// One instruction per layer plus one per legalized edge, minus
+		// what the fusion pass folded away.
 		wantConv := 0
 		for _, chain := range p.Plan.Conversions {
 			if len(chain) > 0 {
 				wantConv++
 			}
 		}
-		if got := len(p.Instrs); got != net.NumLayers()+wantConv {
-			t.Errorf("threads=%d: %d instructions, want %d layers + %d conversions",
-				threads, got, net.NumLayers(), wantConv)
+		unfused := net.NumLayers() + wantConv
+		if p.Stats.UnfusedInstructions != unfused {
+			t.Errorf("threads=%d: unfused baseline %d instructions, want %d layers + %d conversions",
+				threads, p.Stats.UnfusedInstructions, net.NumLayers(), wantConv)
 		}
-		if p.Stats.Conversions != wantConv {
-			t.Errorf("stats count %d conversions, plan has %d", p.Stats.Conversions, wantConv)
+		want := unfused - p.Stats.FusedEpilogues - p.Stats.FusedConversions
+		if got := len(p.Instrs); got != want {
+			t.Errorf("threads=%d: %d instructions, want %d (%d unfused - %d epilogues - %d conversions)",
+				threads, got, want, unfused, p.Stats.FusedEpilogues, p.Stats.FusedConversions)
+		}
+		if p.Stats.Conversions != wantConv-p.Stats.FusedConversions {
+			t.Errorf("stats count %d conversions, plan has %d of which %d absorbed",
+				p.Stats.Conversions, wantConv, p.Stats.FusedConversions)
+		}
+		// The planner DAG has three fusable epilogues: conv+relu on the
+		// stem and branch 1, and the residual conv+add+relu tail.
+		if p.Stats.FusedEpilogues < 4 {
+			t.Errorf("threads=%d: only %d epilogue layers fused", threads, p.Stats.FusedEpilogues)
 		}
 		// The output instruction is the last topological layer and a
 		// fresh allocation.
@@ -125,9 +152,10 @@ func TestSlotReuse(t *testing.T) {
 
 // TestInPlaceMarking: a ReLU directly after its only producer runs in
 // the producer's buffer, and GoogLeNet (a relu after every conv) gets
-// substantial in-place coverage.
+// substantial in-place coverage. Compiled without fusion — the fusion
+// pass otherwise folds exactly these single-consumer relus away.
 func TestInPlaceMarking(t *testing.T) {
-	p := compile(t, inceptionNet(), 4)
+	p := compileNoFuse(t, inceptionNet(), 4)
 	foundRelu := false
 	for i := range p.Instrs {
 		ins := &p.Instrs[i]
@@ -238,9 +266,23 @@ func TestSourceListing(t *testing.T) {
 		}
 	}
 	for i := range p.Instrs {
-		if ins := &p.Instrs[i]; ins.Prim != nil && !strings.Contains(src, ins.Prim.Name+"(") {
-			t.Errorf("listing does not call %s", ins.Prim.Name)
+		ins := &p.Instrs[i]
+		if ins.Prim == nil {
+			continue
 		}
+		// A fused instruction renders its epilogue marker between the
+		// primitive name and the argument list.
+		call := ins.Prim.Name + "("
+		if len(ins.EpiLayers) > 0 {
+			call = ins.Prim.Name + "+" + ins.Epi.String() + "("
+		}
+		if !strings.Contains(src, call) {
+			t.Errorf("listing does not call %s", call)
+		}
+	}
+	// The planner DAG fuses epilogues, and the listing says so.
+	if !strings.Contains(src, "+relu(") || !strings.Contains(src, "// fusion:") {
+		t.Errorf("listing does not render fusion:\n%s", src)
 	}
 	// Conversion chains appear as their direct-transform calls.
 	for i := range p.Instrs {

@@ -51,6 +51,13 @@ type Plan struct {
 
 	// NodeCost and EdgeCost split the predicted execution time (s).
 	NodeCost, EdgeCost float64
+	// FusionCredit is the total predicted saving from epilogue fusion
+	// already subtracted from NodeCost: on every edge whose producer is a
+	// fusion-capable convolution feeding exactly one elementwise
+	// consumer in the same layout, the compiler's fusion pass folds the
+	// consumer into the producer's writeback, so the selector credits
+	// the saved streaming pass to the producer's LayerCost.
+	FusionCredit float64
 	// LayerCost breaks NodeCost down per conv layer id, and EdgeCosts
 	// breaks EdgeCost down per legalized edge — the predicted side of
 	// the per-layer predicted-vs-observed join (internal/obs). Both are
@@ -278,15 +285,66 @@ func build(net *dnn.Graph, opts *Options, convChoices map[int][]*conv.Primitive,
 		u, v := e[0], e[1]
 		lu := net.Layers[u]
 		dt := dts.get(lu.OutC, lu.OutH, lu.OutW)
+		fusable := fusionEligibleEdge(net, u, v)
 		m := pbqp.NewMatrix(len(pr.choices[u]), len(pr.choices[v]))
 		for i, cu := range pr.choices[u] {
+			// Fusion credit: on an eligible edge, a capable primitive
+			// whose output layout matches the consumer's folds the
+			// elementwise pass into its own writeback — priced as a
+			// negative entry on the layout-agreeing diagonal, so the
+			// solver weighs the saving against conversion costs exactly
+			// where the fusion pass can realize it.
+			var credit float64
+			if fusable && cu.prim != nil {
+				base := cost.PrimitiveN(opts.Prof, cu.prim, lu.Conv, opts.Threads, batch)
+				credit = fusionCredit(opts.Prof, cu.prim, lu.Conv, batch, base) * overhead
+			}
 			for j, cv := range pr.choices[v] {
-				m.Set(i, j, dt.Cost(cu.outLayout(), cv.inLayout()))
+				c := dt.Cost(cu.outLayout(), cv.inLayout())
+				if credit > 0 && cu.outLayout() == cv.inLayout() {
+					c -= credit
+				}
+				m.Set(i, j, c)
 			}
 		}
 		pr.graph.AddEdge(u, v, m)
 	}
 	return pr, nil
+}
+
+// fusionEligibleEdge reports whether graph edge u→v is one the
+// compiler's fusion pass can fold: u is a convolution whose value feeds
+// exactly this one consumer, v is an elementwise epilogue kind, and v
+// is not the network output (the output stays its own fresh
+// instruction). This is the selector's static over-approximation of the
+// fusion legality the compiler and verifier recompute per program; the
+// remaining conditions (same layout, no conversion on the edge) are
+// priced per choice pair.
+func fusionEligibleEdge(net *dnn.Graph, u, v int) bool {
+	if !net.Layers[u].IsConv() {
+		return false
+	}
+	if succs := net.Succs(u); len(succs) != 1 || succs[0] != v {
+		return false
+	}
+	switch net.Layers[v].Kind {
+	case dnn.KindReLU, dnn.KindAdd:
+	default:
+		return false
+	}
+	return len(net.Succs(v)) > 0
+}
+
+// fusionCredit is the priced saving for fusing one elementwise epilogue
+// into primitive p's writeback, clamped so no credit can exceed 90% of
+// the node's own cost — the epilogue can at most save the streaming
+// pass, never make the convolution free.
+func fusionCredit(prof cost.Profiler, p *conv.Primitive, s conv.Scenario, batch int, base float64) float64 {
+	save := cost.EpilogueSavingN(prof, p, s, batch)
+	if max := 0.9 * base; save > max {
+		save = max
+	}
+	return save
 }
 
 // finish solves the instance and materializes the legalized plan.
@@ -337,6 +395,29 @@ func (pr *problem) finish(net *dnn.Graph, opts *Options, name string) (*Plan, er
 		plan.Conversions[e] = chain
 		plan.EdgeCosts[e] = dt.Cost(from, to)
 		plan.EdgeCost += dt.Cost(from, to)
+	}
+	// Fusion credit: re-derive, per eligible edge whose selected layouts
+	// agree, the same saving build priced into the PBQP instance, and
+	// attribute it to the producer layer — LayerCost stays an exact
+	// partition of NodeCost.
+	for _, e := range net.Edges() {
+		u, v := e[0], e[1]
+		if !fusionEligibleEdge(net, u, v) {
+			continue
+		}
+		from := pr.choices[u][sol.Selection[u]].outLayout()
+		to := pr.choices[v][sol.Selection[v]].inLayout()
+		if from != to {
+			continue
+		}
+		lu := net.Layers[u]
+		credit := fusionCredit(opts.Prof, plan.Primitives[u], lu.Conv, pr.batch, plan.LayerCost[u])
+		if credit <= 0 {
+			continue
+		}
+		plan.LayerCost[u] -= credit
+		plan.NodeCost -= credit
+		plan.FusionCredit += credit
 	}
 	return plan, nil
 }

@@ -546,5 +546,32 @@ func TestPlanCostBreakdowns(t *testing.T) {
 		if math.Abs(edgeSum-plan.EdgeCost) > 1e-9*math.Max(1, plan.EdgeCost) {
 			t.Errorf("%s: EdgeCosts sums to %g, EdgeCost is %g", name, edgeSum, plan.EdgeCost)
 		}
+		// The fusion credit must already be folded into the partition:
+		// adding it back reproduces the raw primitive prices exactly, so
+		// the credit is attributed to producer layers, never invented.
+		// Vendor proxies model frameworks without epilogue fusion (their
+		// wrapped profiler claims no savings), so only the PBQP plans
+		// carry credit.
+		if name == "caffe" || name == "mkldnn" {
+			if plan.FusionCredit != 0 {
+				t.Errorf("%s: vendor proxy claims fusion credit %g", name, plan.FusionCredit)
+			}
+			continue
+		}
+		if plan.FusionCredit <= 0 {
+			t.Errorf("%s: no fusion credit on alexnet (every conv feeds a single relu)", name)
+		}
+		b := plan.Batch
+		if b < 1 {
+			b = 1
+		}
+		var raw float64
+		for _, id := range net.ConvLayers() {
+			raw += cost.PrimitiveN(opts.Prof, plan.Primitives[id], net.Layers[id].Conv, opts.Threads, b)
+		}
+		if rel := math.Abs(raw-(plan.NodeCost+plan.FusionCredit)) / raw; rel > 1e-9 {
+			t.Errorf("%s: raw primitive prices sum to %g, NodeCost %g + FusionCredit %g diverges",
+				name, raw, plan.NodeCost, plan.FusionCredit)
+		}
 	}
 }

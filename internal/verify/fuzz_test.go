@@ -6,6 +6,7 @@ import (
 
 	"pbqpdnn/internal/dnn/models"
 	"pbqpdnn/internal/exec"
+	"pbqpdnn/internal/gemm"
 	"pbqpdnn/internal/program"
 	"pbqpdnn/internal/tensor"
 )
@@ -28,6 +29,9 @@ func fuzzBases(t testing.TB) []*fuzzBase {
 		{"micronet", 1},
 		{"micronet", 3},
 		{"smallnet", 3},
+		// Residual adds fuse into conv+add+relu instructions here, so
+		// the fusion fields are in the mutation surface.
+		{"resnet-18", 3},
 	} {
 		p := compileFor(t, cfg.model, "pbqp", cfg.batch)
 		net, err := models.Build(cfg.model)
@@ -43,6 +47,19 @@ func fuzzBases(t testing.TB) []*fuzzBase {
 		}
 		bases = append(bases, b)
 	}
+	// The crafted absorbed-conversion program: the only program shape
+	// with a populated CvtIn (real plans select layout-consistent
+	// chains), so conversion-absorption mutants get a live target.
+	cp := cvtInProgram(t, 3)
+	cnet := cp.Plan.Net
+	cb := &fuzzBase{name: "cvtin", prog: cp, w: exec.NewWeights(cnet)}
+	il := cnet.Layers[0]
+	for i := 0; i < 3; i++ {
+		in := tensor.New(tensor.CHW, il.OutC, il.OutH, il.OutW)
+		in.FillRandom(int64(99 + i))
+		cb.inputs = append(cb.inputs, in)
+	}
+	bases = append(bases, cb)
 	return bases
 }
 
@@ -56,7 +73,7 @@ func applyMutations(q *program.Program, data []byte) {
 		op, a, b, c := data[0], int(data[1]), int(data[2]), int(data[3])
 		data = data[4:]
 		ins := &q.Instrs[a%n]
-		switch op % 8 {
+		switch op % 10 {
 		case 0: // move or unslot a value
 			ins.Slot = b%(len(q.SlotCap)+1) - 1
 		case 1: // flip donor / alias bits
@@ -83,6 +100,14 @@ func applyMutations(q *program.Program, data []byte) {
 			}
 		case 7: // re-declare the layout
 			ins.Layout = tensor.Layout(b % 8)
+		case 8: // corrupt the fusion epilogue enum
+			ins.Epi = gemm.Epilogue(b % 6)
+		case 9: // drop a fused layer or the absorbed conversion
+			if len(ins.EpiLayers) > 0 && c%2 == 0 {
+				ins.EpiLayers = ins.EpiLayers[:len(ins.EpiLayers)-1]
+			} else {
+				ins.CvtIn = nil
+			}
 		}
 	}
 }
@@ -105,6 +130,9 @@ func FuzzVerifyProgram(f *testing.F) {
 	f.Add([]byte{5, 7, 9, 0})             // lie about a shape
 	f.Add([]byte{6, 2, 1, 0})             // corrupt a dep count
 	f.Add([]byte{7, 4, 3, 0})             // re-declare a layout
+	f.Add([]byte{8, 3, 2, 0})             // corrupt an epilogue enum
+	f.Add([]byte{9, 2, 0, 0})             // drop a fused layer
+	f.Add([]byte{9, 1, 0, 1})             // drop an absorbed conversion
 	f.Add([]byte{3, 0, 2, 0, 0, 1, 0, 0}) // compound: rebatch then unslot
 
 	f.Fuzz(func(t *testing.T, data []byte) {

@@ -64,7 +64,9 @@ func TestMutationFlipDonor(t *testing.T) {
 	found := 0
 	for _, model := range []string{"resnet-18", "smallnet"} {
 		for _, batch := range []int{1, 3, 8} {
-			p := compileFor(t, model, "pbqp", batch)
+			// Unfused: the fusion pass folds residual adds into their
+			// producing convolutions, leaving no add donee to corrupt.
+			p := compileUnfused(t, model, "pbqp", batch)
 			for j := range p.Instrs {
 				ins := &p.Instrs[j]
 				if ins.Op != program.OpAdd || len(ins.Args) != 2 || ins.Donor != 0 {
@@ -94,7 +96,9 @@ func TestMutationDonorSlotAndAlias(t *testing.T) {
 	foundSlot, foundAlias := 0, 0
 	for _, model := range []string{"resnet-18", "alexnet", "smallnet", "micronet"} {
 		for _, batch := range []int{1, 3, 8} {
-			p := compileFor(t, model, "pbqp", batch)
+			// Unfused: in-place relus — the alias-flip targets — fuse
+			// into their producers otherwise.
+			p := compileUnfused(t, model, "pbqp", batch)
 			for j := range p.Instrs {
 				ins := &p.Instrs[j]
 				if ins.Donor != 0 {

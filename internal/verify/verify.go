@@ -25,6 +25,7 @@ import (
 	"sort"
 
 	"pbqpdnn/internal/dnn"
+	"pbqpdnn/internal/gemm"
 	"pbqpdnn/internal/program"
 	"pbqpdnn/internal/tensor"
 )
@@ -207,7 +208,9 @@ func (v *verifier) checkStructure() error {
 // net and the plan: one instruction per layer with arguments in
 // declared predecessor order, plus exactly one convert instruction per
 // legalized edge, whose chain matches the plan's chain transform by
-// transform.
+// transform. Fused instructions are re-derived too: an instruction may
+// carry extra layers only as a legal epilogue fusion (checkFusion),
+// and may absorb its input conversion only under the absorption rules.
 func (v *verifier) checkTranslation() error {
 	p := v.p
 	net := p.Plan.Net
@@ -216,53 +219,124 @@ func (v *verifier) checkTranslation() error {
 	if len(p.InstrOf) != net.NumLayers() {
 		return fmt.Errorf("verify: InstrOf covers %d layers, net has %d", len(p.InstrOf), net.NumLayers())
 	}
-	seen := make(map[int]bool, net.NumLayers())
 	for id := 0; id < net.NumLayers(); id++ {
-		j := p.InstrOf[id]
-		if j < 0 || j >= len(p.Instrs) {
+		if j := p.InstrOf[id]; j < 0 || j >= len(p.Instrs) {
 			return fmt.Errorf("verify: layer %d maps to out-of-range instr %d", id, j)
 		}
-		if seen[j] {
-			return fmt.Errorf("verify: instr %d computes two layers", j)
+	}
+
+	// Every non-convert instruction claims its base layer plus its fused
+	// epilogue layers; every layer must be claimed by exactly one
+	// instruction, the one InstrOf names.
+	claimed := make([]int, net.NumLayers())
+	for id := range claimed {
+		claimed[id] = -1
+	}
+	claim := func(l *dnn.Layer, j int) error {
+		if l == nil || l.ID < 0 || l.ID >= net.NumLayers() || net.Layers[l.ID] != l {
+			return fmt.Errorf("verify: instr %d carries a layer not in net %q", j, net.Name)
 		}
-		seen[j] = true
+		if prev := claimed[l.ID]; prev >= 0 {
+			return fmt.Errorf("verify: layer %q computed by both instr %d and %d", l.Name, prev, j)
+		}
+		claimed[l.ID] = j
+		return nil
+	}
+	for j := range p.Instrs {
 		ins := &p.Instrs[j]
-		l := net.Layers[id]
-		if ins.Layer != l {
-			return fmt.Errorf("verify: instr %d for layer %q carries layer %v", j, l.Name, ins.Layer)
+		if ins.Op == program.OpConvert {
+			continue
 		}
-		want, ok := opFor(l.Kind)
+		if err := claim(ins.Layer, j); err != nil {
+			return err
+		}
+		want, ok := opFor(ins.Layer.Kind)
 		if !ok {
-			return fmt.Errorf("verify: layer %q has untranslatable kind %s", l.Name, l.Kind)
+			return fmt.Errorf("verify: layer %q has untranslatable kind %s", ins.Layer.Name, ins.Layer.Kind)
 		}
 		if ins.Op != want {
-			return fmt.Errorf("verify: layer %q (%s) lowered to op %s, want %s", l.Name, l.Kind, ins.Op, want)
+			return fmt.Errorf("verify: layer %q (%s) lowered to op %s, want %s", ins.Layer.Name, ins.Layer.Kind, ins.Op, want)
+		}
+		if err := v.checkFusion(j); err != nil {
+			return err
+		}
+		for _, fl := range ins.EpiLayers {
+			if err := claim(fl, j); err != nil {
+				return err
+			}
+		}
+	}
+	for id := 0; id < net.NumLayers(); id++ {
+		if claimed[id] != p.InstrOf[id] {
+			return fmt.Errorf("verify: layer %q computed by instr %d, InstrOf says %d",
+				net.Layers[id].Name, claimed[id], p.InstrOf[id])
 		}
 	}
 
 	// Re-derive every layer instruction's argument list. A convert
 	// instruction is legal only where the plan legalizes an edge with a
 	// non-empty chain, and is consumed exactly once, by that edge's
-	// consumer.
+	// consumer. An absorbed conversion (CvtIn) replaces the convert for
+	// the convolution's data edge; a fused residual appends the residual
+	// value (or its convert) as the second argument.
 	v.edgeOf = make(map[int][2]int)
-	for id := 0; id < net.NumLayers(); id++ {
-		j := p.InstrOf[id]
+	for j := range p.Instrs {
 		ins := &p.Instrs[j]
+		if ins.Op == program.OpConvert {
+			continue
+		}
+		id := ins.Layer.ID
 		preds := net.Preds(id)
 
 		want := make([]int, len(preds))
 		for k, pr := range preds {
 			src := p.InstrOf[pr]
-			if chain := plan.Conversions[[2]int{pr, id}]; len(chain) > 0 {
+			chain := plan.Conversions[[2]int{pr, id}]
+			if k == 0 && len(ins.CvtIn) > 0 {
+				// The absorbed conversion must BE the plan's chain for
+				// this edge; the instruction then consumes the producer's
+				// raw value.
+				if len(chain) != 1 || !transformEqual(ins.CvtIn[0], chain[0]) {
+					return fmt.Errorf("verify: conv %q absorbed chain does not match plan edge %d→%d",
+						ins.Name, pr, id)
+				}
+				want[k] = src
+				continue
+			}
+			if len(chain) > 0 {
 				// The arg must be a convert instruction applying exactly
 				// this chain to the producer's value.
-				ci, err := v.matchConvert(ins, preds, k, src, chain)
+				ci, err := v.matchConvert(ins, preds, k, src, chain, id)
 				if err != nil {
 					return err
 				}
 				want[k] = ci
 			} else {
 				want[k] = src
+			}
+		}
+		if len(ins.EpiLayers) > 0 && (ins.Epi == gemm.EpiAdd || ins.Epi == gemm.EpiAddReLU) {
+			// The residual operand re-derives from the fused add layer's
+			// other predecessor (checkFusion proved there is exactly one).
+			addL := ins.EpiLayers[0]
+			rp := -1
+			for _, ap := range net.Preds(addL.ID) {
+				if ap != id {
+					rp = ap
+				}
+			}
+			if rp < 0 {
+				return fmt.Errorf("verify: fused add %q has no residual predecessor", addL.Name)
+			}
+			rsrc := p.InstrOf[rp]
+			if rchain := plan.Conversions[[2]int{rp, addL.ID}]; len(rchain) > 0 {
+				ci, err := v.matchResidualConvert(ins, rp, rsrc, rchain, addL.ID)
+				if err != nil {
+					return err
+				}
+				want = append(want, ci)
+			} else {
+				want = append(want, rsrc)
 			}
 		}
 		if !argsMatch(ins, want) {
@@ -274,9 +348,127 @@ func (v *verifier) checkTranslation() error {
 	// Every instruction must be accounted for: a layer instruction or a
 	// claimed convert. Strays are fabrications.
 	for j := range p.Instrs {
-		if _, isConv := v.edgeOf[j]; !isConv && !seen[j] {
-			return fmt.Errorf("verify: instr %d (%s %s) corresponds to no layer and no legalized edge",
-				j, p.Instrs[j].Op, p.Instrs[j].Name)
+		ins := &p.Instrs[j]
+		if ins.Op == program.OpConvert {
+			if _, isConv := v.edgeOf[j]; !isConv {
+				return fmt.Errorf("verify: convert instr %d (%s) legalizes no plan edge", j, ins.Name)
+			}
+		}
+	}
+	return nil
+}
+
+func transformEqual(a, b tensor.Transform) bool {
+	return a.Name == b.Name && a.From == b.From && a.To == b.To
+}
+
+// checkFusion re-derives the legality of instruction j's fusion fields
+// from the graph and the plan alone. An unfused instruction passes
+// trivially; a fused one must walk a chain of single-successor,
+// conversion-free, layout-stable epilogue layers of the right kinds,
+// and an absorbed input conversion must be a one-step chain the
+// selected primitive's packer can gather.
+func (v *verifier) checkFusion(j int) error {
+	p := v.p
+	net := p.Plan.Net
+	plan := p.Plan
+	ins := &p.Instrs[j]
+
+	// Epilogue ↔ op ↔ fused-layer-kind coupling.
+	var wantKinds []dnn.Kind
+	switch ins.Epi {
+	case gemm.EpiNone:
+		if len(ins.EpiLayers) != 0 {
+			return fmt.Errorf("verify: instr %d (%s) has fused layers but no epilogue", j, ins.Name)
+		}
+	case gemm.EpiReLU:
+		if ins.Op != program.OpConv && ins.Op != program.OpFC {
+			return fmt.Errorf("verify: instr %d (%s %s) cannot carry a relu epilogue", j, ins.Op, ins.Name)
+		}
+		wantKinds = []dnn.Kind{dnn.KindReLU}
+	case gemm.EpiAdd:
+		if ins.Op != program.OpConv {
+			return fmt.Errorf("verify: instr %d (%s %s) cannot carry an add epilogue", j, ins.Op, ins.Name)
+		}
+		wantKinds = []dnn.Kind{dnn.KindAdd}
+	case gemm.EpiAddReLU:
+		if ins.Op != program.OpConv {
+			return fmt.Errorf("verify: instr %d (%s %s) cannot carry an add+relu epilogue", j, ins.Op, ins.Name)
+		}
+		wantKinds = []dnn.Kind{dnn.KindAdd, dnn.KindReLU}
+	default:
+		return fmt.Errorf("verify: instr %d (%s) carries unknown epilogue %v", j, ins.Name, ins.Epi)
+	}
+	if len(ins.EpiLayers) != len(wantKinds) {
+		return fmt.Errorf("verify: instr %d (%s) epilogue %s fuses %d layers, wants %d",
+			j, ins.Name, ins.Epi, len(ins.EpiLayers), len(wantKinds))
+	}
+
+	// Walk the fused chain: each fused layer must be its producer's ONLY
+	// graph successor (the producer's value is observable nowhere else),
+	// on an edge the plan does not legalize (no conversion may hide
+	// between producer and epilogue), with both sides selected into the
+	// same layout.
+	cur := ins.Layer
+	for i, fl := range ins.EpiLayers {
+		if fl.Kind != wantKinds[i] {
+			return fmt.Errorf("verify: instr %d (%s) fuses %s layer %q, position %d wants %s",
+				j, ins.Name, fl.Kind, fl.Name, i, wantKinds[i])
+		}
+		succs := net.Succs(cur.ID)
+		if len(succs) != 1 || succs[0] != fl.ID {
+			return fmt.Errorf("verify: instr %d fuses %q over producer %q which has other consumers %v",
+				j, fl.Name, cur.Name, succs)
+		}
+		if len(plan.Conversions[[2]int{cur.ID, fl.ID}]) > 0 {
+			return fmt.Errorf("verify: instr %d fuses %q across legalized edge %d→%d", j, fl.Name, cur.ID, fl.ID)
+		}
+		la, oka := plan.Layouts[cur.ID]
+		lb, okb := plan.Layouts[fl.ID]
+		if !oka || !okb || la != lb {
+			return fmt.Errorf("verify: instr %d fuses %q over a layout change (%s→%s)", j, fl.Name, la, lb)
+		}
+		cur = fl
+	}
+
+	// A fused add must have exactly two predecessors (one the producer),
+	// and the residual operand must physically match the output slab —
+	// the epilogue reads it element for element.
+	if ins.Epi == gemm.EpiAdd || ins.Epi == gemm.EpiAddReLU {
+		addL := ins.EpiLayers[0]
+		apreds := net.Preds(addL.ID)
+		if len(apreds) != 2 {
+			return fmt.Errorf("verify: fused add %q has %d predecessors, want 2", addL.Name, len(apreds))
+		}
+		if len(ins.Args) != 2 {
+			return fmt.Errorf("verify: instr %d (%s) epilogue %s carries %d args, wants producer input + residual",
+				j, ins.Name, ins.Epi, len(ins.Args))
+		}
+		r := &p.Instrs[ins.Args[1]]
+		if r.Layout != ins.Layout || dataLen(r.Layout, r.C, r.H, r.W) != dataLen(ins.Layout, ins.C, ins.H, ins.W) {
+			return fmt.Errorf("verify: instr %d (%s) residual %q does not physically match its output", j, ins.Name, r.Name)
+		}
+	}
+
+	// Absorbed input conversion: convolutions in batched programs only,
+	// one-step chains only, and the primitive's layout-general packer
+	// must support the source layout.
+	if len(ins.CvtIn) > 0 {
+		if ins.Op != program.OpConv {
+			return fmt.Errorf("verify: instr %d (%s %s) absorbs an input conversion", j, ins.Op, ins.Name)
+		}
+		if p.Batch < 2 {
+			return fmt.Errorf("verify: instr %d (%s) absorbs a conversion in a batch-1 program", j, ins.Name)
+		}
+		if len(ins.CvtIn) != 1 {
+			return fmt.Errorf("verify: instr %d (%s) absorbs a %d-step chain", j, ins.Name, len(ins.CvtIn))
+		}
+		if ins.Prim == nil {
+			return fmt.Errorf("verify: instr %d (%s) absorbs a conversion without a primitive", j, ins.Name)
+		}
+		if ins.CvtIn[0].To != ins.Prim.In || !ins.Prim.CanAbsorbInput(ins.CvtIn[0].From) {
+			return fmt.Errorf("verify: instr %d (%s): primitive %s cannot absorb %s input",
+				j, ins.Name, ins.Prim.Name, ins.CvtIn[0].From)
 		}
 	}
 	return nil
@@ -286,10 +478,9 @@ func (v *verifier) checkTranslation() error {
 // argument position k of the consumer: it must consume the producer's
 // value, carry the plan's chain for that edge (compared by Name, From
 // and To), produce the producer's shape in the chain's final layout,
-// and serve exactly one edge.
-func (v *verifier) matchConvert(consumer *program.Instr, preds []int, k, src int, chain []tensor.Transform) (int, error) {
-	p := v.p
-	net := p.Plan.Net
+// and serve exactly one edge. consID is the consuming layer's id (the
+// instruction's own layer).
+func (v *verifier) matchConvert(consumer *program.Instr, preds []int, k, src int, chain []tensor.Transform, consID int) (int, error) {
 	if k >= len(consumer.Args) {
 		return -1, fmt.Errorf("verify: layer %q has %d args for %d predecessors", consumer.Name, len(consumer.Args), len(preds))
 	}
@@ -302,40 +493,65 @@ func (v *verifier) matchConvert(consumer *program.Instr, preds []int, k, src int
 		cand = consumer.Args
 	}
 	for _, ci := range cand {
-		ins := &p.Instrs[ci]
-		if ins.Op != program.OpConvert || len(ins.Args) != 1 || ins.Args[0] != src {
-			continue
+		if err := v.checkConvertMatch(ci, src, chain, preds[k], consID); err == nil {
+			return ci, nil
 		}
-		if prev, claimed := v.edgeOf[ci]; claimed {
-			return -1, fmt.Errorf("verify: convert instr %d serves edges %v and %d→%d", ci, prev, preds[k], consumer.Layer.ID)
-		}
-		if len(ins.Chain) != len(chain) {
-			return -1, fmt.Errorf("verify: convert instr %d applies %d transforms, plan edge %d→%d has %d",
-				ci, len(ins.Chain), preds[k], consumer.Layer.ID, len(chain))
-		}
-		for i := range chain {
-			got, want := ins.Chain[i], chain[i]
-			if got.Name != want.Name || got.From != want.From || got.To != want.To {
-				return -1, fmt.Errorf("verify: convert instr %d chain[%d] is %s(%s→%s), plan has %s(%s→%s)",
-					ci, i, got.Name, got.From, got.To, want.Name, want.From, want.To)
-			}
-		}
-		pl := net.Layers[preds[k]]
-		if ins.C != pl.OutC || ins.H != pl.OutH || ins.W != pl.OutW {
-			return -1, fmt.Errorf("verify: convert instr %d shape %d×%d×%d, producer %q is %d×%d×%d",
-				ci, ins.C, ins.H, ins.W, pl.Name, pl.OutC, pl.OutH, pl.OutW)
-		}
-		if got := p.Instrs[src].Layout; got != chain[0].From {
-			return -1, fmt.Errorf("verify: convert instr %d consumes %s value, chain starts at %s", ci, got, chain[0].From)
-		}
-		if ins.Layout != chain[len(chain)-1].To {
-			return -1, fmt.Errorf("verify: convert instr %d produces %s, chain ends at %s", ci, ins.Layout, chain[len(chain)-1].To)
-		}
-		v.edgeOf[ci] = [2]int{preds[k], consumer.Layer.ID}
-		return ci, nil
 	}
 	return -1, fmt.Errorf("verify: edge %s→%s is legalized by the plan but layer %q consumes no matching convert",
-		net.Layers[preds[k]].Name, consumer.Name, consumer.Name)
+		v.p.Plan.Net.Layers[preds[k]].Name, consumer.Name, consumer.Name)
+}
+
+// matchResidualConvert checks the fused residual operand against the
+// plan's legalized chain for the residual edge into the fused add.
+func (v *verifier) matchResidualConvert(ins *program.Instr, prodID, src int, chain []tensor.Transform, addID int) (int, error) {
+	ci := ins.Args[1]
+	if err := v.checkConvertMatch(ci, src, chain, prodID, addID); err != nil {
+		return -1, fmt.Errorf("verify: fused residual of %q: %w", ins.Name, err)
+	}
+	return ci, nil
+}
+
+// checkConvertMatch checks that instruction ci is the convert
+// legalizing edge prodID→consID: consuming src, applying exactly
+// chain, with the producer's shape and the chain's endpoint layouts.
+// On success the edge is claimed in edgeOf.
+func (v *verifier) checkConvertMatch(ci, src int, chain []tensor.Transform, prodID, consID int) error {
+	p := v.p
+	net := p.Plan.Net
+	if ci < 0 || ci >= len(p.Instrs) {
+		return fmt.Errorf("verify: convert candidate %d out of range", ci)
+	}
+	ins := &p.Instrs[ci]
+	if ins.Op != program.OpConvert || len(ins.Args) != 1 || ins.Args[0] != src {
+		return fmt.Errorf("verify: instr %d is no convert of value %d", ci, src)
+	}
+	if prev, claimed := v.edgeOf[ci]; claimed {
+		return fmt.Errorf("verify: convert instr %d serves edges %v and %d→%d", ci, prev, prodID, consID)
+	}
+	if len(ins.Chain) != len(chain) {
+		return fmt.Errorf("verify: convert instr %d applies %d transforms, plan edge %d→%d has %d",
+			ci, len(ins.Chain), prodID, consID, len(chain))
+	}
+	for i := range chain {
+		if !transformEqual(ins.Chain[i], chain[i]) {
+			got, want := ins.Chain[i], chain[i]
+			return fmt.Errorf("verify: convert instr %d chain[%d] is %s(%s→%s), plan has %s(%s→%s)",
+				ci, i, got.Name, got.From, got.To, want.Name, want.From, want.To)
+		}
+	}
+	pl := net.Layers[prodID]
+	if ins.C != pl.OutC || ins.H != pl.OutH || ins.W != pl.OutW {
+		return fmt.Errorf("verify: convert instr %d shape %d×%d×%d, producer %q is %d×%d×%d",
+			ci, ins.C, ins.H, ins.W, pl.Name, pl.OutC, pl.OutH, pl.OutW)
+	}
+	if got := p.Instrs[src].Layout; got != chain[0].From {
+		return fmt.Errorf("verify: convert instr %d consumes %s value, chain starts at %s", ci, got, chain[0].From)
+	}
+	if ins.Layout != chain[len(chain)-1].To {
+		return fmt.Errorf("verify: convert instr %d produces %s, chain ends at %s", ci, ins.Layout, chain[len(chain)-1].To)
+	}
+	v.edgeOf[ci] = [2]int{prodID, consID}
+	return nil
 }
 
 // argsMatch compares a layer instruction's arguments against the
@@ -380,6 +596,14 @@ func (v *verifier) checkShapes() error {
 		if ins.Layout != wantL {
 			return fmt.Errorf("verify: layer %q produces %s, plan selected %s", l.Name, ins.Layout, wantL)
 		}
+		if ins.Layer != l {
+			// A fused-away epilogue layer: its value is the carrying
+			// instruction's output, whose shape and layout were just
+			// checked to agree with this layer too (checkTranslation
+			// proved the fusion chain, including layout stability). The
+			// per-instruction checks below run once, for the base layer.
+			continue
+		}
 
 		switch {
 		case l.Kind == dnn.KindInput:
@@ -422,16 +646,28 @@ func (v *verifier) checkShapes() error {
 		wantIn := wantL
 		if l.IsConv() {
 			wantIn = plan.Primitives[id].In
+			if len(ins.CvtIn) > 0 {
+				// The absorbed conversion's packer gathers straight from
+				// the producer's layout.
+				wantIn = ins.CvtIn[0].From
+			}
 		}
 		preds := net.Preds(id)
-		for k := range ins.Args {
+		nargs := len(ins.Args)
+		if ins.Epi == gemm.EpiAdd || ins.Epi == gemm.EpiAddReLU {
+			// The trailing residual operand is read in the OUTPUT layout
+			// by the epilogue, not the primitive's input layout; its
+			// physical match was proven by checkFusion.
+			nargs--
+		}
+		for k := 0; k < nargs; k++ {
 			a := &p.Instrs[ins.Args[k]]
 			if a.Layout != wantIn {
 				return fmt.Errorf("verify: layer %q receives arg %d in %s, needs %s", l.Name, k, a.Layout, wantIn)
 			}
 			// Arg order may only deviate by the two-input-add swap, so
 			// position k corresponds to preds[k] (or the other pred).
-			if len(preds) == len(ins.Args) {
+			if len(preds) == nargs {
 				pl := net.Layers[preds[k]]
 				if ins.Op == program.OpAdd && len(preds) == 2 && (a.C != pl.OutC || a.H != pl.OutH || a.W != pl.OutW) {
 					pl = net.Layers[preds[1-k]]

@@ -64,6 +64,18 @@ func compileFor(t testing.TB, model, strategy string, batch int) *program.Progra
 	return p
 }
 
+// compileUnfused compiles without the fusion pass — some mutation
+// classes target the in-place donation machinery, whose relu and add
+// donees the fusion pass otherwise folds into their producers.
+func compileUnfused(t testing.TB, model, strategy string, batch int) *program.Program {
+	t.Helper()
+	p, err := program.CompileBatchNoFuse(planFor(t, model, strategy), batch)
+	if err != nil {
+		t.Fatalf("%s/%s@%d (nofuse): %v", model, strategy, batch, err)
+	}
+	return p
+}
+
 // TestVerifyAcceptsAllPrograms is the acceptance matrix: every
 // evaluation and demo model, at batch 1, 3 and 8, under every selection
 // strategy, must compile to a program the independent verifier accepts
