@@ -421,12 +421,16 @@ func writeFuseSweepJSON(pts []experiments.FuseSweepPoint) error {
 }
 
 // gemmSweepRecord is one machine-readable raw-GEMM measurement:
-// kernel variant × square size, min-of-reps wall clock. CI archives
-// these per commit so the packed kernel's GFLOP/s trajectory (and its
-// ratio over blocked) is diffable across the project's history.
+// kernel × microkernel variant × square size, min-of-reps wall clock.
+// Variant is "avx2" or "go" for the packed family (which dispatches
+// through the SIMD switch) and "go" for the always-pure-Go kernels.
+// CI archives these per commit — from both the SIMD and purego legs —
+// so each variant's GFLOP/s trajectory (and the avx2/go ratio) is
+// diffable across the project's history.
 type gemmSweepRecord struct {
 	Benchmark string  `json:"benchmark"`
 	Kernel    string  `json:"kernel"`
+	Variant   string  `json:"variant"`
 	M         int     `json:"m"`
 	N         int     `json:"n"`
 	K         int     `json:"k"`
@@ -443,6 +447,7 @@ func writeGemmSweepJSON(pts []experiments.GemmSweepPoint, threads int) error {
 		recs[i] = gemmSweepRecord{
 			Benchmark: "gemmsweep",
 			Kernel:    p.Kernel,
+			Variant:   p.Variant,
 			M:         p.M, N: p.N, K: p.K,
 			Threads: threads,
 			Reps:    p.Reps,

@@ -51,14 +51,18 @@ var nameBaseEff = map[string]float64{
 	// im2: the GEMM engine dominates; naive GEMM is the outlier. The
 	// packed register-tiled kernel sustains ~3.2× the blocked kernel's
 	// GFLOP/s on square panels (measured min-of-3, 512–1024 sweep on the
-	// reference box); the -pack entries carry that ratio, derated
-	// slightly for the conv-shaped panels' pack overhead. The -abt
-	// entries keep their stock-backend values even though TransB now
-	// rides the packed path: this analytic table models the *paper's*
-	// platforms and relative GEMM ratios (Figure 4's story), while the
-	// tuned Go backend is priced by wall-clock calibration
-	// (Measure/AddNetTopK) wherever selection consumes real measured
-	// costs.
+	// reference box, pure-Go microkernel); the -pack entries carry that
+	// ratio, derated slightly for the conv-shaped panels' pack overhead.
+	// The -abt entries keep their stock-backend values even though TransB
+	// now rides the packed path, and the entries deliberately do NOT
+	// carry the AVX2/FMA microkernel's further ~4.4× (doing so makes
+	// im2-pack dominate every layer and erases the paper's selection
+	// spread): this analytic table models the *paper's* platforms and
+	// relative GEMM ratios (Figure 4's story), while the tuned Go backend
+	// — whichever microkernel variant it dispatches to — is priced by
+	// wall-clock calibration (Measure/AddNetTopK) wherever selection
+	// consumes real measured costs. Calibrated cost tables are therefore
+	// variant-specific; Table.GemmVariant records the provenance.
 	"im2col-ab": 0.15, "im2col-abt": 0.145, "im2col-blk": 0.20,
 	"im2col-pack":  0.45,
 	"im2col-naive": 0.05,

@@ -9,6 +9,7 @@ import (
 
 	"pbqpdnn/internal/conv"
 	"pbqpdnn/internal/dnn"
+	"pbqpdnn/internal/gemm"
 	"pbqpdnn/internal/tensor"
 )
 
@@ -32,6 +33,13 @@ import (
 type Table struct {
 	// Machine documents the platform the table was profiled on.
 	Machine string `json:"machine"`
+	// GemmVariant documents which packed-GEMM microkernel ("avx2" or
+	// "go") was dispatched while the entries were measured. Measured
+	// costs are variant-specific — the microkernels differ ~4× on
+	// GEMM-backed primitives — so a table must only drive selection on
+	// a host dispatching the same variant. Absent in tables written
+	// before runtime dispatch existed (implicitly "go").
+	GemmVariant string `json:"gemm_variant,omitempty"`
 	// Threads is the thread count the entries were profiled at.
 	Threads int `json:"threads"`
 	// Batches records the minibatch sizes profiled into the table.
@@ -72,13 +80,16 @@ func transformKey(c, h, w, n int) string {
 }
 
 // NewTable returns an empty table for the named machine, ready for
-// AddNet.
+// AddNet. The table is stamped with the packed-GEMM microkernel
+// variant the process currently dispatches to, since that is what the
+// Measure profiler will wall-clock into it.
 func NewTable(machine string, threads int) *Table {
 	return &Table{
-		Machine:    machine,
-		Threads:    threads,
-		Nodes:      map[string]map[string]float64{},
-		Transforms: map[string]map[string]float64{},
+		Machine:     machine,
+		GemmVariant: gemm.Variant(),
+		Threads:     threads,
+		Nodes:       map[string]map[string]float64{},
+		Transforms:  map[string]map[string]float64{},
 	}
 }
 

@@ -8,6 +8,7 @@ import (
 	"pbqpdnn/internal/cost"
 	"pbqpdnn/internal/dnn"
 	"pbqpdnn/internal/dnn/models"
+	"pbqpdnn/internal/gemm"
 	"pbqpdnn/internal/program"
 	"pbqpdnn/internal/selector"
 	"pbqpdnn/internal/tensor"
@@ -235,8 +236,24 @@ func TestEngineMatchesReferenceFullModels(t *testing.T) {
 // TestEngineDeterministicSingleThread: at Threads=1 the engine must be
 // bitwise deterministic run to run, arena recycling included — on the
 // per-image path and on the batched path (whose restructured kernels
-// accumulate in a fixed order regardless of batch position).
+// accumulate in a fixed order regardless of batch position). The pin
+// is scoped to one GEMM microkernel variant at a time: the AVX2 and
+// pure-Go packed microkernels associate partial products differently,
+// so runs are bitwise repeatable only while dispatch stays on one
+// variant — which is the deployment reality, since the variant is
+// fixed at process start (CPUID + purego tag + DNN_NOSIMD). Outputs
+// are deliberately NOT compared across the subtests.
 func TestEngineDeterministicSingleThread(t *testing.T) {
+	for _, variant := range gemm.PackedVariants() {
+		t.Run("variant="+variant, func(t *testing.T) {
+			prev := gemm.SetSIMD(variant == "avx2")
+			defer gemm.SetSIMD(prev)
+			testEngineDeterministicSingleThread(t)
+		})
+	}
+}
+
+func testEngineDeterministicSingleThread(t *testing.T) {
 	for _, net := range []*dnn.Graph{tinyDAG(), resnetStyle()} {
 		w := NewWeights(net)
 		plan, err := selector.Select(net, selector.Options{

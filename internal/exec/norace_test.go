@@ -1,0 +1,7 @@
+//go:build !race
+
+package exec
+
+// raceEnabled reports whether this test binary was built with the race
+// detector; see race_test.go for why allocation pins skip under race.
+const raceEnabled = false

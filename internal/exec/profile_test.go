@@ -127,6 +127,9 @@ func TestProfileSparseSampling(t *testing.T) {
 // verifies the no-allocation property statically, this verifies it
 // dynamically).
 func TestProfileDisabledAllocsUnchanged(t *testing.T) {
+	if raceEnabled {
+		t.Skip("exact allocs/op is nondeterministic under the race detector: sync.Pool drops a random 1-in-4 of Puts when race is enabled, so the pooled GEMM panels re-allocate at random; the non-race leg pins the count and hotpathalloc pins it statically")
+	}
 	off, insOff := profiledEngine(t, 2, 1)
 	cold, insCold := profiledEngine(t, 2, 1)
 	// 1<<30 ≫ the run count: SampleChunk ticks but never fires, so this

@@ -18,43 +18,55 @@ import (
 // above 256 (it alone would dominate the sweep's runtime without
 // informing the packed-vs-blocked trend CI tracks).
 
-// GemmSweepPoint is one (kernel, m, n, k) measurement.
+// GemmSweepPoint is one (kernel, variant, m, n, k) measurement.
+// Variant names the dispatched microkernel for the packed family
+// ("avx2" or "go"); the non-packed kernels are pure Go by construction
+// and always report "go".
 type GemmSweepPoint struct {
 	Kernel  string
+	Variant string
 	M, N, K int
 	Reps    int
 	MinNs   float64
 	GFLOPS  float64
 }
 
-// gemmSweepKernels enumerates the swept variants. TransB receives the
+// gemmSweepKernels enumerates the swept kernels. TransB receives the
 // same logical B, pre-transposed outside the timed region; ParallelCols
-// uses the caller's thread budget.
+// uses the caller's thread budget. packedFamily marks the kernels that
+// dispatch through the SIMD/pure-Go microkernel switch — the sweep
+// times those once per available variant.
 func gemmSweepKernels(threads int) []struct {
-	name string
-	run  func(m, n, k int, a, b, bt, c []float32)
+	name         string
+	packedFamily bool
+	run          func(m, n, k int, a, b, bt, c []float32)
 } {
 	return []struct {
-		name string
-		run  func(m, n, k int, a, b, bt, c []float32)
+		name         string
+		packedFamily bool
+		run          func(m, n, k int, a, b, bt, c []float32)
 	}{
-		{"naive", func(m, n, k int, a, b, bt, c []float32) { gemm.Naive(m, n, k, a, b, c) }},
-		{"ikj", func(m, n, k int, a, b, bt, c []float32) { gemm.IKJ(m, n, k, a, b, c) }},
-		{"blocked", func(m, n, k int, a, b, bt, c []float32) { gemm.Blocked(m, n, k, 0, a, b, c) }},
-		{"transb", func(m, n, k int, a, b, bt, c []float32) { gemm.TransB(m, n, k, a, bt, c) }},
-		{"packed", func(m, n, k int, a, b, bt, c []float32) { gemm.Packed(m, n, k, a, b, c) }},
-		{"parallelcols", func(m, n, k int, a, b, bt, c []float32) {
+		{"naive", false, func(m, n, k int, a, b, bt, c []float32) { gemm.Naive(m, n, k, a, b, c) }},
+		{"ikj", false, func(m, n, k int, a, b, bt, c []float32) { gemm.IKJ(m, n, k, a, b, c) }},
+		{"blocked", false, func(m, n, k int, a, b, bt, c []float32) { gemm.Blocked(m, n, k, 0, a, b, c) }},
+		{"transb", true, func(m, n, k int, a, b, bt, c []float32) { gemm.TransB(m, n, k, a, bt, c) }},
+		{"packed", true, func(m, n, k int, a, b, bt, c []float32) { gemm.Packed(m, n, k, a, b, c) }},
+		{"parallelcols", true, func(m, n, k int, a, b, bt, c []float32) {
 			gemm.ParallelCols(threads, m, n, k, a, b, c)
 		}},
 	}
 }
 
-// GemmSweep runs the kernel × size grid. Sizes are square (m=n=k=s);
-// the conv-shaped panels are covered by plansweep's whole-net runs.
+// GemmSweep runs the kernel × variant × size grid. Sizes are square
+// (m=n=k=s); the conv-shaped panels are covered by plansweep's
+// whole-net runs. The packed-family kernels are timed once per
+// available microkernel variant; the dispatch state is restored on
+// return.
 func GemmSweep(sizes []int, threads, reps int) []GemmSweepPoint {
 	if reps < 1 {
 		reps = 1
 	}
+	defer gemm.SetSIMD(gemm.SIMDEnabled())
 	var pts []GemmSweepPoint
 	rng := rand.New(rand.NewSource(42))
 	for _, s := range sizes {
@@ -67,22 +79,31 @@ func GemmSweep(sizes []int, threads, reps int) []GemmSweepPoint {
 			if kv.name == "naive" && s > 256 {
 				continue
 			}
-			minNs := 0.0
-			for r := 0; r < reps; r++ {
-				start := time.Now()
-				kv.run(m, n, k, a, b, bt, c)
-				ns := float64(time.Since(start).Nanoseconds())
-				if r == 0 || ns < minNs {
-					minNs = ns
-				}
+			variants := []string{"go"}
+			if kv.packedFamily {
+				variants = gemm.PackedVariants()
 			}
-			pts = append(pts, GemmSweepPoint{
-				Kernel: kv.name, M: m, N: n, K: k,
-				Reps:  reps,
-				MinNs: minNs,
-				GFLOPS: 2 * float64(m) * float64(n) * float64(k) /
-					minNs,
-			})
+			for _, variant := range variants {
+				if kv.packedFamily {
+					gemm.SetSIMD(variant == "avx2")
+				}
+				minNs := 0.0
+				for r := 0; r < reps; r++ {
+					start := time.Now()
+					kv.run(m, n, k, a, b, bt, c)
+					ns := float64(time.Since(start).Nanoseconds())
+					if r == 0 || ns < minNs {
+						minNs = ns
+					}
+				}
+				pts = append(pts, GemmSweepPoint{
+					Kernel: kv.name, Variant: variant, M: m, N: n, K: k,
+					Reps:  reps,
+					MinNs: minNs,
+					GFLOPS: 2 * float64(m) * float64(n) * float64(k) /
+						minNs,
+				})
+			}
 		}
 	}
 	return pts
@@ -106,9 +127,9 @@ func transposeSlice(rows, cols int, a []float32) []float32 {
 	return t
 }
 
-// FormatGemmSweep renders the sweep as a table with per-size speedup
-// of the packed kernel over blocked — the ratio the acceptance
-// criterion tracks.
+// FormatGemmSweep renders the sweep as a table with per-size speedups
+// of the packed kernel over blocked, and of the SIMD packed variant
+// over the pure-Go one — the ratios the acceptance criteria track.
 func FormatGemmSweep(pts []GemmSweepPoint) string {
 	var sb strings.Builder
 	sb.WriteString("== GEMM kernel sweep (square sizes, min-of-reps wall clock) ==\n")
@@ -122,20 +143,29 @@ func FormatGemmSweep(pts []GemmSweepPoint) string {
 	}
 	sort.Ints(sizes)
 	for _, s := range sizes {
-		var blocked, packed float64
+		var blocked, packedGo, packedSIMD float64
 		sb.WriteString(fmt.Sprintf("  %d×%d×%d:\n", s, s, s))
 		for _, p := range bySize[s] {
-			sb.WriteString(fmt.Sprintf("    %-13s %8.2f ms  %6.2f GFLOP/s\n",
-				p.Kernel, p.MinNs/1e6, p.GFLOPS))
-			switch p.Kernel {
-			case "blocked":
+			label := p.Kernel
+			if p.Variant != "" {
+				label += "[" + p.Variant + "]"
+			}
+			sb.WriteString(fmt.Sprintf("    %-19s %8.2f ms  %6.2f GFLOP/s\n",
+				label, p.MinNs/1e6, p.GFLOPS))
+			switch {
+			case p.Kernel == "blocked":
 				blocked = p.GFLOPS
-			case "packed":
-				packed = p.GFLOPS
+			case p.Kernel == "packed" && p.Variant == "avx2":
+				packedSIMD = p.GFLOPS
+			case p.Kernel == "packed":
+				packedGo = p.GFLOPS
 			}
 		}
-		if blocked > 0 && packed > 0 {
-			sb.WriteString(fmt.Sprintf("    packed/blocked: %.2f×\n", packed/blocked))
+		if blocked > 0 && packedGo > 0 {
+			sb.WriteString(fmt.Sprintf("    packed[go]/blocked: %.2f×\n", packedGo/blocked))
+		}
+		if packedSIMD > 0 && packedGo > 0 {
+			sb.WriteString(fmt.Sprintf("    packed[avx2]/packed[go]: %.2f×\n", packedSIMD/packedGo))
 		}
 	}
 	return sb.String()

@@ -1,0 +1,88 @@
+package gemm
+
+import (
+	"os"
+	"sync/atomic"
+)
+
+// Kernel-variant dispatch for the packed GEMM family.
+//
+// The packed kernels (Packed, PackedEpi, Accumulate, TransB,
+// ParallelCols) run one of two interchangeable microkernels over the
+// same KC×NC packed-B panel format:
+//
+//   - "avx2": the assembly microkernel in pack_amd64.s — 16 output
+//     columns per pass held in two YMM accumulator rows, FMA for the
+//     multiply-add, the fused epilogue applied while the output tile is
+//     still register-resident. Selected at init when CPUID reports
+//     AVX2+FMA and the OS has enabled YMM state.
+//   - "go": the pure-Go row-streaming packedRowK4 microkernel — the
+//     documented fallback, always compiled, and the only variant on
+//     non-amd64 targets or under the `purego` build tag.
+//
+// FP-association contract (the determinism fine print): the two
+// variants group partial products differently — packedRowK4 folds k in
+// sequential groups of four straight into C, the AVX2 kernel keeps four
+// independent k-strided accumulator chains per 8-lane group and
+// combines them as ((q0+q1)+(q2+q3))+C — so float32 results agree
+// across variants only within the library-wide 1e-4 equivalence
+// tolerance, never bitwise. Within a variant every guarantee is as
+// strong as it always was: repeated calls are bitwise stable (pooled
+// pack buffers included), ParallelCols is bitwise identical to Packed
+// for any thread count, and a fused epilogue is bitwise identical to
+// the separate post-pass. Tests that pin bitwise behaviour therefore
+// pin it per variant, and anything persisted across processes (golden
+// outputs, calibration-free plan comparisons) must not assume the two
+// variants interchange bitwise.
+var simdEnabled atomic.Bool
+
+func init() {
+	// DNN_NOSIMD is the runtime escape hatch mirroring the compile-time
+	// `purego` tag: any non-empty value forces the pure-Go microkernel
+	// so the fallback is testable (and a misbehaving asm kernel is
+	// bypassable) without rebuilding.
+	simdEnabled.Store(simdAvailable() && os.Getenv("DNN_NOSIMD") == "")
+}
+
+// SIMDAvailable reports whether the AVX2/FMA microkernel is usable on
+// this build and CPU: compiled in (amd64, no `purego` tag), the CPU
+// advertises AVX2+FMA, and the OS saves YMM state. It ignores the
+// DNN_NOSIMD override and SetSIMD — availability, not selection.
+func SIMDAvailable() bool { return simdAvailable() }
+
+// SIMDEnabled reports whether the packed kernels currently dispatch to
+// the AVX2 microkernel.
+func SIMDEnabled() bool { return simdEnabled.Load() }
+
+// SetSIMD selects (true) or deselects (false) the AVX2 microkernel for
+// subsequent packed-kernel calls and returns the previous setting.
+// Enabling is a no-op when SIMDAvailable is false, so callers may
+// toggle unconditionally. This is a test/benchmark knob for measuring
+// and differential-testing both variants in one process; each kernel
+// call reads the setting once at entry, so a concurrent toggle never
+// mixes variants within a call, but production code should pick a
+// variant at startup and leave it alone (cross-variant results are not
+// bitwise comparable — see the FP-association contract above).
+func SetSIMD(on bool) bool {
+	prev := simdEnabled.Load()
+	simdEnabled.Store(on && simdAvailable())
+	return prev
+}
+
+// Variant names the microkernel the packed kernels currently dispatch
+// to: "avx2" or "go". Benchmark records key measurements by this.
+func Variant() string {
+	if simdEnabled.Load() {
+		return "avx2"
+	}
+	return "go"
+}
+
+// PackedVariants lists the microkernel variants runnable in this
+// process, the dispatched one first — what a sweep should measure.
+func PackedVariants() []string {
+	if simdAvailable() {
+		return []string{"avx2", "go"}
+	}
+	return []string{"go"}
+}

@@ -1,0 +1,15 @@
+//go:build !amd64 || purego
+
+package gemm
+
+// simdAvailable is constant false on builds without the assembly
+// microkernel (non-amd64 targets, or amd64 under the `purego` tag), so
+// the packed kernels always dispatch to the pure-Go packedRowK4 path
+// and SetSIMD(true) is a no-op.
+func simdAvailable() bool { return false }
+
+// packedRowFMA is unreachable on pure-Go builds — dispatch is gated on
+// simdAvailable — but must exist so pack.go compiles everywhere.
+func packedRowFMA(ai *float32, kc int, bp, ci *float32, cols, ldb, epi int, r, bias *float32) {
+	panic("gemm: packedRowFMA dispatched on a build without SIMD support")
+}

@@ -85,13 +85,15 @@ func checkEpi(m, n int, epi Epilogue, r, bias []float32) {
 
 // Packed computes C = A·B with the packed, register-tiled kernel: B is
 // staged KC×NC blocks at a time into pooled scratch and each row of C
-// is updated by the k-unrolled row-streaming microkernel packedRowK4.
-// Every element's partial products accumulate in a fixed order
-// (increasing k, grouped four at a time by the unroll), so results are
-// bitwise stable across repeated calls with reused pack buffers —
-// though the grouping rounds differently than Naive's one-product
-// fold, so cross-kernel agreement is within tolerance, not bitwise.
-// C is overwritten.
+// is updated by the dispatched microkernel — the AVX2/FMA assembly
+// kernel when the CPU has it, the k-unrolled row-streaming pure-Go
+// packedRowK4 otherwise (see Variant and the FP-association contract
+// in dispatch.go). Within either variant every element's partial
+// products accumulate in a fixed order, so results are bitwise stable
+// across repeated calls with reused pack buffers — though each
+// variant's grouping rounds differently than Naive's one-product fold
+// (and than the other variant's), so cross-kernel agreement is within
+// tolerance, not bitwise. C is overwritten.
 func Packed(m, n, k int, a, b, c []float32) {
 	checkDims(m, n, k, a, b, c)
 	packedRange(m, n, k, 0, n, a, b, c, false, false, EpiNone, nil, nil)
@@ -101,9 +103,12 @@ func Packed(m, n, k int, a, b, c []float32) {
 // the elementwise post-pass applied right after its last partial
 // product lands, so the slab is written once instead of
 // written-then-rewalked. The epilogue runs per fully-accumulated
-// column stripe (the jc loop is outermost), so it sees exactly the
-// values Packed would have produced — a fused ReLU or residual add is
-// bitwise identical to running the separate pass afterwards.
+// column stripe (the jc loop is outermost) — on the SIMD path it is
+// folded into the final KC block's writeback while the 16-column tile
+// is still register-resident — so it sees exactly the values Packed
+// would have produced: under either microkernel variant, a fused ReLU
+// or residual add is bitwise identical to running the separate pass
+// afterwards.
 func PackedEpi(m, n, k int, a, b, c []float32, epi Epilogue, r, bias []float32) {
 	checkDims(m, n, k, a, b, c)
 	checkEpi(m, n, epi, r, bias)
@@ -171,6 +176,12 @@ func ParallelColsEpi(threads, m, n, k int, a, b, c []float32, epi Epilogue, r, b
 	}
 	var wg sync.WaitGroup
 	cols := (n + threads - 1) / threads
+	// Stripe boundaries are rounded up to 16-column alignment so the
+	// SIMD microkernel's 16-wide tiles (and the scalar columns past the
+	// last 16-aligned one) land on the same global columns no matter
+	// how the split falls — the structural fact that keeps ParallelCols
+	// bitwise identical to Packed under both microkernel variants.
+	cols = (cols + 15) &^ 15
 	for t := 0; t < threads; t++ {
 		j0 := t * cols
 		j1 := min(j0+cols, n)
@@ -188,13 +199,19 @@ func ParallelColsEpi(threads, m, n, k int, a, b, c []float32, epi Epilogue, r, b
 
 // packedRange runs the packed kernel on the [j0, j1) column stripe of
 // C: stage a KC×NC block of B (or of Bᵀ, un-transposing), then stream
-// every row of C against it. The KC blocks advance in increasing-k
-// order and the unroll grouping depends only on p's alignment, never on
-// the column stripe, so every element's accumulation sequence is the
-// same no matter how the columns are split across goroutines. The
-// epilogue is applied to each NC stripe right after its pc loop ends —
-// the jc loop is outermost, so every element of the stripe is fully
-// accumulated there and still warm in cache.
+// every row of C against it with the dispatched microkernel. The KC
+// blocks advance in increasing-k order and each variant's per-element
+// accumulation structure depends only on p's alignment and the
+// element's *global* column (the SIMD path aligns its 16-wide tiles to
+// global column indices and ParallelCols splits on 16-column
+// boundaries), never on the column stripe, so every element's
+// accumulation sequence is the same no matter how the columns are
+// split across goroutines. The epilogue is applied to each NC stripe
+// right after its pc loop ends — the jc loop is outermost, so every
+// element of the stripe is fully accumulated there and still warm in
+// cache; the SIMD path goes one step further and folds it into the
+// final KC block's register-resident writeback, which by the
+// add-then-store ordering produces bitwise the same values.
 func packedRange(m, n, k, j0, j1 int, a, b, c []float32, accumulate, transB bool, epi Epilogue, r, bias []float32) {
 	if !accumulate {
 		for i := 0; i < m; i++ {
@@ -214,6 +231,7 @@ func packedRange(m, n, k, j0, j1 int, a, b, c []float32, accumulate, transB bool
 		}
 		return
 	}
+	simd := simdEnabled.Load()
 	sp := packPool.Get().(*[]float32)
 	buf := *sp
 	for jc := j0; jc < j1; jc += packNC {
@@ -226,17 +244,95 @@ func packedRange(m, n, k, j0, j1 int, a, b, c []float32, accumulate, transB bool
 			} else {
 				packB(kc, nc, n, b[pc*n+jc:], bp)
 			}
-			for i := 0; i < m; i++ {
-				packedRowK4(a[i*k+pc:][:kc], bp, c[i*n+jc:], nc)
+			if simd {
+				rowEpi := EpiNone
+				if pc+kc == k {
+					rowEpi = epi // last KC block: fold the epilogue into the writeback
+				}
+				for i := 0; i < m; i++ {
+					packedRowSIMD(a[i*k+pc:][:kc], bp, c[i*n+jc:], jc, nc, rowEpi,
+						epiResidual(rowEpi, r, i*n+jc, nc), epiBias(rowEpi, bias, jc, nc))
+				}
+			} else {
+				for i := 0; i < m; i++ {
+					packedRowK4(a[i*k+pc:][:kc], bp, c[i*n+jc:], nc)
+				}
 			}
 		}
-		if epi != EpiNone {
+		if !simd && epi != EpiNone {
 			for i := 0; i < m; i++ {
 				applyEpiRow(epi, c[i*n+jc:][:nc], epiResidual(epi, r, i*n+jc, nc), epiBias(epi, bias, jc, nc))
 			}
 		}
 	}
 	packPool.Put(sp)
+}
+
+// packedRowSIMD updates one C row stripe against the packed panel with
+// the AVX2 microkernel. ci is the row's stripe view starting at global
+// column jc; the assembly kernel covers the 16-aligned tile run — tiles
+// are aligned to *global* columns, not to the stripe, so a ParallelCols
+// split never changes which tile (or which scalar edge) an element
+// belongs to — and packedRowPart picks up the ragged head (j0 unaligned;
+// never hit by the exported entry points) and the final global tail.
+// epi is EpiNone except on the last KC block, where the fused epilogue
+// is applied tile-by-tile while the sums are register-resident; ri and
+// bv are the stripe-aligned residual/bias views (nil when unused).
+func packedRowSIMD(ai, bp, ci []float32, jc, nc int, epi Epilogue, ri, bv []float32) {
+	ci = ci[:nc]
+	head := (16 - jc&15) & 15
+	if head > nc {
+		head = nc
+	}
+	full := (nc - head) &^ 15
+	if head > 0 {
+		packedRowPart(ai, bp, ci, 0, head, nc)
+		if epi != EpiNone {
+			applyEpiRow(epi, ci[:head], epiSub(ri, 0, head), epiSub(bv, 0, head))
+		}
+	}
+	if full > 0 {
+		var rp, bp2 *float32
+		if ri != nil {
+			rp = &ri[head]
+		}
+		if bv != nil {
+			bp2 = &bv[head]
+		}
+		packedRowFMA(&ai[0], len(ai), &bp[head], &ci[head], full, nc, int(epi), rp, bp2)
+	}
+	if lo := head + full; lo < nc {
+		packedRowPart(ai, bp, ci, lo, nc, nc)
+		if epi != EpiNone {
+			applyEpiRow(epi, ci[lo:nc], epiSub(ri, lo, nc), epiSub(bv, lo, nc))
+		}
+	}
+}
+
+// packedRowPart accumulates the scalar ragged columns [lo, hi) of one C
+// row against the packed panel — the <16-wide head/tail the SIMD
+// microkernel cannot tile. Partial products fold sequentially in
+// increasing k; which columns take this path depends only on global
+// column indices, so the order is stable across stripe splits.
+//
+//dnn:hotpath
+func packedRowPart(ai, bp, ci []float32, lo, hi, nc int) {
+	w := ci[lo:hi]
+	for p, av := range ai {
+		row := bp[p*nc+lo:][:len(w)]
+		for j, bv := range row {
+			w[j] += av * bv
+		}
+	}
+}
+
+// epiSub narrows a per-stripe epilogue operand view to a sub-segment,
+// tolerating the nil an unused operand arrives as.
+func epiSub(s []float32, lo, hi int) []float32 {
+	if s == nil {
+		return nil
+	}
+	return s[lo:hi]
 }
 
 // epiResidual slices the residual operand aligned with a C row segment,
@@ -357,7 +453,11 @@ func packBT(kc, nc, ldb int, src, dst []float32) {
 	}
 }
 
-// packedRowK4 is the register-tiled microkernel: one C row updated
+// packedRowK4 is the pure-Go microkernel — the documented fallback the
+// dispatcher selects on non-amd64 targets, under the `purego` build
+// tag, with DNN_NOSIMD set, or when the CPU lacks AVX2/FMA (and the
+// variant gemmsweep/differential tests force on any box via SetSIMD).
+// One C row is updated
 // against a resident kc×nc packed B block, with k unrolled by four so
 // each pass over the row combines four B panel rows (eight FLOPs per
 // element visit). The four a-scalars live in registers; every slice in

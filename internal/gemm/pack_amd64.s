@@ -1,0 +1,134 @@
+//go:build amd64 && !purego
+
+#include "textflag.h"
+
+// func packedRowFMA(ai *float32, kc int, bp, ci *float32, cols, ldb, epi int, r, bias *float32)
+//
+// The AVX2/FMA microkernel of the packed GEMM family: one C row
+// updated against the resident KC×NC packed-B panel, NR = 16 output
+// columns per pass held in two YMM accumulator rows. The k loop is
+// unrolled by four into four *independent* accumulator pairs —
+// lane u sums the p ≡ u (mod 4) panel rows — giving eight FMA
+// dependency chains, enough to cover FMA latency; the ragged k tail
+// (kc mod 4) streams into lane 0. After the k loop the lanes are
+// combined as (q0+q1) + (q2+q3), the existing C tile is added
+// (callers pre-zero C for the overwrite entries, exactly like the
+// pure-Go path), the fused epilogue is applied while the tile is still
+// register-resident, and the tile is stored — C is touched exactly
+// once per (row, KC block, 16-column tile).
+//
+// Epilogue codes match the Go Epilogue constants: 0 none, 1 ReLU,
+// 2 bias, 3 add, 4 add+relu. ReLU is VMAXPS with zero in the *first*
+// source so NaN lanes keep their NaN (Intel max returns the second
+// source on NaN) and -0 survives — bitwise what the Go post-pass
+// `if v < 0 { v = 0 }` computes.
+//
+// Register plan:
+//   SI  a cursor            CX  k countdown        BX  panel row cursor
+//   R12 panel tile base     DI  C cursor           R8/R9 residual/bias cursors
+//   R10 remaining 16-col tiles   R11 panel row stride (bytes)   R13 2·stride
+//   Y0..Y7 accumulator lanes     Y8..Y11 A broadcasts           Y12 zero (ReLU)
+TEXT ·packedRowFMA(SB), NOSPLIT, $0-72
+	MOVQ cols+32(FP), R10
+	SHRQ $4, R10         // number of 16-column tiles
+	JZ   done
+	MOVQ bp+16(FP), R12
+	MOVQ ci+24(FP), DI
+	MOVQ r+56(FP), R8
+	MOVQ bias+64(FP), R9
+	MOVQ ldb+40(FP), R11
+	SHLQ $2, R11             // panel row stride in bytes
+	LEAQ (R11)(R11*1), R13   // two panel rows
+
+tile:
+	VXORPS Y0, Y0, Y0
+	VXORPS Y1, Y1, Y1
+	VXORPS Y2, Y2, Y2
+	VXORPS Y3, Y3, Y3
+	VXORPS Y4, Y4, Y4
+	VXORPS Y5, Y5, Y5
+	VXORPS Y6, Y6, Y6
+	VXORPS Y7, Y7, Y7
+	MOVQ ai+0(FP), SI
+	MOVQ kc+8(FP), CX
+	MOVQ R12, BX
+
+k4:
+	CMPQ CX, $4
+	JLT  ktail
+	VBROADCASTSS (SI), Y8
+	VFMADD231PS (BX), Y8, Y0
+	VFMADD231PS 32(BX), Y8, Y1
+	VBROADCASTSS 4(SI), Y9
+	VFMADD231PS (BX)(R11*1), Y9, Y2
+	VFMADD231PS 32(BX)(R11*1), Y9, Y3
+	ADDQ R13, BX
+	VBROADCASTSS 8(SI), Y10
+	VFMADD231PS (BX), Y10, Y4
+	VFMADD231PS 32(BX), Y10, Y5
+	VBROADCASTSS 12(SI), Y11
+	VFMADD231PS (BX)(R11*1), Y11, Y6
+	VFMADD231PS 32(BX)(R11*1), Y11, Y7
+	ADDQ R13, BX
+	ADDQ $16, SI
+	SUBQ $4, CX
+	JMP  k4
+
+ktail:
+	TESTQ CX, CX
+	JZ    reduce
+
+ktail1:
+	VBROADCASTSS (SI), Y8
+	VFMADD231PS (BX), Y8, Y0
+	VFMADD231PS 32(BX), Y8, Y1
+	ADDQ $4, SI
+	ADDQ R11, BX
+	DECQ CX
+	JNZ  ktail1
+
+reduce:
+	VADDPS Y2, Y0, Y0    // q0 + q1
+	VADDPS Y3, Y1, Y1
+	VADDPS Y6, Y4, Y4    // q2 + q3
+	VADDPS Y7, Y5, Y5
+	VADDPS Y4, Y0, Y0    // (q0+q1) + (q2+q3)
+	VADDPS Y5, Y1, Y1
+	VADDPS (DI), Y0, Y0  // + existing C
+	VADDPS 32(DI), Y1, Y1
+
+	MOVQ  epi+48(FP), AX
+	TESTQ AX, AX
+	JEQ   store
+	CMPQ  AX, $1         // EpiReLU
+	JEQ   relu
+	CMPQ  AX, $2         // EpiBias
+	JEQ   biasadd
+	VADDPS (R8), Y0, Y0  // EpiAdd / EpiAddReLU: + residual
+	VADDPS 32(R8), Y1, Y1
+	CMPQ  AX, $3         // EpiAdd stores as-is; AddReLU clamps
+	JEQ   store
+
+relu:
+	VXORPS Y12, Y12, Y12
+	VMAXPS Y0, Y12, Y0   // second source carries the value: NaN and -0 survive
+	VMAXPS Y1, Y12, Y1
+	JMP    store
+
+biasadd:
+	VADDPS (R9), Y0, Y0
+	VADDPS 32(R9), Y1, Y1
+
+store:
+	VMOVUPS Y0, (DI)
+	VMOVUPS Y1, 32(DI)
+	ADDQ $64, DI
+	ADDQ $64, R8
+	ADDQ $64, R9
+	ADDQ $64, R12
+	DECQ R10
+	JNZ  tile
+
+done:
+	VZEROUPPER
+	RET

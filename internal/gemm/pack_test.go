@@ -12,30 +12,82 @@ import (
 // and packNC block boundaries so ragged final blocks are exercised.
 var packedDims = []int{0, 1, 2, 3, 4, 5, 7, 9, 11, 13, 31}
 
-// TestPackedEquivalence sweeps the packed kernel (overwrite, accumulate
-// and transposed-B entries) against Naive over the full small-dimension
-// cross product, including zero sizes and ragged edges.
-func TestPackedEquivalence(t *testing.T) {
-	rng := rand.New(rand.NewSource(11))
-	for _, m := range packedDims {
-		for _, n := range packedDims {
-			for _, k := range packedDims {
-				checkPackedShape(t, rng, m, n, k)
-			}
-		}
+// forEachVariant runs fn once per microkernel variant runnable in this
+// process, forcing dispatch to that variant for the duration — on a
+// SIMD-capable box every packed-kernel contract is checked against
+// both the assembly and the pure-Go microkernel; on a purego build (or
+// non-amd64) only "go" exists and the SIMD leg simply isn't listed.
+func forEachVariant(t *testing.T, fn func(t *testing.T)) {
+	for _, v := range PackedVariants() {
+		t.Run("variant="+v, func(t *testing.T) {
+			prev := SetSIMD(v == "avx2")
+			defer SetSIMD(prev)
+			fn(t)
+		})
 	}
 }
 
+// TestPackedEquivalence sweeps the packed kernel (overwrite, accumulate
+// and transposed-B entries) against Naive over the full small-dimension
+// cross product, including zero sizes and ragged edges — under each
+// microkernel variant.
+func TestPackedEquivalence(t *testing.T) {
+	forEachVariant(t, func(t *testing.T) {
+		rng := rand.New(rand.NewSource(11))
+		for _, m := range packedDims {
+			for _, n := range packedDims {
+				for _, k := range packedDims {
+					checkPackedShape(t, rng, m, n, k)
+				}
+			}
+		}
+	})
+}
+
 // TestPackedBlockBoundaries covers shapes straddling the KC=128 and
-// NC=512 block edges, where the last pack block is ragged.
+// NC=512 block edges, where the last pack block is ragged (and, for the
+// SIMD microkernel, the 16-column tiling's scalar tail).
 func TestPackedBlockBoundaries(t *testing.T) {
-	rng := rand.New(rand.NewSource(12))
+	forEachVariant(t, func(t *testing.T) {
+		rng := rand.New(rand.NewSource(12))
+		shapes := [][3]int{
+			{2, 513, 129}, {3, 511, 127}, {5, 520, 131},
+			{130, 17, 128}, {9, 1025, 5}, {4, 512, 128},
+		}
+		for _, s := range shapes {
+			checkPackedShape(t, rng, s[0], s[1], s[2])
+		}
+	})
+}
+
+// TestPackedVariantsAgree is the deterministic cross-variant check: the
+// assembly and pure-Go microkernels compute the same products with
+// different FP association, so they must agree within the library-wide
+// 1e-4 tolerance (bitwise agreement is explicitly NOT the contract —
+// that pin is per-variant, see TestPackedBitwiseStable). Skipped where
+// only one variant is runnable; FuzzPackedGEMM carries the same
+// comparison through random shapes and NaN/Inf operands.
+func TestPackedVariantsAgree(t *testing.T) {
+	if !SIMDAvailable() {
+		t.Skip("only one microkernel variant runnable on this build/box")
+	}
+	rng := rand.New(rand.NewSource(16))
 	shapes := [][3]int{
-		{2, 513, 129}, {3, 511, 127}, {5, 520, 131},
-		{130, 17, 128}, {9, 1025, 5}, {4, 512, 128},
+		{1, 1, 1}, {3, 17, 5}, {17, 33, 29}, {64, 530, 140}, {5, 1025, 7}, {2, 513, 129},
 	}
 	for _, s := range shapes {
-		checkPackedShape(t, rng, s[0], s[1], s[2])
+		m, n, k := s[0], s[1], s[2]
+		a, b := randMat(rng, m*k), randMat(rng, k*n)
+		simd := make([]float32, m*n)
+		pure := make([]float32, m*n)
+		prev := SetSIMD(true)
+		Packed(m, n, k, a, b, simd)
+		SetSIMD(false)
+		Packed(m, n, k, a, b, pure)
+		SetSIMD(prev)
+		if d := maxDiff(simd, pure); d > 1e-4 {
+			t.Errorf("variants disagree at (%d,%d,%d): diff %g", m, n, k, d)
+		}
 	}
 }
 
@@ -78,89 +130,104 @@ func checkPackedShape(t *testing.T, rng *rand.Rand, m, n, k int) {
 	}
 }
 
-// TestPackedBitwiseStable: repeated calls with reused (pooled) pack
-// buffers must produce bitwise-identical results — the pack scratch is
-// fully overwritten before use, and per-element accumulation order is
-// fixed. The threaded path only moves column-stripe boundaries, which
-// never changes any element's accumulation sequence, so ParallelCols
-// must match Packed bitwise as well (the k-unrolled product grouping
-// differs from Naive's one-product-at-a-time fold, so agreement with
-// Naive is within tolerance, not bitwise — TestPackedEquivalence
-// covers that).
+// TestPackedBitwiseStable: the bitwise-stability pin, scoped to one
+// microkernel variant at a time — the two variants associate partial
+// products differently, so "bitwise" is only ever meaningful within a
+// variant, never across them (the cross-variant contract is the 1e-4
+// tolerance, TestPackedVariantsAgree/FuzzPackedGEMM). Within each
+// variant: repeated calls with reused (pooled) pack buffers must
+// produce bitwise-identical results — the pack scratch is fully
+// overwritten before use, and per-element accumulation order is fixed.
+// The threaded path only moves column-stripe boundaries, which (with
+// stripes split on 16-column alignment) never changes any element's
+// accumulation sequence, so ParallelCols must match Packed bitwise as
+// well — again per variant (the product grouping differs from Naive's
+// one-product-at-a-time fold, so agreement with Naive is within
+// tolerance, not bitwise — TestPackedEquivalence covers that).
 func TestPackedBitwiseStable(t *testing.T) {
-	rng := rand.New(rand.NewSource(13))
-	shapes := [][3]int{{17, 33, 29}, {64, 530, 140}, {5, 1025, 7}}
-	for _, s := range shapes {
-		m, n, k := s[0], s[1], s[2]
-		a, b := randMat(rng, m*k), randMat(rng, k*n)
-		ref := make([]float32, m*n)
-		Packed(m, n, k, a, b, ref)
-		out := make([]float32, m*n)
-		for rep := 0; rep < 3; rep++ {
-			// Poison the output so stale contents would show.
-			for i := range out {
-				out[i] = float32(rep) * 1e9
-			}
-			Packed(m, n, k, a, b, out)
-			for i := range out {
-				if out[i] != ref[i] {
-					t.Fatalf("Packed (%d,%d,%d) rep %d: out[%d]=%x want %x (not bitwise stable)",
-						m, n, k, rep, i, out[i], ref[i])
+	forEachVariant(t, func(t *testing.T) {
+		rng := rand.New(rand.NewSource(13))
+		shapes := [][3]int{{17, 33, 29}, {64, 530, 140}, {5, 1025, 7}}
+		for _, s := range shapes {
+			m, n, k := s[0], s[1], s[2]
+			a, b := randMat(rng, m*k), randMat(rng, k*n)
+			ref := make([]float32, m*n)
+			Packed(m, n, k, a, b, ref)
+			out := make([]float32, m*n)
+			for rep := 0; rep < 3; rep++ {
+				// Poison the output so stale contents would show.
+				for i := range out {
+					out[i] = float32(rep) * 1e9
 				}
-			}
-		}
-		for rep := 0; rep < 3; rep++ {
-			for _, th := range []int{2, 4} {
-				ParallelCols(th, m, n, k, a, b, out)
+				Packed(m, n, k, a, b, out)
 				for i := range out {
 					if out[i] != ref[i] {
-						t.Fatalf("ParallelCols(%d) (%d,%d,%d) rep %d: out[%d] differs from Packed",
-							th, m, n, k, rep, i)
+						t.Fatalf("Packed (%d,%d,%d) rep %d: out[%d]=%x want %x (not bitwise stable)",
+							m, n, k, rep, i, out[i], ref[i])
+					}
+				}
+			}
+			for rep := 0; rep < 3; rep++ {
+				for _, th := range []int{2, 4} {
+					ParallelCols(th, m, n, k, a, b, out)
+					for i := range out {
+						if out[i] != ref[i] {
+							t.Fatalf("ParallelCols(%d) (%d,%d,%d) rep %d: out[%d] differs from Packed",
+								th, m, n, k, rep, i)
+						}
 					}
 				}
 			}
 		}
-	}
+	})
 }
 
 // TestPackedConcurrentCalls drives many simultaneous Packed and
 // ParallelCols calls sharing input operands (run under -race in CI):
 // the pooled pack buffers must never be shared between live calls.
 func TestPackedConcurrentCalls(t *testing.T) {
-	rng := rand.New(rand.NewSource(14))
-	m, n, k := 23, 517, 131
-	a, b := randMat(rng, m*k), randMat(rng, k*n)
-	want := make([]float32, m*n)
-	Naive(m, n, k, a, b, want)
-	var wg sync.WaitGroup
-	for g := 0; g < 8; g++ {
-		wg.Add(1)
-		go func(g int) {
-			defer wg.Done()
-			out := make([]float32, m*n)
-			for rep := 0; rep < 4; rep++ {
-				if g%2 == 0 {
-					Packed(m, n, k, a, b, out)
-				} else {
-					ParallelCols(3, m, n, k, a, b, out)
+	forEachVariant(t, func(t *testing.T) {
+		rng := rand.New(rand.NewSource(14))
+		m, n, k := 23, 517, 131
+		a, b := randMat(rng, m*k), randMat(rng, k*n)
+		want := make([]float32, m*n)
+		Naive(m, n, k, a, b, want)
+		var wg sync.WaitGroup
+		for g := 0; g < 8; g++ {
+			wg.Add(1)
+			go func(g int) {
+				defer wg.Done()
+				out := make([]float32, m*n)
+				for rep := 0; rep < 4; rep++ {
+					if g%2 == 0 {
+						Packed(m, n, k, a, b, out)
+					} else {
+						ParallelCols(3, m, n, k, a, b, out)
+					}
+					if d := maxDiff(out, want); d > 1e-4 {
+						t.Errorf("goroutine %d rep %d: diff %g", g, rep, d)
+						return
+					}
 				}
-				if d := maxDiff(out, want); d > 1e-4 {
-					t.Errorf("goroutine %d rep %d: diff %g", g, rep, d)
-					return
-				}
-			}
-		}(g)
-	}
-	wg.Wait()
+			}(g)
+		}
+		wg.Wait()
+	})
 }
 
 // TestPackedEpilogues: every fused epilogue must be bitwise identical
 // to running the plain packed kernel and then the separate elementwise
-// pass — the fusion only moves the pass to when the stripe is
-// cache-resident, never changes any arithmetic. Sweep covers ragged
-// block edges, a zero-k degenerate product (the epilogue still owes
-// its pass over the zeroed output), and the threaded column split.
+// pass — the fusion only moves the pass to when the stripe is cache-
+// (or, on the SIMD path, register-) resident, never changes any
+// arithmetic. The pin is per microkernel variant, like every bitwise
+// contract here. Sweep covers ragged block edges, a zero-k degenerate
+// product (the epilogue still owes its pass over the zeroed output),
+// and the threaded column split.
 func TestPackedEpilogues(t *testing.T) {
+	forEachVariant(t, testPackedEpilogues)
+}
+
+func testPackedEpilogues(t *testing.T) {
 	rng := rand.New(rand.NewSource(15))
 	shapes := [][3]int{
 		{3, 5, 4}, {2, 513, 129}, {17, 33, 29}, {5, 1025, 7}, {4, 9, 0},

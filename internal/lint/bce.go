@@ -22,8 +22,14 @@ import (
 // a per-element check there is a real slowdown the test suite cannot
 // see. Registration is per package path so the guard rebuilds only what
 // it audits.
+//
+// Assembly kernels (packedRowFMA and the CPUID stubs in internal/gemm)
+// are exempt by construction: they have no Go body, so the compiler
+// emits no bounds checks for them and the index below never sees them
+// (buildBCEIndex skips bodyless declarations). Their Go-side tail and
+// head handling — packedRowPart — is registered instead.
 var BCERegistry = map[string][]string{
-	"pbqpdnn/internal/gemm": {"IKJ", "Blocked", "packedRowK4", "packB", "packBT", "applyEpiRow"},
+	"pbqpdnn/internal/gemm": {"IKJ", "Blocked", "packedRowK4", "packedRowPart", "packB", "packBT", "applyEpiRow"},
 	"pbqpdnn/internal/conv": {"im2colPatchesIntoCols", "im2rowPatchesInto", "winoAccumRow",
 		"epiWritebackRow", "im2rowPatchesFromCHWInto", "im2colPatchesFromHWCIntoCols"},
 	"pbqpdnn/internal/program": {"ReLUInto", "AddInto", "fcApply"},
